@@ -1,0 +1,251 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (run `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable1DefenceComparison  — Table I
+//	BenchmarkTable2CodeExpansion      — Table II
+//	BenchmarkTable3WebServers         — Table III
+//	BenchmarkTable4Databases          — Table IV
+//	BenchmarkTable5PrologueCycles     — Table V
+//	BenchmarkFigure5RuntimeOverhead   — Figure 5
+//	BenchmarkEffectivenessByteByByte  — §VI-C attack experiment
+//	BenchmarkCompatibilityMixed       — §VI-C compatibility experiment
+//	BenchmarkGlobalBufferVariant      — Figure 6 discussion variant
+//
+// Key scalar results are attached as custom benchmark metrics so they appear
+// in the -bench output; the psspbench CLI prints the full tables.
+// Micro-benchmarks for the core primitives follow.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/apps"
+	"repro/internal/attack"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/kernel"
+	"repro/internal/rng"
+)
+
+var benchCfg = harness.Config{Seed: 2018, WebRequests: 16, DBQueries: 8, AttackBudget: 3000}
+
+func BenchmarkTable1DefenceComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table1(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["p-ssp/overhead/compiler"]*100, "p-ssp-compiler-%")
+		b.ReportMetric(t.Values["dynaguard/overhead/compiler"]*100, "dynaguard-compiler-%")
+		b.ReportMetric(t.Values["dcr/overhead/compiler"]*100, "dcr-compiler-%")
+	}
+}
+
+func BenchmarkTable2CodeExpansion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table2(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["compilation"]*100, "compile-%")
+		b.ReportMetric(t.Values["instrumentation/static"]*100, "instr-static-%")
+	}
+}
+
+func BenchmarkTable3WebServers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table3(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["nginx/native"], "nginx-cycles/req")
+		b.ReportMetric(t.Values["apache2/native"], "apache2-cycles/req")
+	}
+}
+
+func BenchmarkTable4Databases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["mysql/native"], "mysql-cycles/query")
+		b.ReportMetric(t.Values["sqlite/native"], "sqlite-cycles/query")
+	}
+}
+
+func BenchmarkTable5PrologueCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table5(benchCfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["p-ssp"], "p-ssp-cycles")
+		b.ReportMetric(t.Values["p-ssp-nt"], "nt-cycles")
+		b.ReportMetric(t.Values["p-ssp-lv (4 vars)"], "lv4-cycles")
+		b.ReportMetric(t.Values["p-ssp-owf"], "owf-cycles")
+	}
+}
+
+func BenchmarkFigure5RuntimeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Figure5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["average/compiler"]*100, "avg-compiler-%")
+		b.ReportMetric(t.Values["average/instrumented"]*100, "avg-instr-%")
+	}
+}
+
+func BenchmarkEffectivenessByteByByte(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Effectiveness(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["nginx-vuln/ssp/trials"], "ssp-trials")
+		b.ReportMetric(t.Values["nginx-vuln/p-ssp/success"], "p-ssp-success")
+	}
+}
+
+func BenchmarkCompatibilityMixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Compatibility(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlobalBufferVariant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.GlobalBuffer(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the core primitives ---
+
+func BenchmarkReRandomize(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		c0, c1 := core.ReRandomize(0xdeadbeef, r)
+		if c0^c1 != 0xdeadbeef {
+			b.Fatal("bad pair")
+		}
+	}
+}
+
+func BenchmarkOWFCanary(b *testing.B) {
+	key := core.NewOWFKey(rng.New(2))
+	for i := 0; i < b.N; i++ {
+		core.OWFCanary(key, 0x400123, uint64(i))
+	}
+}
+
+func BenchmarkSplitPacked(b *testing.B) {
+	r := rng.New(3)
+	for i := 0; i < b.N; i++ {
+		if !core.CheckPacked(core.SplitPacked(0xabcdef, r), 0xabcdef) {
+			b.Fatal("bad packed pair")
+		}
+	}
+}
+
+func BenchmarkVMSpecProgram(b *testing.B) {
+	app, err := apps.SpecByName("403.gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		k := kernel.New(1)
+		k.MaxInsts = 256 << 20
+		p, err := k.Spawn(bin, kernel.SpawnOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := k.Run(p); st != kernel.StateExited {
+			b.Fatalf("state %v", st)
+		}
+		insts = p.CPU.Insts
+	}
+	b.ReportMetric(float64(insts), "guest-insts/op")
+}
+
+func BenchmarkForkServerRequest(b *testing.B) {
+	app := apps.WebServers()[1] // nginx
+	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kernel.New(1)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := srv.Handle(app.Request)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Crashed {
+			b.Fatal(out.CrashReason)
+		}
+	}
+}
+
+func BenchmarkByteByByteAttackSSP(b *testing.B) {
+	target := apps.VulnServers()[0]
+	bin, err := cc.Compile(target.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		k := kernel.New(uint64(i) + 1)
+		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv}, attack.Config{
+			BufLen: apps.VulnServerBufSize,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Success {
+			b.Fatal("attack failed on SSP")
+		}
+		b.ReportMetric(float64(res.Trials), "trials")
+	}
+}
+
+func BenchmarkEntropyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.EntropyAblation(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["16/bbb"], "bbb16-trials")
+		b.ReportMetric(t.Values["16/poly/measured"], "poly16-trials")
+	}
+}
+
+func BenchmarkDetectionLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.DetectionLatency(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values["onwrite/cycles"]-t.Values["epilogue/cycles"], "write-check-extra-cycles")
+	}
+}

@@ -1,0 +1,88 @@
+// Command psspattack runs the byte-by-byte canary brute-force against one of
+// the vulnerable server analogs and reports the outcome — the CLI face of
+// the paper's §VI-C effectiveness experiment.
+//
+// Usage:
+//
+//	psspattack -target nginx-vuln -scheme ssp
+//	psspattack -target ali-vuln -scheme p-ssp -budget 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/abi"
+	"repro/internal/apps"
+	"repro/internal/attack"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+func main() {
+	var (
+		target = flag.String("target", "nginx-vuln", "nginx-vuln | ali-vuln")
+		scheme = flag.String("scheme", "ssp", "protection scheme of the victim")
+		budget = flag.Int("budget", 4096, "maximum trials")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "psspattack: %v\n", err)
+		os.Exit(1)
+	}
+
+	var app *apps.App
+	for _, a := range apps.VulnServers() {
+		if a.Name == *target {
+			app = &a
+			break
+		}
+	}
+	if app == nil {
+		fail(fmt.Errorf("unknown target %q", *target))
+	}
+	s, err := core.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
+
+	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: s, Linkage: abi.LinkStatic})
+	if err != nil {
+		fail(err)
+	}
+	k := kernel.New(*seed)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("attacking %s (scheme %s), budget %d trials...\n", app.Name, s, *budget)
+	res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv}, attack.Config{
+		BufLen:    apps.VulnServerBufSize,
+		MaxTrials: *budget,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if res.Success {
+		real, err := srv.Parent().TLS().Canary()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("SUCCESS in %d trials: canary 0x%016x (per-byte trials %v)\n",
+			res.Trials, res.RecoveredWord(), res.PerByte)
+		if res.RecoveredWord() == real {
+			fmt.Println("verified: recovered canary matches the victim's TLS canary")
+		} else {
+			fmt.Println("warning: recovered value does NOT match (lucky survivals)")
+		}
+	} else {
+		fmt.Printf("FAILED after %d trials (stalled at byte %d) — polymorphic canaries resisted\n",
+			res.Trials, res.FailedAt)
+	}
+	fmt.Printf("children crashed during attack: %d\n", srv.Crashes)
+}

@@ -1,0 +1,96 @@
+// Command psspbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	psspbench -all                       # every experiment
+//	psspbench -table 1|2|3|4|5           # one table
+//	psspbench -table 5 -sweep            # Table V plus the LV ablation sweep
+//	psspbench -figure 5                  # Figure 5
+//	psspbench -experiment effectiveness  # §VI-C attack experiment
+//	psspbench -experiment compat         # §VI-C compatibility experiment
+//	psspbench -experiment globalbuffer   # Figure 6 discussion variant
+//
+// Scaling flags: -seed, -requests (web), -queries (db), -budget (attack
+// trials).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "regenerate Table N (1-5)")
+		figure     = flag.Int("figure", 0, "regenerate Figure N (5)")
+		experiment = flag.String("experiment", "", "effectiveness | compat | globalbuffer | entropy | latency")
+		all        = flag.Bool("all", false, "run every experiment")
+		sweep      = flag.Bool("sweep", false, "with -table 5: sweep P-SSP-LV over 1..8 criticals")
+		seed       = flag.Uint64("seed", 2018, "experiment seed")
+		requests   = flag.Int("requests", 64, "web-server requests (Table III)")
+		queries    = flag.Int("queries", 16, "database queries (Table IV)")
+		budget     = flag.Int("budget", 4096, "attack trial budget")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Seed:         *seed,
+		WebRequests:  *requests,
+		DBQueries:    *queries,
+		AttackBudget: *budget,
+	}
+
+	type driver struct {
+		name string
+		run  func(harness.Config) (*harness.Table, error)
+	}
+	drivers := map[string]driver{
+		"table1":        {"Table I", harness.Table1},
+		"table2":        {"Table II", harness.Table2},
+		"table3":        {"Table III", harness.Table3},
+		"table4":        {"Table IV", harness.Table4},
+		"table5":        {"Table V", func(c harness.Config) (*harness.Table, error) { return harness.Table5(c, *sweep) }},
+		"figure5":       {"Figure 5", harness.Figure5},
+		"effectiveness": {"Effectiveness", harness.Effectiveness},
+		"compat":        {"Compatibility", harness.Compatibility},
+		"globalbuffer":  {"Global buffer", harness.GlobalBuffer},
+		"entropy":       {"Entropy ablation", harness.EntropyAblation},
+		"latency":       {"Detection latency", harness.DetectionLatency},
+	}
+
+	var selected []string
+	switch {
+	case *all:
+		selected = []string{
+			"table1", "table2", "table3", "table4", "table5",
+			"figure5", "effectiveness", "compat", "globalbuffer",
+			"entropy", "latency",
+		}
+	case *table >= 1 && *table <= 5:
+		selected = []string{fmt.Sprintf("table%d", *table)}
+	case *figure == 5:
+		selected = []string{"figure5"}
+	case *experiment != "":
+		if _, ok := drivers[*experiment]; !ok {
+			fmt.Fprintf(os.Stderr, "psspbench: unknown experiment %q\n", *experiment)
+			os.Exit(2)
+		}
+		selected = []string{*experiment}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		d := drivers[name]
+		t, err := d.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psspbench: %s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+	}
+}

@@ -1,0 +1,114 @@
+// Command psspcc compiles a program from the built-in application suite
+// under a chosen protection scheme and writes the loadable binary image —
+// the CLI face of the compiler plugin.
+//
+// Usage:
+//
+//	psspcc -list
+//	psspcc -app nginx -scheme p-ssp -o nginx.bin
+//	psspcc -app 400.perlbench -scheme ssp -linkage static -o perl.bin
+//	psspcc -libc p-ssp -o libc.bin      # build a shared libc image
+//
+// Dynamic linkage (the default) also requires -libc-out to emit the matching
+// libc image, or an existing one via -libc-in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/abi"
+	"repro/internal/apps"
+	"repro/internal/binfmt"
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available programs")
+		appName  = flag.String("app", "", "program to compile (see -list)")
+		scheme   = flag.String("scheme", "p-ssp", "protection scheme")
+		linkage  = flag.String("linkage", abi.LinkStatic, "static | dynamic")
+		out      = flag.String("o", "", "output binary path")
+		libcOnly = flag.String("libc", "", "build a libc image with this scheme instead of an app")
+		libcIn   = flag.String("libc-in", "", "existing libc image (dynamic linkage)")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "psspcc: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, app := range apps.All() {
+			kind := "batch"
+			if app.Kind == apps.KindServer {
+				kind = "server"
+			}
+			fmt.Printf("%-18s %s\n", app.Name, kind)
+		}
+		return
+	}
+	if *out == "" {
+		fail(fmt.Errorf("missing -o output path"))
+	}
+
+	if *libcOnly != "" {
+		s, err := core.ParseScheme(*libcOnly)
+		if err != nil {
+			fail(err)
+		}
+		libc, err := cc.BuildLibc(s)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, binfmt.Marshal(libc), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote libc image %s (%d bytes, scheme %s)\n", *out, libc.TotalSize(), s)
+		return
+	}
+
+	var prog *apps.App
+	for _, a := range apps.All() {
+		if a.Name == *appName {
+			prog = &a
+			break
+		}
+	}
+	if prog == nil {
+		fail(fmt.Errorf("unknown app %q (try -list)", *appName))
+	}
+	s, err := core.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := cc.Options{Scheme: s, Linkage: *linkage}
+	if *linkage == abi.LinkDynamic {
+		if *libcIn == "" {
+			fail(fmt.Errorf("dynamic linkage needs -libc-in (build one with -libc)"))
+		}
+		raw, err := os.ReadFile(*libcIn)
+		if err != nil {
+			fail(err)
+		}
+		libc, err := binfmt.Unmarshal(raw)
+		if err != nil {
+			fail(err)
+		}
+		opts.Libc = libc
+	}
+
+	bin, err := cc.Compile(prog.Prog, opts)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, binfmt.Marshal(bin), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %s, scheme %s, %s linkage, code %d bytes\n",
+		*out, prog.Name, s, *linkage, bin.CodeSize())
+}

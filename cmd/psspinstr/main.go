@@ -1,0 +1,73 @@
+// Command psspinstr is the binary instrumentation tool: it upgrades an
+// SSP-compiled binary image to P-SSP in place, preserving code and stack
+// layout (paper Section V-C).
+//
+// Usage:
+//
+//	psspinstr -in app.bin -o app-pssp.bin                       # static app
+//	psspinstr -in app.bin -libc libc.bin -o app-pssp.bin \
+//	          -libc-o libc-pssp.bin                             # dynamic app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/binfmt"
+	"repro/internal/rewrite"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input SSP binary")
+		out    = flag.String("o", "", "output instrumented binary")
+		libcIn = flag.String("libc", "", "libc image (dynamic apps)")
+		libcO  = flag.String("libc-o", "", "output instrumented libc (dynamic apps)")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "psspinstr: %v\n", err)
+		os.Exit(1)
+	}
+	if *in == "" || *out == "" {
+		fail(fmt.Errorf("need -in and -o"))
+	}
+
+	load := func(path string) *binfmt.Binary {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		b, err := binfmt.Unmarshal(raw)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		return b
+	}
+
+	app := load(*in)
+	var libc *binfmt.Binary
+	if *libcIn != "" {
+		libc = load(*libcIn)
+	}
+	newApp, newLibc, err := rewrite.Rewrite(app, libc)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, binfmt.Marshal(newApp), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: code %d -> %d bytes (%+.2f%%)\n",
+		*out, app.CodeSize(), newApp.CodeSize(),
+		100*(float64(newApp.CodeSize())/float64(app.CodeSize())-1))
+	if newLibc != nil {
+		if *libcO == "" {
+			fail(fmt.Errorf("dynamic app: need -libc-o for the rewritten libc"))
+		}
+		if err := os.WriteFile(*libcO, binfmt.Marshal(newLibc), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (rewritten libc)\n", *libcO)
+	}
+}

@@ -1,0 +1,119 @@
+// Command psspvm loads and runs a binary image in the simulated machine —
+// batch programs to completion, servers for a number of requests — and can
+// disassemble images.
+//
+// Usage:
+//
+//	psspvm -bin app.bin                         # run a batch program
+//	psspvm -bin srv.bin -request "GET /" -n 10  # serve 10 requests
+//	psspvm -bin app.bin -libc libc.bin          # dynamically linked app
+//	psspvm -bin app.bin -disas                  # disassemble .text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/binfmt"
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		binPath  = flag.String("bin", "", "binary image to run")
+		libcPath = flag.String("libc", "", "libc image (dynamic apps)")
+		request  = flag.String("request", "", "serve requests with this payload")
+		n        = flag.Int("n", 1, "number of requests")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		disas    = flag.Bool("disas", false, "disassemble executable sections and exit")
+		trace    = flag.Int("trace", 0, "print the first N executed instructions")
+		stats    = flag.Bool("stats", false, "print per-opcode execution statistics")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "psspvm: %v\n", err)
+		os.Exit(1)
+	}
+	if *binPath == "" {
+		fail(fmt.Errorf("need -bin"))
+	}
+
+	load := func(path string) *binfmt.Binary {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		b, err := binfmt.Unmarshal(raw)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		return b
+	}
+	app := load(*binPath)
+
+	if *disas {
+		for _, sec := range app.Sections {
+			if sec.Perm&0b100 == 0 || len(sec.Data) == 0 {
+				continue
+			}
+			fmt.Printf("section %s at 0x%x (%d bytes):\n", sec.Name, sec.Addr, len(sec.Data))
+			fmt.Print(asm.Disassemble(sec.Data))
+		}
+		return
+	}
+
+	opts := kernel.SpawnOpts{}
+	if *libcPath != "" {
+		opts.Libc = load(*libcPath)
+	}
+	k := kernel.New(*seed)
+	k.MaxInsts = 1 << 30
+
+	if *request == "" {
+		p, err := k.Spawn(app, opts)
+		if err != nil {
+			fail(err)
+		}
+		opStats := &vm.OpStats{}
+		switch {
+		case *trace > 0:
+			p.CPU.SetTracer(&vm.WriterTracer{W: os.Stdout, Limit: uint64(*trace)})
+		case *stats:
+			p.CPU.SetTracer(opStats)
+		}
+		st := k.Run(p)
+		fmt.Printf("state=%s exit=%d cycles=%d insts=%d\n", st, p.ExitCode, p.CPU.Cycles, p.CPU.Insts)
+		if st == kernel.StateCrashed {
+			fmt.Printf("crash: %s\n", p.CrashReason)
+			os.Exit(1)
+		}
+		if len(p.Stdout) > 0 {
+			fmt.Printf("stdout (%d bytes): %q\n", len(p.Stdout), p.Stdout)
+		}
+		if *stats {
+			opStats.Report(os.Stdout)
+		}
+		return
+	}
+
+	srv, err := kernel.NewForkServer(k, app, opts)
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < *n; i++ {
+		out, err := srv.Handle([]byte(*request))
+		if err != nil {
+			fail(err)
+		}
+		if out.Crashed {
+			fmt.Printf("request %d: CRASH (%s)\n", i, out.CrashReason)
+		} else {
+			fmt.Printf("request %d: %q (%d cycles)\n", i, out.Response, out.Cycles)
+		}
+	}
+	fmt.Printf("served %d requests, %d crashes, avg %d cycles/request\n",
+		srv.Requests, srv.Crashes, srv.TotalCycles/uint64(srv.Requests))
+}

@@ -1,0 +1,87 @@
+// Forkserver: the paper's headline experiment as a demo.
+//
+// A vulnerable fork-per-request server (nginx analog with a 16-byte stack
+// buffer and an attacker-controlled read length) is compiled twice — with
+// classic SSP and with P-SSP — and the byte-by-byte attack of Bittau et
+// al.'s BROP is run against both. Under SSP every forked worker inherits the
+// same canary, so the attacker confirms one byte at a time (~1024 trials);
+// under P-SSP every fork re-randomizes the stack pair and the attack stalls.
+//
+// Run: go run ./examples/forkserver
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/abi"
+	"repro/internal/apps"
+	"repro/internal/attack"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+func main() {
+	target := apps.VulnServers()[0] // nginx-vuln
+	for _, scheme := range []core.Scheme{core.SchemeSSP, core.SchemePSSP} {
+		fmt.Printf("=== victim: %s compiled with %s ===\n", target.Name, scheme)
+
+		bin, err := cc.Compile(target.Prog, cc.Options{Scheme: scheme, Linkage: abi.LinkStatic})
+		if err != nil {
+			fail(err)
+		}
+		k := kernel.New(7)
+		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		if err != nil {
+			fail(err)
+		}
+
+		// Sanity: the server actually serves.
+		out, err := srv.Handle(target.Request)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("benign request: crashed=%v response=%q\n", out.Crashed, out.Response)
+
+		res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv}, attack.Config{
+			BufLen:    apps.VulnServerBufSize,
+			MaxTrials: 4096,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if res.Success {
+			real, _ := srv.Parent().TLS().Canary()
+			fmt.Printf("attack SUCCEEDED in %d trials (paper expects ~1024)\n", res.Trials)
+			fmt.Printf("recovered canary %016x, real canary %016x, match=%v\n",
+				res.RecoveredWord(), real, res.RecoveredWord() == real)
+
+			// Phase 2: with the canary in hand, hijack control flow into the
+			// never-called backdoor function and exit cleanly.
+			backdoor, _ := bin.Symbol("backdoor")
+			exitStub, _ := bin.Symbol("__thread_exit")
+			payload := attack.HijackPayload(
+				apps.VulnServerBufSize, 'A', res.Canary,
+				mem.DataBase+0x2000, backdoor.Addr, exitStub.Addr)
+			hout, err := srv.Handle(payload)
+			if err != nil {
+				fail(err)
+			}
+			hijacked := !hout.Crashed && len(hout.Response) > 0 &&
+				hout.Response[len(hout.Response)-1] == apps.BackdoorMarker
+			fmt.Printf("control-flow hijack into backdoor(): success=%v response=%x\n",
+				hijacked, hout.Response)
+		} else {
+			fmt.Printf("attack FAILED after %d trials, stalled at byte %d — ", res.Trials, res.FailedAt)
+			fmt.Println("each fork faced a fresh canary pair")
+		}
+		fmt.Printf("workers crashed during attack: %d\n\n", srv.Crashes)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "forkserver:", err)
+	os.Exit(1)
+}

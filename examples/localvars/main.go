@@ -1,0 +1,119 @@
+// Localvars: what P-SSP-LV catches that classic SSP cannot.
+//
+// The victim's request handler keeps a critical value ("is_admin") in a
+// stack slot that sits between a vulnerable buffer and the frame canary. A
+// careful attacker overflows just far enough to flip the value and stops
+// before the canary: SSP's epilogue sees an intact canary and the corruption
+// goes undetected, the hijacked value visible in the response. Under
+// P-SSP-LV a randomly drawn guard canary sits directly below the critical
+// variable, so the same payload dies in the epilogue.
+//
+// Run: go run ./examples/localvars
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/abi"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// victim builds the demo server. Under SSP the critical value is a plain
+// 8-byte buffer placed between buf and the canary; under LV it is marked
+// Critical and earns its own guard word.
+func victim() *cc.Program {
+	return &cc.Program{
+		Name:    "localvars",
+		Globals: []cc.Global{{Name: "reqlen", Size: 8}},
+		Funcs: []*cc.Func{
+			{Name: "main", Body: []cc.Stmt{cc.Call{Callee: "serve"}}},
+			{
+				Name: "serve",
+				Locals: []cc.Local{
+					{Name: "conn", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.Accept{Dst: "n"},
+					cc.While{Var: "n", Body: []cc.Stmt{
+						cc.StoreGlobal{Global: "reqlen", Src: "n"},
+						cc.Call{Callee: "handle"},
+						cc.Accept{Dst: "n"},
+					}},
+				},
+			},
+			{
+				Name: "handle",
+				Locals: []cc.Local{
+					// Declared first => placed closest to the canary; the
+					// Critical+IsBuffer marking gives it an LV guard.
+					{Name: "is_admin", Size: 8, IsBuffer: true, Critical: true},
+					{Name: "buf", Size: 16, IsBuffer: true},
+					{Name: "len", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.SetConst{Dst: "is_admin", Value: 0},
+					cc.LoadGlobal{Dst: "len", Global: "reqlen"},
+					cc.ReadInput{Buf: "buf", LenVar: "len"}, // vulnerable
+					cc.WriteOutput{Src: "is_admin", Len: 1}, // leaks the decision
+				},
+			},
+		},
+	}
+}
+
+func main() {
+	// Payload: fill the 16-byte buffer, then write one more word to flip
+	// is_admin — stopping short of the frame canary.
+	payload := make([]byte, 24)
+	for i := 0; i < 16; i++ {
+		payload[i] = 'A'
+	}
+	payload[16] = 1 // is_admin = 1 under SSP's layout
+
+	for _, scheme := range []core.Scheme{core.SchemeSSP, core.SchemePSSPLV} {
+		fmt.Printf("=== handler compiled with %s ===\n", scheme)
+		bin, err := cc.Compile(victim(), cc.Options{Scheme: scheme, Linkage: abi.LinkStatic})
+		if err != nil {
+			fail(err)
+		}
+		k := kernel.New(5)
+		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		if err != nil {
+			fail(err)
+		}
+
+		out, err := srv.Handle([]byte("hi"))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("benign request:  crashed=%v is_admin=%d\n", out.Crashed, first(out.Response))
+
+		out, err = srv.Handle(payload)
+		if err != nil {
+			fail(err)
+		}
+		if out.Crashed {
+			fmt.Printf("attack request:  DETECTED (%s)\n\n", out.CrashReason)
+		} else {
+			fmt.Printf("attack request:  crashed=false is_admin=%d  <-- silent corruption!\n\n",
+				first(out.Response))
+		}
+	}
+	fmt.Println("SSP misses the overwrite (canary untouched); P-SSP-LV's guard word catches it.")
+}
+
+func first(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "localvars:", err)
+	os.Exit(1)
+}

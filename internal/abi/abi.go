@@ -1,0 +1,111 @@
+// Package abi pins the conventions shared between the simulated kernel
+// (internal/kernel), the toy compiler (internal/cc), and the binary rewriter
+// (internal/rewrite): system-call numbers, the reserved runtime area inside
+// the data section, and the load addresses of the app image and the shared
+// C library image.
+//
+// Keeping these in one leaf package mirrors how a real platform ABI document
+// binds the kernel, libc and compiler together, and avoids import cycles.
+package abi
+
+import "repro/internal/mem"
+
+// System-call numbers (in RAX at the SYSCALL instruction). Read/write/exit
+// reuse the Linux x86-64 numbers; accept and abort are simplified analogs.
+const (
+	// SysRead reads up to RDX bytes from fd RDI into the buffer at RSI and
+	// returns the byte count. fd 0 is the request payload delivered by the
+	// fork server — reading more than a stack buffer's size is exactly the
+	// overflow vector of the paper's threat model.
+	SysRead = 0
+	// SysWrite writes RDX bytes from RSI to fd RDI (fd 1 = response stream).
+	SysWrite = 1
+	// SysGetPID returns the process id.
+	SysGetPID = 39
+	// SysFork clones the calling process (Linux x86-64 number). The child
+	// resumes after the syscall with RAX=0; the parent receives the child's
+	// pid. The kernel applies the preload scheme's fork hooks to the child,
+	// modelling the wrapped fork() of the paper's shared library.
+	SysFork = 57
+	// SysExit terminates the process with status RDI.
+	SysExit = 60
+	// SysAbort terminates the process abnormally — the tail of
+	// __stack_chk_fail (the paper's __GI__fortify_fail). The fork server
+	// reports it as a crash, which is the attacker's oracle signal.
+	SysAbort = 101
+	// SysAccept blocks until a request arrives and returns its length, or 0
+	// when the server should shut down. The fork server forks the child at
+	// this blocking point, so frames live at accept time are inherited.
+	SysAccept = 200
+)
+
+// Reserved offsets inside the data section (relative to mem.DataBase). The
+// compiler's runtime support and the kernel's fork hooks both address them.
+const (
+	// DynaGuardCountOff holds the number of live entries in the canary
+	// address buffer (CAB); entries follow at DynaGuardBufOff.
+	DynaGuardCountOff = 0x000
+	// DynaGuardBufOff is the first CAB entry; each entry is the absolute
+	// address of one stack canary slot.
+	DynaGuardBufOff = 0x008
+	// DynaGuardMaxEntries bounds the CAB.
+	DynaGuardMaxEntries = 254
+
+	// DCRHeadOff holds the absolute address of the newest DCR canary slot,
+	// the head of the in-stack linked list. Initialized to DCRListEnd.
+	DCRHeadOff = 0x800
+
+	// GlobalsOff is where compiler-visible program globals start (see below
+	// for the TLS-relative P-SSP-GB offsets).
+
+	GlobalsOff = 0x1000
+
+	// DataSize is the size of the data section the compiler emits.
+	DataSize = 0x3000
+)
+
+// P-SSP-GB buffer offsets, relative to the FS base (inside each thread's
+// TLS block). The paper's Figure 6 allocates the buffer "for each thread",
+// so it must be thread-local: fork clones it with the TLS, and concurrent
+// threads keep independent LIFO stacks of C1 halves (a shared buffer breaks
+// under interleaving — caught by TestInterleavedThreadsNoFalsePositives).
+const (
+	// GBCountOff holds the number of live entries.
+	GBCountOff = 0x400
+	// GBBufOff is the first entry; each entry is one C1 word.
+	GBBufOff = 0x408
+	// GBMaxEntries bounds the buffer within the TLS block.
+	GBMaxEntries = 200
+)
+
+// DCRListEnd is the sentinel value of the DCR list head when no canaries are
+// live: the initial stack top, above every possible canary slot.
+const DCRListEnd = mem.StackTop
+
+// DCR canary encoding: the low DCRDeltaBits bits of the canary word embed
+// (prev_slot - this_slot) >> 3; the remaining high bits must match the TLS
+// canary's high bits. This is the entropy-for-traceability trade the DCR
+// baseline makes.
+const (
+	DCRDeltaBits = 16
+	DCRDeltaMask = 1<<DCRDeltaBits - 1
+	DCRHighMask  = ^uint64(DCRDeltaMask)
+)
+
+// LibcBase is where the shared C-library image is mapped for dynamically
+// linked binaries. Statically linked binaries embed the same functions in
+// their own text section instead.
+const LibcBase uint64 = 0x0050_0000
+
+// Image/linkage metadata keys used in binfmt.Binary.Meta.
+const (
+	MetaScheme  = "scheme"  // which protection pass built the image
+	MetaLinkage = "linkage" // "dynamic" or "static"
+	MetaKind    = "kind"    // "app" or "libc"
+)
+
+// Linkage values.
+const (
+	LinkDynamic = "dynamic"
+	LinkStatic  = "static"
+)

@@ -1,0 +1,233 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+func TestAllProgramsValidate(t *testing.T) {
+	for _, app := range All() {
+		if err := app.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+	}
+}
+
+func TestSpecSuiteSize(t *testing.T) {
+	if got := len(Spec()); got != 28 {
+		t.Fatalf("SPEC suite has %d programs, want 28 (12 int + 16 fp)", got)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, err := SpecByName("400.perlbench"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("999.nope"); err == nil {
+		t.Fatal("unknown SPEC name accepted")
+	}
+}
+
+func TestSpecProgramsRunToCompletion(t *testing.T) {
+	for _, app := range Spec()[:6] { // subset for speed; all compile below
+		t.Run(app.Name, func(t *testing.T) {
+			bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kernel.New(1)
+			k.MaxInsts = 64 << 20
+			p, err := k.Spawn(bin, kernel.SpawnOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := k.Run(p); st != kernel.StateExited {
+				t.Fatalf("state %s (%s)", st, p.CrashReason)
+			}
+			if p.CPU.Insts < 10_000 {
+				t.Fatalf("only %d instructions executed — workload too small to measure", p.CPU.Insts)
+			}
+		})
+	}
+}
+
+func TestAllProgramsCompileUnderEveryScheme(t *testing.T) {
+	schemes := []core.Scheme{core.SchemeNone, core.SchemeSSP, core.SchemePSSP, core.SchemePSSPOWF}
+	for _, app := range All() {
+		for _, s := range schemes {
+			if _, err := cc.Compile(app.Prog, cc.Options{Scheme: s, Linkage: abi.LinkStatic}); err != nil {
+				t.Errorf("%s under %v: %v", app.Name, s, err)
+			}
+		}
+	}
+}
+
+func TestSpecDeterministicCycles(t *testing.T) {
+	app, err := SpecByName("403.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() uint64 {
+		bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := kernel.New(7)
+		k.MaxInsts = 64 << 20
+		p, err := k.Spawn(bin, kernel.SpawnOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := k.Run(p); st != kernel.StateExited {
+			t.Fatalf("state %s", st)
+		}
+		return p.CPU.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("cycles not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestWebServersServeRequests(t *testing.T) {
+	for _, app := range WebServers() {
+		t.Run(app.Name, func(t *testing.T) {
+			bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kernel.New(2)
+			srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				out, err := srv.Handle(app.Request)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Crashed {
+					t.Fatalf("request crashed: %s", out.CrashReason)
+				}
+				if len(out.Response) == 0 {
+					t.Fatal("no response")
+				}
+			}
+		})
+	}
+}
+
+func TestWebServerNotVulnerableToOverflow(t *testing.T) {
+	// Table III servers use bounded reads; oversized requests are truncated,
+	// not overflowed.
+	app := WebServers()[1] // nginx
+	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(3)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := srv.Handle(bytes.Repeat([]byte{0xee}, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("bounded server crashed on big request: %s", out.CrashReason)
+	}
+}
+
+func TestVulnServersAreVulnerable(t *testing.T) {
+	for _, app := range VulnServers() {
+		t.Run(app.Name, func(t *testing.T) {
+			bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kernel.New(4)
+			srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Benign request fine.
+			out, err := srv.Handle(app.Request)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Crashed {
+				t.Fatalf("benign request crashed: %s", out.CrashReason)
+			}
+			// Overflow detected by SSP.
+			crashed := false
+			for _, fill := range []byte{0x00, 0xff} {
+				out, err := srv.Handle(bytes.Repeat([]byte{fill}, VulnServerBufSize+8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				crashed = crashed || out.Crashed
+			}
+			if !crashed {
+				t.Fatal("overflow not detected — server not actually vulnerable?")
+			}
+		})
+	}
+}
+
+func TestDatabasesAnswerQueries(t *testing.T) {
+	for _, app := range Databases() {
+		t.Run(app.Name, func(t *testing.T) {
+			bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kernel.New(5)
+			k.MaxInsts = 64 << 20
+			srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := srv.Handle(app.Request)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Crashed {
+				t.Fatalf("query crashed: %s", out.CrashReason)
+			}
+			if out.Cycles == 0 {
+				t.Fatal("no cycle accounting")
+			}
+		})
+	}
+}
+
+func TestSQLiteHeavierThanMySQLPerQuery(t *testing.T) {
+	// Table IV shape: the sqlite analog spends far more per query (167ms vs
+	// 3.3ms in the paper).
+	var cycles [2]uint64
+	for i, app := range Databases() {
+		bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := kernel.New(6)
+		k.MaxInsts = 64 << 20
+		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := srv.Handle(app.Request)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = out.Cycles
+	}
+	if cycles[1] < 10*cycles[0] {
+		t.Fatalf("sqlite/mysql cycle ratio %d/%d too small for Table IV shape", cycles[1], cycles[0])
+	}
+}

@@ -1,0 +1,202 @@
+package apps
+
+import "repro/internal/cc"
+
+// serverProgram builds a fork-per-request server in the canonical shape of
+// the paper's threat model:
+//
+//	main -> serve: accept loop, one call to handle per request
+//	handle: copies the request into a stack buffer, does work, responds
+//
+// handle's read uses the attacker-controlled request length when vulnerable
+// is true (the classic read(fd, buf, n) overflow) and the buffer size when
+// false. parseOps/respondOps size the per-request work, modelling heavier
+// (Apache-like) or lighter (Nginx-like) request processing.
+func serverProgram(name string, bufSize, parseOps, respondOps int, vulnerable bool) *cc.Program {
+	read := cc.ReadInput{Buf: "buf", MaxLen: bufSize}
+	if vulnerable {
+		read = cc.ReadInput{Buf: "buf", LenVar: "len"}
+	}
+	return &cc.Program{
+		Name:    name,
+		Globals: []cc.Global{{Name: "reqlen", Size: 8}},
+		Funcs: []*cc.Func{
+			{Name: "main", Body: []cc.Stmt{cc.Call{Callee: "serve"}}},
+			{
+				Name: "serve",
+				Locals: []cc.Local{
+					{Name: "conn", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.Accept{Dst: "n"},
+					cc.While{Var: "n", Body: []cc.Stmt{
+						cc.StoreGlobal{Global: "reqlen", Src: "n"},
+						cc.Call{Callee: "handle"},
+						cc.Accept{Dst: "n"},
+					}},
+				},
+			},
+			{
+				Name: "handle",
+				Locals: []cc.Local{
+					{Name: "buf", Size: bufSize, IsBuffer: true},
+					{Name: "len", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.LoadGlobal{Dst: "len", Global: "reqlen"},
+					read,
+					cc.Compute{Ops: parseOps},
+					cc.Call{Callee: "respond"},
+				},
+			},
+			{
+				Name: "respond",
+				Locals: []cc.Local{
+					{Name: "out", Size: 16, IsBuffer: true},
+				},
+				Body: []cc.Stmt{
+					cc.Compute{Ops: respondOps},
+					cc.WriteOutput{Src: "out", Len: 8},
+				},
+			},
+			{
+				// backdoor is never called by the program — it exists so the
+				// attack experiments can demonstrate a full control-flow
+				// hijack: after recovering the canary, the attacker points
+				// the smashed return address here and observes the marker.
+				Name:   "backdoor",
+				Locals: []cc.Local{{Name: "mark", Size: 8}},
+				Body: []cc.Stmt{
+					cc.SetConst{Dst: "mark", Value: int64(BackdoorMarker)},
+					cc.WriteOutput{Src: "mark", Len: 1},
+				},
+			},
+		},
+	}
+}
+
+// BackdoorMarker is the byte the backdoor function emits when reached.
+const BackdoorMarker = 0x5A
+
+// dbProgram builds a database-server analog: each "query" walks a global
+// btree-like region and accumulates, then materializes a result row in a
+// stack buffer. queryOps models per-query CPU work.
+func dbProgram(name string, queryOps, rowBuf int) *cc.Program {
+	return &cc.Program{
+		Name: name,
+		Globals: []cc.Global{
+			{Name: "reqlen", Size: 8},
+			{Name: "rows", Size: 256},
+		},
+		Funcs: []*cc.Func{
+			{Name: "main", Body: []cc.Stmt{cc.Call{Callee: "serve"}}},
+			{
+				Name: "serve",
+				Locals: []cc.Local{
+					{Name: "conn", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.Accept{Dst: "n"},
+					cc.While{Var: "n", Body: []cc.Stmt{
+						cc.StoreGlobal{Global: "reqlen", Src: "n"},
+						cc.Call{Callee: "query"},
+						cc.Accept{Dst: "n"},
+					}},
+				},
+			},
+			{
+				Name: "query",
+				Locals: []cc.Local{
+					{Name: "row", Size: rowBuf, IsBuffer: true},
+					{Name: "len", Size: 8},
+					{Name: "acc", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.LoadGlobal{Dst: "len", Global: "reqlen"},
+					cc.ReadInput{Buf: "row", MaxLen: rowBuf},
+					// "Plan" + "execute": btree-walk-ish accumulate loop.
+					cc.Loop{Count: 6, Body: []cc.Stmt{
+						cc.LoadGlobal{Dst: "acc", Global: "rows"},
+						cc.BinOp{Dst: "acc", Src: "len", Op: cc.OpAdd},
+						cc.StoreGlobal{Global: "rows", Src: "acc"},
+						cc.Compute{Ops: queryOps / 6},
+					}},
+					cc.WriteOutput{Src: "row", Len: 8},
+				},
+			},
+		},
+	}
+}
+
+// WebServers returns the Apache2 and Nginx analogs of Table III (benign
+// request handling; not vulnerable).
+func WebServers() []App {
+	return []App{
+		{
+			Name:    "apache2",
+			Kind:    KindServer,
+			Prog:    serverProgram("apache2", 64, 8000, 2600, false),
+			Request: []byte("GET / HTTP/1.1\r\nHost: a\r\n\r\n"),
+		},
+		{
+			Name:    "nginx",
+			Kind:    KindServer,
+			Prog:    serverProgram("nginx", 64, 1400, 500, false),
+			Request: []byte("GET / HTTP/1.1\r\nHost: n\r\n\r\n"),
+		},
+	}
+}
+
+// Databases returns the MySQL and SQLite analogs of Table IV.
+func Databases() []App {
+	return []App{
+		{
+			Name:    "mysql",
+			Kind:    KindServer,
+			Prog:    dbProgram("mysql", 1200, 64),
+			Request: []byte("SELECT c FROM t WHERE k=1"),
+		},
+		{
+			Name:    "sqlite",
+			Kind:    KindServer,
+			Prog:    dbProgram("sqlite", 60000, 64),
+			Request: []byte("SELECT c FROM t WHERE k=1"),
+		},
+	}
+}
+
+// VulnServerBufSize is the stack buffer size of the vulnerable handler; the
+// canary sits VulnServerBufSize bytes past the buffer start.
+const VulnServerBufSize = 16
+
+// VulnServers returns the attack targets of the effectiveness experiment
+// (§VI-C): nginx and "Ali", both with the read(fd, buf, attacker_len)
+// vulnerability in their request handlers.
+func VulnServers() []App {
+	return []App{
+		{
+			Name:    "nginx-vuln",
+			Kind:    KindServer,
+			Prog:    serverProgram("nginx-vuln", VulnServerBufSize, 60, 30, true),
+			Request: []byte("GET /"),
+		},
+		{
+			Name:    "ali-vuln",
+			Kind:    KindServer,
+			Prog:    serverProgram("ali-vuln", VulnServerBufSize, 120, 40, true),
+			Request: []byte("PING"),
+		},
+	}
+}
+
+// All returns every application in the suite.
+func All() []App {
+	var out []App
+	out = append(out, Spec()...)
+	out = append(out, WebServers()...)
+	out = append(out, Databases()...)
+	out = append(out, VulnServers()...)
+	return out
+}

@@ -1,0 +1,158 @@
+// Package apps provides the synthetic application suite of the evaluation:
+// 28 SPEC CPU2006-analog batch workloads, web-server and database analogs
+// (Apache2/Nginx/MySQL/SQLite), and the canonical vulnerable fork server the
+// attack experiments target.
+//
+// Each analog is written in the compiler IR and parameterized by a
+// call-frequency profile: the runtime overhead of canary schemes is a pure
+// function of how often protected prologues/epilogues execute relative to
+// useful work, which is exactly the property the SPEC suite exercises in the
+// paper's Figure 5. Call-heavy programs (perlbench-like) show the largest
+// overhead, loop-heavy ones (libquantum-like) the smallest.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+)
+
+// Kind classifies an application.
+type Kind uint8
+
+// Application kinds.
+const (
+	// KindBatch runs to completion (SPEC-style).
+	KindBatch Kind = iota + 1
+	// KindServer blocks in accept and serves requests (fork-per-request).
+	KindServer
+)
+
+// App is one benchmarkable application.
+type App struct {
+	Name string
+	Kind Kind
+	Prog *cc.Program
+	// Request is a benign request payload for servers.
+	Request []byte
+}
+
+// profile parameterizes a SPEC analog. The overhead a canary scheme shows on
+// the program is ~deltaCycles / (bufEvery*(hotOps+callCost) + bufOps), so
+// hotOps and bufEvery control where the program lands on Figure 5.
+type profile struct {
+	name string
+	// hotOps is ALU work per unprotected call (no stack buffer, so the
+	// protection pass skips it — the -fstack-protector behaviour).
+	hotOps int
+	// bufOps is ALU work per protected call (has a stack buffer).
+	bufOps int
+	// bufEvery is how many hot calls happen per protected call.
+	bufEvery int
+}
+
+// specProfiles lists all 28 SPEC CPU2006 programs (12 SPECint + 16 SPECfp)
+// with call-density profiles chosen from their qualitative reputations:
+// perlbench/gcc/xalancbmk are call-dense, libquantum/lbm/bwaves are tight
+// loops over arrays.
+var specProfiles = []profile{
+	// SPECint
+	{"400.perlbench", 80, 240, 2},
+	{"401.bzip2", 700, 500, 4},
+	{"403.gcc", 150, 300, 2},
+	{"429.mcf", 1200, 400, 6},
+	{"445.gobmk", 300, 350, 3},
+	{"456.hmmer", 1500, 600, 6},
+	{"458.sjeng", 400, 300, 3},
+	{"462.libquantum", 3000, 800, 10},
+	{"464.h264ref", 2000, 700, 8},
+	{"471.omnetpp", 200, 260, 2},
+	{"473.astar", 800, 400, 4},
+	{"483.xalancbmk", 120, 280, 2},
+	// SPECfp
+	{"410.bwaves", 2800, 900, 10},
+	{"416.gamess", 900, 500, 5},
+	{"433.milc", 1600, 700, 7},
+	{"434.zeusmp", 2200, 800, 9},
+	{"435.gromacs", 1100, 600, 5},
+	{"436.cactusADM", 2400, 900, 9},
+	{"437.leslie3d", 2000, 800, 8},
+	{"444.namd", 1800, 700, 8},
+	{"447.dealII", 500, 400, 3},
+	{"450.soplex", 700, 450, 4},
+	{"453.povray", 350, 320, 3},
+	{"454.calculix", 1300, 650, 6},
+	{"459.GemsFDTD", 2100, 850, 9},
+	{"465.tonto", 1000, 550, 5},
+	{"470.lbm", 3200, 1000, 12},
+	{"482.sphinx3", 600, 420, 4},
+}
+
+// specTargetInsts sizes each program's main loop so a full run executes
+// roughly this many instructions — enough for stable ratios, small enough
+// that the whole Figure 5 sweep stays fast.
+const specTargetInsts = 120_000
+
+// buildSpec constructs one SPEC analog:
+//
+//	main: outerIters × { call work_buf ; bufEvery × { call work_hot } }
+//
+// work_hot has no stack buffer (unprotected under every pass); work_buf has
+// one (protected under every pass).
+func buildSpec(p profile) *cc.Program {
+	perOuter := p.bufOps + p.bufEvery*(p.hotOps+8) + 30
+	outer := specTargetInsts / perOuter
+	if outer < 8 {
+		outer = 8
+	}
+	return &cc.Program{
+		Name: p.name,
+		Funcs: []*cc.Func{
+			{
+				Name: "main",
+				Body: []cc.Stmt{
+					cc.Loop{Count: outer, Body: []cc.Stmt{
+						cc.Call{Callee: "work_buf"},
+						cc.Loop{Count: p.bufEvery, Body: []cc.Stmt{
+							cc.Call{Callee: "work_hot"},
+						}},
+					}},
+				},
+			},
+			{
+				Name: "work_hot",
+				Locals: []cc.Local{
+					{Name: "x", Size: 8},
+				},
+				Body: []cc.Stmt{cc.Compute{Ops: p.hotOps}},
+			},
+			{
+				Name: "work_buf",
+				Locals: []cc.Local{
+					{Name: "buf", Size: 32, IsBuffer: true},
+					{Name: "x", Size: 8},
+				},
+				Body: []cc.Stmt{cc.Compute{Ops: p.bufOps}},
+			},
+		},
+	}
+}
+
+// Spec returns the 28 SPEC CPU2006 analogs.
+func Spec() []App {
+	out := make([]App, 0, len(specProfiles))
+	for _, p := range specProfiles {
+		out = append(out, App{Name: p.name, Kind: KindBatch, Prog: buildSpec(p)})
+	}
+	return out
+}
+
+// SpecByName returns one SPEC analog.
+func SpecByName(name string) (App, error) {
+	for _, p := range specProfiles {
+		if p.name == name {
+			return App{Name: p.name, Kind: KindBatch, Prog: buildSpec(p)}, nil
+		}
+	}
+	return App{}, fmt.Errorf("apps: unknown SPEC program %q", name)
+}

@@ -1,0 +1,372 @@
+// Package asm provides a two-pass textual assembler and a disassembler for
+// the ISA in internal/isa.
+//
+// The surface syntax matches isa.Inst.String(): AT&T-flavoured operands with
+// %-prefixed registers, $-prefixed immediates, disp(%base) memory operands
+// and %fs:disp TLS operands. Labels are identifiers followed by ':'; branch
+// and call targets may be labels or raw signed displacements. '#' starts a
+// comment.
+//
+// Example:
+//
+//	prologue:
+//	    push %rbp
+//	    mov %rsp, %rbp
+//	    subi $16, %rsp
+//	    ldfs %fs:40, %rax
+//	    store -8(%rbp), %rax
+//	    call body
+//	    leave
+//	    ret
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Program is the result of assembling a source unit.
+type Program struct {
+	Insts []isa.Inst
+	// Labels maps label name to byte offset within the encoded program.
+	Labels map[string]int
+	// Code is the encoded machine code.
+	Code []byte
+}
+
+// SyntaxError reports an assembly failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+var regByName = func() map[string]isa.Reg {
+	m := make(map[string]isa.Reg, isa.NumGPR)
+	for r := isa.Reg(0); r < isa.NumGPR; r++ {
+		m[r.String()] = r
+	}
+	return m
+}()
+
+var opByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		m[op.Name()] = op
+	}
+	return m
+}()
+
+// line is one parsed source line pending label resolution.
+type line struct {
+	num    int
+	inst   isa.Inst
+	target string // unresolved branch target label, if any
+	offset int    // byte offset of this instruction
+}
+
+// Assemble translates source text into machine code.
+func Assemble(src string) (*Program, error) {
+	labels := make(map[string]int)
+	var lines []line
+	offset := 0
+
+	for num, raw := range strings.Split(src, "\n") {
+		text := raw
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.IndexByte(text, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(text[:i])
+			if !isIdent(name) {
+				// Not a label (e.g. the ':' inside a %fs:disp operand);
+				// leave the text for the instruction parser.
+				break
+			}
+			if _, dup := labels[name]; dup {
+				return nil, &SyntaxError{num + 1, fmt.Sprintf("duplicate label %q", name)}
+			}
+			labels[name] = offset
+			text = strings.TrimSpace(text[i+1:])
+		}
+		if text == "" {
+			continue
+		}
+		ln, err := parseLine(num+1, text)
+		if err != nil {
+			return nil, err
+		}
+		ln.offset = offset
+		offset += ln.inst.Len()
+		lines = append(lines, ln)
+	}
+
+	// Second pass: resolve label targets to rel32 displacements.
+	prog := &Program{Labels: labels}
+	for _, ln := range lines {
+		in := ln.inst
+		if ln.target != "" {
+			dst, ok := labels[ln.target]
+			if !ok {
+				return nil, &SyntaxError{ln.num, fmt.Sprintf("undefined label %q", ln.target)}
+			}
+			in.Disp = int32(dst - (ln.offset + in.Len()))
+		}
+		prog.Insts = append(prog.Insts, in)
+	}
+	prog.Code = isa.EncodeAll(prog.Insts)
+	return prog, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.':
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseLine parses one instruction.
+func parseLine(num int, text string) (line, error) {
+	mnemonic, rest, _ := strings.Cut(text, " ")
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return line{}, &SyntaxError{num, fmt.Sprintf("unknown mnemonic %q", mnemonic)}
+	}
+	var args []string
+	rest = strings.TrimSpace(rest)
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	in := isa.Inst{Op: op}
+	fail := func(format string, v ...any) (line, error) {
+		return line{}, &SyntaxError{num, fmt.Sprintf("%s: ", mnemonic) + fmt.Sprintf(format, v...)}
+	}
+
+	need := func(n int) bool { return len(args) == n }
+	switch op.Shape() {
+	case isa.ShapeNone:
+		if !need(0) {
+			return fail("takes no operands")
+		}
+	case isa.ShapeR:
+		if !need(1) {
+			return fail("want 1 operand, have %d", len(args))
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.R1 = r
+	case isa.ShapeRR:
+		if !need(2) {
+			return fail("want 2 operands, have %d", len(args))
+		}
+		src, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		dst, err := parseReg(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.R1, in.R2 = dst, src
+	case isa.ShapeRI64, isa.ShapeRI8:
+		if !need(2) {
+			return fail("want 2 operands, have %d", len(args))
+		}
+		imm, err := parseImm(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		r, err := parseReg(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Imm, in.R1 = imm, r
+	case isa.ShapeRM:
+		if !need(2) {
+			return fail("want 2 operands, have %d", len(args))
+		}
+		base, disp, err := parseMem(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		r, err := parseReg(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Base, in.Disp, in.R1 = base, disp, r
+	case isa.ShapeRFS:
+		if !need(2) {
+			return fail("want 2 operands, have %d", len(args))
+		}
+		disp, err := parseFS(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		r, err := parseReg(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Disp, in.R1 = disp, r
+	case isa.ShapeRel32:
+		if !need(1) {
+			return fail("want 1 operand, have %d", len(args))
+		}
+		if v, err := strconv.ParseInt(args[0], 0, 32); err == nil {
+			in.Disp = int32(v)
+		} else if isIdent(args[0]) {
+			return line{num: num, inst: in, target: args[0]}, nil
+		} else {
+			return fail("bad branch target %q", args[0])
+		}
+	case isa.ShapeXR:
+		if !need(2) {
+			return fail("want 2 operands, have %d", len(args))
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		x, err := parseXmm(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.R1, in.X1 = r, x
+	case isa.ShapeXM:
+		if !need(2) {
+			return fail("want 2 operands, have %d", len(args))
+		}
+		base, disp, err := parseMem(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		x, err := parseXmm(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Base, in.Disp, in.X1 = base, disp, x
+	}
+	return line{num: num, inst: in}, nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	name, ok := strings.CutPrefix(s, "%")
+	if !ok {
+		return 0, fmt.Errorf("register %q missing %% prefix", s)
+	}
+	r, ok := regByName[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+func parseXmm(s string) (isa.Xmm, error) {
+	name, ok := strings.CutPrefix(s, "%xmm")
+	if !ok {
+		return 0, fmt.Errorf("xmm register %q missing %%xmm prefix", s)
+	}
+	n, err := strconv.Atoi(name)
+	if err != nil || n < 0 || n >= isa.NumXMM {
+		return 0, fmt.Errorf("bad xmm register %q", s)
+	}
+	return isa.Xmm(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	body, ok := strings.CutPrefix(s, "$")
+	if !ok {
+		return 0, fmt.Errorf("immediate %q missing $ prefix", s)
+	}
+	v, err := strconv.ParseInt(body, 0, 64)
+	if err != nil {
+		// Allow the full uint64 range for canary constants.
+		u, uerr := strconv.ParseUint(body, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// parseMem parses "disp(%base)".
+func parseMem(s string) (isa.Reg, int32, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	var disp int64
+	if open > 0 {
+		v, err := strconv.ParseInt(s[:open], 0, 32)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement in %q", s)
+		}
+		disp = v
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, int32(disp), nil
+}
+
+// parseFS parses "%fs:disp".
+func parseFS(s string) (int32, error) {
+	body, ok := strings.CutPrefix(s, "%fs:")
+	if !ok {
+		return 0, fmt.Errorf("fs operand %q missing %%fs: prefix", s)
+	}
+	v, err := strconv.ParseInt(body, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad fs displacement %q", s)
+	}
+	return int32(v), nil
+}
+
+// Disassemble renders machine code as one instruction per line, prefixed
+// with its byte offset. Undecodable tails are rendered as .byte directives
+// so the output is always complete.
+func Disassemble(code []byte) string {
+	var b strings.Builder
+	for off := 0; off < len(code); {
+		in, n, err := isa.Decode(code, off)
+		if err != nil {
+			fmt.Fprintf(&b, "%6d:\t.byte 0x%02x\n", off, code[off])
+			off++
+			continue
+		}
+		fmt.Fprintf(&b, "%6d:\t%s\n", off, in)
+		off += n
+	}
+	return b.String()
+}

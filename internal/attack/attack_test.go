@@ -1,0 +1,265 @@
+package attack
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/binfmt"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/rng"
+)
+
+// victim builds the standard vulnerable fork server under the given scheme
+// and returns its oracle plus the parent's TLS view.
+func victim(t *testing.T, seed uint64, scheme core.Scheme) (*ServerOracle, *kernel.ForkServer) {
+	t.Helper()
+	// The canonical victim of the paper's threat model: the accept loop
+	// lives in serve, but each request is processed by a fresh call to
+	// handle — so handle's prologue (and any per-call canary) runs in the
+	// forked child, while serve's frame is inherited from the parent.
+	prog := &cc.Program{
+		Name:    "victim",
+		Globals: []cc.Global{{Name: "reqlen", Size: 8}},
+		Funcs: []*cc.Func{
+			{Name: "main", Body: []cc.Stmt{cc.Call{Callee: "serve"}}},
+			{
+				Name: "serve",
+				Locals: []cc.Local{
+					{Name: "pad", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.Accept{Dst: "n"},
+					cc.While{Var: "n", Body: []cc.Stmt{
+						cc.StoreGlobal{Global: "reqlen", Src: "n"},
+						cc.Call{Callee: "handle"},
+						cc.Accept{Dst: "n"},
+					}},
+				},
+			},
+			{
+				Name: "handle",
+				Locals: []cc.Local{
+					{Name: "buf", Size: 16, IsBuffer: true},
+					{Name: "len", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.LoadGlobal{Dst: "len", Global: "reqlen"},
+					cc.ReadInput{Buf: "buf", LenVar: "len"},
+					cc.WriteOutput{Src: "buf", Len: 4},
+				},
+			},
+		},
+	}
+	bin, err := cc.Compile(prog, cc.Options{Scheme: scheme, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return victimFromBinary(t, seed, bin)
+}
+
+func victimFromBinary(t *testing.T, seed uint64, bin *binfmt.Binary) (*ServerOracle, *kernel.ForkServer) {
+	t.Helper()
+	k := kernel.New(seed)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ServerOracle{Srv: srv}, srv
+}
+
+// sspDistance is the byte distance from buffer start to the canary under
+// SSP's layout for the victim above (16-byte buffer adjacent to the canary).
+const sspDistance = 16
+
+func TestByteByByteRecoversSSPCanary(t *testing.T) {
+	oracle, srv := victim(t, 100, core.SchemeSSP)
+	res, err := ByteByByte(oracle, Config{BufLen: sspDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("attack failed at byte %d after %d trials", res.FailedAt, res.Trials)
+	}
+	want, err := srv.Parent().TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveredWord() != want {
+		t.Fatalf("recovered %x, real canary %x", res.RecoveredWord(), want)
+	}
+	// The paper's headline number: ~8 * 2^7 = 1024 expected trials, hard
+	// bound 8 * 256 = 2048.
+	if res.Trials < 8 || res.Trials > 2048 {
+		t.Fatalf("trials = %d, expected within (8, 2048]", res.Trials)
+	}
+	if len(res.PerByte) != 8 {
+		t.Fatalf("per-byte stats %v", res.PerByte)
+	}
+}
+
+func TestByteByByteTrialsNearPaperExpectation(t *testing.T) {
+	// Across several seeds the mean should be near 1024 (each byte ~128.5).
+	total := 0
+	const runs = 6
+	for seed := uint64(0); seed < runs; seed++ {
+		oracle, _ := victim(t, 200+seed, core.SchemeSSP)
+		res, err := ByteByByte(oracle, Config{BufLen: sspDistance})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Fatalf("seed %d: attack failed", seed)
+		}
+		total += res.Trials
+	}
+	mean := float64(total) / runs
+	if mean < 512 || mean > 1600 {
+		t.Fatalf("mean trials %.0f, paper expects ~1024", mean)
+	}
+}
+
+func TestByteByByteFailsAgainstPSSP(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemePSSP, core.SchemePSSPNT} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			oracle, _ := victim(t, 300, scheme)
+			res, err := ByteByByte(oracle, Config{BufLen: sspDistance, MaxTrials: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Success {
+				t.Fatalf("byte-by-byte succeeded against %v in %d trials", scheme, res.Trials)
+			}
+		})
+	}
+}
+
+func TestByteByByteFailsAgainstOWF(t *testing.T) {
+	oracle, _ := victim(t, 301, core.SchemePSSPOWF)
+	res, err := ByteByByte(oracle, Config{BufLen: sspDistance, MaxTrials: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("byte-by-byte succeeded against OWF canaries")
+	}
+}
+
+func TestByteByByteSucceedsAgainstRAFOnlyPerFork(t *testing.T) {
+	// RAF-SSP renews the canary per fork, so accumulation fails — but RAF
+	// also breaks correctness; both facts belong to Table I.
+	oracle, _ := victim(t, 302, core.SchemeRAFSSP)
+	res, err := ByteByByte(oracle, Config{BufLen: sspDistance, MaxTrials: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("byte-by-byte succeeded against RAF-SSP")
+	}
+}
+
+func TestExhaustiveFailsWithinBudget(t *testing.T) {
+	oracle, _ := victim(t, 303, core.SchemeSSP)
+	r := rng.New(1)
+	res, err := Exhaustive(oracle, Config{BufLen: sspDistance, MaxTrials: 200}, r.Uint64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("exhaustive 64-bit search succeeded in 200 trials (astronomically unlikely)")
+	}
+	if res.Trials != 200 {
+		t.Fatalf("trials %d, want 200", res.Trials)
+	}
+}
+
+func TestExhaustiveSucceedsWhenGuessCorrect(t *testing.T) {
+	// Feed the oracle the true canary: one trial should do it — validates
+	// the payload layout.
+	oracle, srv := victim(t, 304, core.SchemeSSP)
+	c, err := srv.Parent().TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exhaustive(oracle, Config{BufLen: sspDistance, MaxTrials: 3}, func() uint64 { return c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Trials != 1 {
+		t.Fatalf("success=%v trials=%d", res.Success, res.Trials)
+	}
+}
+
+func TestPairPayloadForgesPSSPWithKnownC(t *testing.T) {
+	// Section III-C-1: with knowledge of C, exhaustive-style forging works
+	// against P-SSP — its security equals SSP's under exhaustive search.
+	oracle, srv := victim(t, 305, core.SchemePSSP)
+	c, err := srv.Parent().TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	c0 := r.Uint64()
+	payload := PairPayload(sspDistance, 'A', c0, c0^c)
+	survived, err := oracle.Try(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !survived {
+		t.Fatal("forged pair with known C was rejected")
+	}
+	// And a random pair (unknown C) fails.
+	bad := PairPayload(sspDistance, 'A', r.Uint64(), r.Uint64())
+	survived, err = oracle.Try(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survived {
+		t.Fatal("random pair accepted")
+	}
+}
+
+func TestResultRecoveredWordPartial(t *testing.T) {
+	r := Result{Canary: []byte{0x11, 0x22}}
+	if r.RecoveredWord() != 0x2211 {
+		t.Fatalf("got %x", r.RecoveredWord())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{BufLen: 16}
+	c.setDefaults()
+	if c.CanaryLen != 8 || c.Filler != 'A' || c.MaxTrials != 16*256*8 {
+		t.Fatalf("defaults %+v", c)
+	}
+}
+
+func TestByteByByteHonoursMaxTrials(t *testing.T) {
+	oracle, _ := victim(t, 306, core.SchemePSSP)
+	res, err := ByteByByte(oracle, Config{BufLen: sspDistance, MaxTrials: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials > 50 {
+		t.Fatalf("trials %d exceeded cap 50", res.Trials)
+	}
+	if res.Success {
+		t.Fatal("cannot succeed within 50 trials against P-SSP")
+	}
+}
+
+func TestLittleEndianPayloadLayout(t *testing.T) {
+	p := PairPayload(2, 'B', 0x0102030405060708, 0x1112131415161718)
+	if p[0] != 'B' || p[1] != 'B' {
+		t.Fatal("filler missing")
+	}
+	if binary.LittleEndian.Uint64(p[2:]) != 0x1112131415161718 {
+		t.Fatal("C1 not first (lower address)")
+	}
+	if binary.LittleEndian.Uint64(p[10:]) != 0x0102030405060708 {
+		t.Fatal("C0 not second")
+	}
+}

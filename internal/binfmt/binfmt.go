@@ -1,0 +1,348 @@
+// Package binfmt defines the executable container used by the simulated
+// toolchain — a deliberately simplified ELF analog with sections, a symbol
+// table, an entry point, and free-form metadata.
+//
+// The binary rewriter in internal/rewrite consumes and produces this format,
+// and the kernel's loader maps it into a process address space. A compact
+// serialized form (Marshal/Unmarshal) lets the CLI tools pass binaries
+// through files, mirroring the paper's workflow of instrumenting on-disk
+// executables.
+package binfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// SymKind classifies a symbol.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota + 1
+	SymObject
+)
+
+// Symbol names one address in the binary. Function symbols carry the size of
+// the function body so the rewriter can scan exactly its instructions.
+type Symbol struct {
+	Name string
+	Addr uint64
+	Size uint64
+	Kind SymKind
+}
+
+// Section is one loadable region.
+type Section struct {
+	Name string
+	Addr uint64
+	Perm mem.Perm
+	Data []byte
+}
+
+// Binary is a loadable executable image.
+type Binary struct {
+	// Entry is the address execution starts at.
+	Entry uint64
+	// Sections are the loadable regions, non-overlapping.
+	Sections []*Section
+	// Symbols is the symbol table, sorted by address.
+	Symbols []Symbol
+	// Meta carries toolchain annotations, e.g. "scheme" (which protection
+	// pass produced the binary) and "linkage" ("dynamic" or "static").
+	Meta map[string]string
+}
+
+// New returns an empty binary.
+func New() *Binary {
+	return &Binary{Meta: make(map[string]string)}
+}
+
+// AddSection appends a section.
+func (b *Binary) AddSection(name string, addr uint64, perm mem.Perm, data []byte) *Section {
+	s := &Section{Name: name, Addr: addr, Perm: perm, Data: data}
+	b.Sections = append(b.Sections, s)
+	return s
+}
+
+// Section returns the section with the given name, or nil.
+func (b *Binary) Section(name string) *Section {
+	for _, s := range b.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Text returns the ".text" section, or nil.
+func (b *Binary) Text() *Section { return b.Section(".text") }
+
+// AddSymbol appends a symbol and keeps the table address-sorted.
+func (b *Binary) AddSymbol(sym Symbol) {
+	b.Symbols = append(b.Symbols, sym)
+	sort.Slice(b.Symbols, func(i, j int) bool { return b.Symbols[i].Addr < b.Symbols[j].Addr })
+}
+
+// Symbol returns the symbol with the given name.
+func (b *Binary) Symbol(name string) (Symbol, bool) {
+	for _, s := range b.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// Funcs returns all function symbols in address order.
+func (b *Binary) Funcs() []Symbol {
+	var out []Symbol
+	for _, s := range b.Symbols {
+		if s.Kind == SymFunc {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FuncAt returns the function symbol covering addr.
+func (b *Binary) FuncAt(addr uint64) (Symbol, bool) {
+	for _, s := range b.Symbols {
+		if s.Kind == SymFunc && addr >= s.Addr && addr < s.Addr+s.Size {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// CodeSize returns the total bytes of executable sections — the measure used
+// by the Table II code-expansion experiment.
+func (b *Binary) CodeSize() int {
+	total := 0
+	for _, s := range b.Sections {
+		if s.Perm&mem.PermExec != 0 {
+			total += len(s.Data)
+		}
+	}
+	return total
+}
+
+// TotalSize returns the total bytes across all sections.
+func (b *Binary) TotalSize() int {
+	total := 0
+	for _, s := range b.Sections {
+		total += len(s.Data)
+	}
+	return total
+}
+
+// Clone returns a deep copy, used by the rewriter so the input image is
+// never mutated.
+func (b *Binary) Clone() *Binary {
+	out := &Binary{Entry: b.Entry, Meta: make(map[string]string, len(b.Meta))}
+	for k, v := range b.Meta {
+		out.Meta[k] = v
+	}
+	for _, s := range b.Sections {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		out.Sections = append(out.Sections, &Section{Name: s.Name, Addr: s.Addr, Perm: s.Perm, Data: d})
+	}
+	out.Symbols = append(out.Symbols, b.Symbols...)
+	return out
+}
+
+// Load maps every section of the binary into the address space.
+func Load(b *Binary, sp *mem.Space) error {
+	for _, s := range b.Sections {
+		seg, err := sp.Map(s.Name, s.Addr, len(s.Data), s.Perm)
+		if err != nil {
+			return fmt.Errorf("binfmt: load: %w", err)
+		}
+		if err := seg.CopyIn(0, s.Data); err != nil {
+			return fmt.Errorf("binfmt: load: %w", err)
+		}
+	}
+	return nil
+}
+
+// Serialized format:
+//
+//	magic "PSSP" | u16 version | u64 entry
+//	u32 nMeta    | nMeta × (str key, str value)
+//	u32 nSection | nSection × (str name, u64 addr, u8 perm, u32 len, bytes)
+//	u32 nSymbol  | nSymbol × (str name, u64 addr, u64 size, u8 kind)
+//
+// where str is u32 length + bytes, all little-endian.
+var magic = [4]byte{'P', 'S', 'S', 'P'}
+
+const version = 1
+
+// ErrBadImage is returned by Unmarshal for malformed input.
+var ErrBadImage = errors.New("binfmt: malformed image")
+
+type writer struct{ buf bytes.Buffer }
+
+func (w *writer) u8(v uint8)   { w.buf.WriteByte(v) }
+func (w *writer) u16(v uint16) { w.buf.Write(binary.LittleEndian.AppendUint16(nil, v)) }
+func (w *writer) u32(v uint32) { w.buf.Write(binary.LittleEndian.AppendUint32(nil, v)) }
+func (w *writer) u64(v uint64) { w.buf.Write(binary.LittleEndian.AppendUint64(nil, v)) }
+func (w *writer) str(s string) { w.u32(uint32(len(s))); w.buf.WriteString(s) }
+func (w *writer) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.buf.Write(p)
+}
+
+// Marshal serializes the binary.
+func Marshal(b *Binary) []byte {
+	var w writer
+	w.buf.Write(magic[:])
+	w.u16(version)
+	w.u64(b.Entry)
+
+	// Deterministic meta order.
+	keys := make([]string, 0, len(b.Meta))
+	for k := range b.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(b.Meta[k])
+	}
+
+	w.u32(uint32(len(b.Sections)))
+	for _, s := range b.Sections {
+		w.str(s.Name)
+		w.u64(s.Addr)
+		w.u8(uint8(s.Perm))
+		w.bytes(s.Data)
+	}
+
+	w.u32(uint32(len(b.Symbols)))
+	for _, s := range b.Symbols {
+		w.str(s.Name)
+		w.u64(s.Addr)
+		w.u64(s.Size)
+		w.u8(uint8(s.Kind))
+	}
+	return w.buf.Bytes()
+}
+
+type reader struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.p) || n < 0 {
+		r.err = ErrBadImage
+		return nil
+	}
+	b := r.p[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) str() string { return string(r.take(int(r.u32()))) }
+
+// Unmarshal parses a serialized binary.
+func Unmarshal(p []byte) (*Binary, error) {
+	r := &reader{p: p}
+	if m := r.take(4); m == nil || !bytes.Equal(m, magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	if v := r.u16(); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadImage, v)
+	}
+	b := New()
+	b.Entry = r.u64()
+
+	nMeta := int(r.u32())
+	if r.err != nil || nMeta > 1<<16 {
+		return nil, ErrBadImage
+	}
+	for i := 0; i < nMeta; i++ {
+		k := r.str()
+		v := r.str()
+		if r.err != nil {
+			return nil, r.err
+		}
+		b.Meta[k] = v
+	}
+
+	nSec := int(r.u32())
+	if r.err != nil || nSec > 1<<16 {
+		return nil, ErrBadImage
+	}
+	for i := 0; i < nSec; i++ {
+		name := r.str()
+		addr := r.u64()
+		perm := mem.Perm(r.u8())
+		data := r.take(int(r.u32()))
+		if r.err != nil {
+			return nil, r.err
+		}
+		d := make([]byte, len(data))
+		copy(d, data)
+		b.AddSection(name, addr, perm, d)
+	}
+
+	nSym := int(r.u32())
+	if r.err != nil || nSym > 1<<20 {
+		return nil, ErrBadImage
+	}
+	for i := 0; i < nSym; i++ {
+		sym := Symbol{Name: r.str(), Addr: r.u64(), Size: r.u64(), Kind: SymKind(r.u8())}
+		if r.err != nil {
+			return nil, r.err
+		}
+		b.AddSymbol(sym)
+	}
+	if r.off != len(p) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadImage, len(p)-r.off)
+	}
+	return b, nil
+}

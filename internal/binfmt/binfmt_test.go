@@ -1,0 +1,183 @@
+package binfmt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func sampleBinary() *Binary {
+	b := New()
+	b.Entry = mem.TextBase + 8
+	b.Meta["scheme"] = "ssp"
+	b.Meta["linkage"] = "dynamic"
+	b.AddSection(".text", mem.TextBase, mem.PermRead|mem.PermExec, []byte{1, 2, 3, 4, 5})
+	b.AddSection(".data", mem.DataBase, mem.PermRead|mem.PermWrite, []byte{9, 9})
+	b.AddSymbol(Symbol{Name: "main", Addr: mem.TextBase + 8, Size: 32, Kind: SymFunc})
+	b.AddSymbol(Symbol{Name: "__stack_chk_fail", Addr: mem.TextBase, Size: 8, Kind: SymFunc})
+	b.AddSymbol(Symbol{Name: "gbuf", Addr: mem.DataBase, Size: 2, Kind: SymObject})
+	return b
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	b := sampleBinary()
+	got, err := Unmarshal(Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != b.Entry {
+		t.Errorf("entry 0x%x, want 0x%x", got.Entry, b.Entry)
+	}
+	if len(got.Sections) != 2 || len(got.Symbols) != 3 {
+		t.Fatalf("sections %d symbols %d", len(got.Sections), len(got.Symbols))
+	}
+	if got.Meta["scheme"] != "ssp" || got.Meta["linkage"] != "dynamic" {
+		t.Errorf("meta %v", got.Meta)
+	}
+	if !bytes.Equal(got.Text().Data, []byte{1, 2, 3, 4, 5}) {
+		t.Errorf("text data %v", got.Text().Data)
+	}
+	sym, ok := got.Symbol("main")
+	if !ok || sym.Size != 32 || sym.Kind != SymFunc {
+		t.Errorf("main symbol %+v, ok=%v", sym, ok)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	a := Marshal(sampleBinary())
+	b := Marshal(sampleBinary())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two marshals of the same binary differ")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{'P', 'S', 'S'},
+		{'X', 'X', 'X', 'X', 1, 0},
+		append([]byte{'P', 'S', 'S', 'P', 99, 0}, make([]byte, 20)...), // bad version
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: unmarshal succeeded on garbage", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	full := Marshal(sampleBinary())
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := Unmarshal(full[:cut]); err == nil {
+			t.Errorf("unmarshal of %d/%d bytes succeeded", cut, len(full))
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	p := append(Marshal(sampleBinary()), 0xff)
+	if _, err := Unmarshal(p); err == nil {
+		t.Fatal("unmarshal with trailing byte succeeded")
+	}
+}
+
+func TestFuzzUnmarshalNeverPanics(t *testing.T) {
+	f := func(p []byte) bool {
+		_, _ = Unmarshal(p) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	b := sampleBinary()
+	sp := mem.NewSpace()
+	if err := Load(b, sp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.Read(mem.TextBase, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("loaded text %v", got)
+	}
+	if err := sp.Write(mem.TextBase, []byte{0}); err == nil {
+		t.Fatal("text writable after load")
+	}
+}
+
+func TestLoadOverlapFails(t *testing.T) {
+	b := sampleBinary()
+	b.AddSection(".dup", mem.TextBase, mem.PermRead, []byte{1})
+	if err := Load(b, mem.NewSpace()); err == nil {
+		t.Fatal("load of overlapping sections succeeded")
+	}
+}
+
+func TestSymbolsSortedByAddr(t *testing.T) {
+	b := sampleBinary()
+	for i := 1; i < len(b.Symbols); i++ {
+		if b.Symbols[i-1].Addr > b.Symbols[i].Addr {
+			t.Fatal("symbols not sorted")
+		}
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	b := sampleBinary()
+	sym, ok := b.FuncAt(mem.TextBase + 10)
+	if !ok || sym.Name != "main" {
+		t.Fatalf("FuncAt = %+v, ok=%v", sym, ok)
+	}
+	if _, ok := b.FuncAt(mem.DataBase); ok {
+		t.Fatal("FuncAt matched an object symbol")
+	}
+	if _, ok := b.FuncAt(mem.TextBase + 1000); ok {
+		t.Fatal("FuncAt matched unmapped address")
+	}
+}
+
+func TestFuncs(t *testing.T) {
+	fs := sampleBinary().Funcs()
+	if len(fs) != 2 {
+		t.Fatalf("Funcs() = %d, want 2", len(fs))
+	}
+}
+
+func TestCodeAndTotalSize(t *testing.T) {
+	b := sampleBinary()
+	if b.CodeSize() != 5 {
+		t.Fatalf("CodeSize() = %d", b.CodeSize())
+	}
+	if b.TotalSize() != 7 {
+		t.Fatalf("TotalSize() = %d", b.TotalSize())
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	b := sampleBinary()
+	c := b.Clone()
+	c.Text().Data[0] = 0xAA
+	c.Meta["scheme"] = "pssp"
+	if b.Text().Data[0] == 0xAA {
+		t.Fatal("clone shares section data")
+	}
+	if b.Meta["scheme"] == "pssp" {
+		t.Fatal("clone shares meta map")
+	}
+}
+
+func TestMissingLookups(t *testing.T) {
+	b := sampleBinary()
+	if b.Section("nope") != nil {
+		t.Fatal("Section(nope) != nil")
+	}
+	if _, ok := b.Symbol("nope"); ok {
+		t.Fatal("Symbol(nope) found")
+	}
+}

@@ -1,0 +1,92 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder accumulates one function's instructions with intra-function label
+// patching and inter-function call fixups. Passes and the statement lowerer
+// both emit through it.
+type Builder struct {
+	insts  []isa.Inst
+	fixups []Fixup
+
+	labels    map[int]int // label id -> instruction index
+	labelRefs []labelRef
+	nextLabel int
+}
+
+// Fixup records a call whose displacement must be resolved at link time.
+type Fixup struct {
+	// InstIndex is the index of the CALL instruction within the function.
+	InstIndex int
+	// Symbol is the callee name.
+	Symbol string
+}
+
+type labelRef struct {
+	instIndex int
+	label     int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[int]int)}
+}
+
+// Emit appends an instruction.
+func (b *Builder) Emit(in isa.Inst) { b.insts = append(b.insts, in) }
+
+// Call appends a CALL with a symbolic target recorded as a fixup.
+func (b *Builder) Call(symbol string) {
+	b.fixups = append(b.fixups, Fixup{InstIndex: len(b.insts), Symbol: symbol})
+	b.Emit(isa.Inst{Op: isa.CALL})
+}
+
+// Label allocates a fresh unbound label.
+func (b *Builder) Label() int {
+	id := b.nextLabel
+	b.nextLabel++
+	return id
+}
+
+// Bind attaches the label to the next emitted instruction.
+func (b *Builder) Bind(label int) {
+	if _, dup := b.labels[label]; dup {
+		panic(fmt.Sprintf("cc: label %d bound twice", label))
+	}
+	b.labels[label] = len(b.insts)
+}
+
+// Jump appends a branch (JMP/JE/JNE) to the label.
+func (b *Builder) Jump(op isa.Op, label int) {
+	b.labelRefs = append(b.labelRefs, labelRef{instIndex: len(b.insts), label: label})
+	b.Emit(isa.Inst{Op: op})
+}
+
+// Finalize patches label displacements and returns the function fragment.
+func (b *Builder) Finalize() (*Fragment, error) {
+	offsets := make([]int, len(b.insts)+1)
+	for i, in := range b.insts {
+		offsets[i+1] = offsets[i] + in.Len()
+	}
+	for _, ref := range b.labelRefs {
+		idx, ok := b.labels[ref.label]
+		if !ok {
+			return nil, fmt.Errorf("cc: unbound label %d", ref.label)
+		}
+		// Branch displacement is relative to the next instruction.
+		b.insts[ref.instIndex].Disp = int32(offsets[idx] - offsets[ref.instIndex+1])
+	}
+	return &Fragment{Insts: b.insts, Fixups: b.fixups, Size: offsets[len(b.insts)]}, nil
+}
+
+// Fragment is one compiled function before linking.
+type Fragment struct {
+	Name   string
+	Insts  []isa.Inst
+	Fixups []Fixup
+	Size   int
+}

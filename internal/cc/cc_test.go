@@ -1,0 +1,555 @@
+package cc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/binfmt"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// trivialProg is a main that does a little arithmetic and returns.
+func trivialProg() *Program {
+	return &Program{
+		Name: "trivial",
+		Funcs: []*Func{{
+			Name:   "main",
+			Locals: []Local{{Name: "x", Size: 8}},
+			Body: []Stmt{
+				SetConst{Dst: "x", Value: 5},
+				Loop{Count: 3, Body: []Stmt{
+					Compute{Ops: 4},
+				}},
+				Return{},
+			},
+		}},
+	}
+}
+
+// vulnServer is the canonical vulnerable fork server: main -> outer -> serve,
+// where serve loops on accept and reads the request into a 16-byte stack
+// buffer using the request length as the read size (the overflow).
+// outer also has a protected buffer, so the child returns through two
+// inherited protected frames.
+func vulnServer() *Program {
+	return &Program{
+		Name: "vulnserver",
+		Funcs: []*Func{
+			{
+				Name:   "main",
+				Locals: []Local{{Name: "r", Size: 8}},
+				Body:   []Stmt{Call{Callee: "outer"}, Return{}},
+			},
+			{
+				Name:   "outer",
+				Locals: []Local{{Name: "pad", Size: 16, IsBuffer: true}},
+				Body:   []Stmt{Call{Callee: "serve"}},
+			},
+			{
+				Name: "serve",
+				Locals: []Local{
+					{Name: "buf", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []Stmt{
+					Accept{Dst: "n"},
+					While{Var: "n", Body: []Stmt{
+						ReadInput{Buf: "buf", LenVar: "n"},
+						WriteOutput{Src: "buf", Len: 4},
+						Accept{Dst: "n"},
+					}},
+				},
+			},
+		},
+	}
+}
+
+// buildServer compiles vulnServer statically under the scheme.
+func buildServer(t *testing.T, scheme core.Scheme) *binfmt.Binary {
+	t.Helper()
+	bin, err := Compile(vulnServer(), Options{Scheme: scheme, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatalf("compile %v: %v", scheme, err)
+	}
+	return bin
+}
+
+func startServer(t *testing.T, seed uint64, scheme core.Scheme) (*kernel.Kernel, *kernel.ForkServer) {
+	t.Helper()
+	k := kernel.New(seed)
+	srv, err := kernel.NewForkServer(k, buildServer(t, scheme), kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatalf("server %v: %v", scheme, err)
+	}
+	return k, srv
+}
+
+// protectedSchemes are the schemes expected to detect the stock overflow.
+var protectedSchemes = []core.Scheme{
+	core.SchemeSSP, core.SchemeDynaGuard, core.SchemeDCR,
+	core.SchemePSSP, core.SchemePSSPNT, core.SchemePSSPLV,
+	core.SchemePSSPOWF, core.SchemePSSPGB,
+}
+
+func TestTrivialProgramRunsUnderEveryScheme(t *testing.T) {
+	for _, s := range core.Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			bin, err := Compile(trivialProg(), Options{Scheme: s, Linkage: abi.LinkStatic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kernel.New(42)
+			p, err := k.Spawn(bin, kernel.SpawnOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := k.Run(p); st != kernel.StateExited {
+				t.Fatalf("state %s (%s)", st, p.CrashReason)
+			}
+		})
+	}
+}
+
+func TestBenignRequestAcrossForkEveryScheme(t *testing.T) {
+	// Correctness: the child must return through frames created by the
+	// parent (outer, serve) without false positives — for every scheme
+	// except RAF-SSP, whose failure is asserted separately.
+	for _, s := range protectedSchemes {
+		t.Run(s.String(), func(t *testing.T) {
+			_, srv := startServer(t, 7, s)
+			for i := 0; i < 5; i++ {
+				out, err := srv.Handle([]byte("ping"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Crashed {
+					t.Fatalf("request %d: false positive: %s", i, out.CrashReason)
+				}
+				if !bytes.Equal(out.Response, []byte("ping")) {
+					t.Fatalf("response %q", out.Response)
+				}
+			}
+		})
+	}
+}
+
+func TestRAFSSPFalsePositiveAcrossFork(t *testing.T) {
+	_, srv := startServer(t, 8, core.SchemeRAFSSP)
+	out, err := srv.Handle([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed {
+		t.Fatal("RAF-SSP did not break on inherited frames (Table I expects it to)")
+	}
+}
+
+func TestOverflowDetectedEveryProtectedScheme(t *testing.T) {
+	for _, s := range protectedSchemes {
+		t.Run(s.String(), func(t *testing.T) {
+			_, srv := startServer(t, 9, s)
+			// 24 bytes: fills the 16-byte buffer and fully overwrites the
+			// adjacent canary word. Two fills so at least one mismatches any
+			// canary value.
+			crashed := false
+			for _, fill := range []byte{0x00, 0xff} {
+				out, err := srv.Handle(bytes.Repeat([]byte{fill}, 24))
+				if err != nil {
+					t.Fatal(err)
+				}
+				crashed = crashed || out.Crashed
+			}
+			if !crashed {
+				t.Fatal("overflow went undetected")
+			}
+		})
+	}
+}
+
+func TestDCRLowBitsUndetected(t *testing.T) {
+	// The DCR baseline trades canary entropy for traceability: the low 16
+	// bits embed the list offset and are not covered by the epilogue check.
+	// A one-byte overflow therefore goes undetected — part of why the paper
+	// prefers P-SSP's approach.
+	_, srv := startServer(t, 9, core.SchemeDCR)
+	payload := bytes.Repeat([]byte{0x5a}, 17) // corrupts only delta byte 0
+	out, err := srv.Handle(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed && strings.Contains(out.CrashReason, "stack smashing") {
+		t.Fatal("DCR detected low-bit corruption; the modeled entropy drop should hide it")
+	}
+}
+
+func TestOverflowUndetectedWithoutProtection(t *testing.T) {
+	_, srv := startServer(t, 10, core.SchemeNone)
+	payload := bytes.Repeat([]byte{'A'}, 17)
+	out, err := srv.Handle(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed && strings.Contains(out.CrashReason, "stack smashing") {
+		t.Fatal("unprotected binary reported a canary abort")
+	}
+}
+
+func TestFullCanaryOverwriteDefeatsSSPButNotPSSP(t *testing.T) {
+	// An attacker knowing the TLS canary C can beat SSP (stack canary == C)
+	// but not P-SSP: the stack pair is (C0, C1) with fresh C0 per fork, so
+	// writing C||C at the pair's slots fails the XOR check.
+	_, sspSrv := startServer(t, 11, core.SchemeSSP)
+	c, err := sspSrv.Parent().TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 24)
+	for i := 0; i < 16; i++ {
+		payload[i] = 'A'
+	}
+	for i := 0; i < 8; i++ {
+		payload[16+i] = byte(c >> (8 * i))
+	}
+	out, err := sspSrv.Handle(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("SSP: correct canary overwrite crashed: %s", out.CrashReason)
+	}
+
+	_, psspSrv := startServer(t, 11, core.SchemePSSP)
+	c2, err := psspSrv.Parent().TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write C2 into both pair slots: C2^C2 = 0 != C2 (C2 != 0 here).
+	payload2 := make([]byte, 32)
+	for i := 0; i < 16; i++ {
+		payload2[i] = 'A'
+	}
+	for i := 0; i < 8; i++ {
+		payload2[16+i] = byte(c2 >> (8 * i))
+		payload2[24+i] = byte(c2 >> (8 * i))
+	}
+	out2, err := psspSrv.Handle(payload2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Crashed {
+		t.Fatal("P-SSP: knowing C alone sufficed to beat the pair check")
+	}
+}
+
+func TestPSSPStackPairChangesPerFork(t *testing.T) {
+	// The polymorphism itself: two children of the same parent see different
+	// shadow pairs while C stays fixed.
+	k, srv := startServer(t, 12, core.SchemePSSP)
+	a, err := k.Fork(srv.Parent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Fork(srv.Parent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := a.TLS().Canary()
+	cb, _ := b.TLS().Canary()
+	a0, a1, _ := a.TLS().Shadow()
+	b0, b1, _ := b.TLS().Shadow()
+	if ca != cb {
+		t.Fatal("TLS canary differs between siblings")
+	}
+	if a0 == b0 && a1 == b1 {
+		t.Fatal("shadow pair identical between siblings — not polymorphic")
+	}
+	if !core.Check(a0, a1, ca) || !core.Check(b0, b1, cb) {
+		t.Fatal("sibling shadow pair inconsistent")
+	}
+}
+
+func TestDynamicLinkageAndCompatibilityMatrix(t *testing.T) {
+	// §VI-C: app and libc compiled with different schemes must interoperate
+	// with no false positives across fork. The app's serve calls libc_echo,
+	// which has its own protected frame in the libc image.
+	prog := vulnServer()
+	prog.Funcs[2].Body = []Stmt{
+		Accept{Dst: "n"},
+		While{Var: "n", Body: []Stmt{
+			Call{Callee: "libc_echo"},
+			Accept{Dst: "n"},
+		}},
+	}
+	schemes := []core.Scheme{core.SchemeSSP, core.SchemePSSP}
+	for _, appS := range schemes {
+		for _, libcS := range schemes {
+			t.Run(appS.String()+"+libc_"+libcS.String(), func(t *testing.T) {
+				libc, err := BuildLibc(libcS)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bin, err := Compile(prog, Options{Scheme: appS, Libc: libc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := kernel.New(13)
+				// Preload follows the app's scheme, as LD_PRELOAD would.
+				srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{Libc: libc, Preload: appS})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 5; i++ {
+					out, err := srv.Handle([]byte("compat!!"))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if out.Crashed {
+						t.Fatalf("request %d: false positive: %s", i, out.CrashReason)
+					}
+					if !bytes.Equal(out.Response, []byte("compat!!")) {
+						t.Fatalf("response %q", out.Response)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestLVGuardsCriticalVariable(t *testing.T) {
+	// A 24-byte overflow (buffer + one word) corrupts the guard canary that
+	// sits between the buffer and the critical variable — LV detects what
+	// plain SSP would miss until the frame canary is reached.
+	prog := &Program{
+		Name: "lvserver",
+		Funcs: []*Func{
+			{Name: "main", Body: []Stmt{Call{Callee: "serve"}}},
+			{
+				Name: "serve",
+				Locals: []Local{
+					{Name: "secret", Size: 8, Critical: true},
+					{Name: "buf", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []Stmt{
+					Accept{Dst: "n"},
+					While{Var: "n", Body: []Stmt{
+						ReadInput{Buf: "buf", LenVar: "n"},
+						WriteOutput{Src: "buf", Len: 4},
+						Accept{Dst: "n"},
+					}},
+				},
+			},
+		},
+	}
+	lvBin, err := Compile(prog, Options{Scheme: core.SchemePSSPLV, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(14)
+	srv, err := kernel.NewForkServer(k, lvBin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Benign first.
+	out, err := srv.Handle([]byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("benign LV request crashed: %s", out.CrashReason)
+	}
+	// Guard-corrupting overflow: 16 buffer bytes + 8 bytes over the guard.
+	crashed := false
+	for _, tail := range []byte{0x00, 0xff} {
+		payload := bytes.Repeat([]byte{tail}, 24)
+		out, err := srv.Handle(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed = crashed || out.Crashed
+	}
+	if !crashed {
+		t.Fatal("LV did not detect guard corruption")
+	}
+
+	// Control: the same layout under plain SSP lets the overflow reach the
+	// critical variable without touching the frame canary... but SSP does
+	// not place a guard, so a 17-byte overflow immediately hits data the
+	// attacker wants (undetectable if they stop short of the canary). We
+	// assert the LV frame is larger, i.e. the guard really exists.
+	lvPassI, err := PassFor(core.SchemePSSPLV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sspPassI, err := PassFor(core.SchemeSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvFI, err := layoutFrame(prog.Funcs[1], lvPassI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sspFI, err := layoutFrame(prog.Funcs[1], sspPassI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lvFI.GuardSlots) != 1 {
+		t.Fatalf("LV guard slots = %d, want 1", len(lvFI.GuardSlots))
+	}
+	if len(sspFI.GuardSlots) != 0 {
+		t.Fatal("SSP layout placed guard slots")
+	}
+	// The guard must sit strictly between the buffer (below) and the
+	// critical variable (above) so an overflow crosses it first.
+	guard := lvFI.GuardSlots[0]
+	if !(lvFI.LocalOff["buf"] < guard && guard < lvFI.LocalOff["secret"]) {
+		t.Fatalf("guard at %d not between buf %d and secret %d",
+			guard, lvFI.LocalOff["buf"], lvFI.LocalOff["secret"])
+	}
+}
+
+func TestStaticVsDynamicCodeSize(t *testing.T) {
+	// Table II precondition: a static binary embeds libc and is bigger.
+	dynLibc, err := BuildLibc(core.SchemeSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Compile(vulnServer(), Options{Scheme: core.SchemeSSP, Libc: dynLibc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Compile(vulnServer(), Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CodeSize() <= dyn.CodeSize() {
+		t.Fatalf("static %d <= dynamic %d", st.CodeSize(), dyn.CodeSize())
+	}
+}
+
+func TestPSSPBinaryLargerThanSSP(t *testing.T) {
+	// Table II: compiler-based P-SSP expands code slightly (~0.27%).
+	ssp := buildServer(t, core.SchemeSSP)
+	pssp := buildServer(t, core.SchemePSSP)
+	if pssp.CodeSize() <= ssp.CodeSize() {
+		t.Fatalf("p-ssp code %d <= ssp code %d", pssp.CodeSize(), ssp.CodeSize())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+	}{
+		{"no main", &Program{Name: "x", Funcs: []*Func{{Name: "f"}}}},
+		{"no name", &Program{Funcs: []*Func{{Name: "main"}}}},
+		{"dup func", &Program{Name: "x", Funcs: []*Func{{Name: "main"}, {Name: "main"}}}},
+		{"reserved name", &Program{Name: "x", Funcs: []*Func{{Name: "main"}, {Name: "_start"}}}},
+		{"unknown callee", &Program{Name: "x", Funcs: []*Func{{Name: "main", Body: []Stmt{Call{Callee: "ghost"}}}}}},
+		{"unknown local", &Program{Name: "x", Funcs: []*Func{{Name: "main", Body: []Stmt{SetConst{Dst: "nope"}}}}}},
+		{"dup local", &Program{Name: "x", Funcs: []*Func{{Name: "main", Locals: []Local{{Name: "a", Size: 8}, {Name: "a", Size: 8}}}}}},
+		{"bad global", &Program{Name: "x", Globals: []Global{{Name: "", Size: 8}}, Funcs: []*Func{{Name: "main"}}}},
+		{"neg loop", &Program{Name: "x", Funcs: []*Func{{Name: "main", Body: []Stmt{Loop{Count: -1}}}}}},
+		{"read no len", &Program{Name: "x", Funcs: []*Func{{Name: "main",
+			Locals: []Local{{Name: "b", Size: 8, IsBuffer: true}},
+			Body:   []Stmt{ReadInput{Buf: "b"}}}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.prog, Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic}); err == nil {
+				t.Fatal("compile succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestDynamicWithoutLibcFails(t *testing.T) {
+	if _, err := Compile(trivialProg(), Options{Scheme: core.SchemeSSP}); err == nil {
+		t.Fatal("dynamic compile without libc succeeded")
+	}
+}
+
+func TestGlobalsRoundTrip(t *testing.T) {
+	prog := &Program{
+		Name:    "globals",
+		Globals: []Global{{Name: "g", Size: 8}},
+		Funcs: []*Func{{
+			Name:   "main",
+			Locals: []Local{{Name: "x", Size: 8}, {Name: "y", Size: 8}},
+			Body: []Stmt{
+				SetConst{Dst: "x", Value: 1234},
+				StoreGlobal{Global: "g", Src: "x"},
+				LoadGlobal{Dst: "y", Global: "g"},
+				// Exit code = y via a write so we can observe it:
+				WriteOutput{Src: "y", Len: 8},
+			},
+		}},
+	}
+	bin, err := Compile(prog, Options{Scheme: core.SchemeNone, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(15)
+	p, err := k.Spawn(bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(p); st != kernel.StateExited {
+		t.Fatalf("state %s (%s)", st, p.CrashReason)
+	}
+	if len(p.Stdout) != 8 || p.Stdout[0] != 0xd2 || p.Stdout[1] != 0x04 {
+		t.Fatalf("stdout %v, want little-endian 1234", p.Stdout)
+	}
+}
+
+func TestNestedControlFlow(t *testing.T) {
+	prog := &Program{
+		Name: "nest",
+		Funcs: []*Func{{
+			Name:   "main",
+			Locals: []Local{{Name: "acc", Size: 8}, {Name: "one", Size: 8}, {Name: "i", Size: 8}},
+			Body: []Stmt{
+				SetConst{Dst: "acc", Value: 0},
+				SetConst{Dst: "one", Value: 1},
+				Loop{Count: 4, Body: []Stmt{
+					Loop{Count: 3, Body: []Stmt{
+						BinOp{Dst: "acc", Src: "one", Op: OpAdd},
+					}},
+				}},
+				If{Var: "acc", Body: []Stmt{
+					BinOp{Dst: "acc", Src: "one", Op: OpAdd},
+				}},
+				WriteOutput{Src: "acc", Len: 1},
+			},
+		}},
+	}
+	bin, err := Compile(prog, Options{Scheme: core.SchemeNone, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(16)
+	p, err := k.Spawn(bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(p); st != kernel.StateExited {
+		t.Fatalf("state %s (%s)", st, p.CrashReason)
+	}
+	// 4*3 additions + 1 from the If = 13.
+	if len(p.Stdout) != 1 || p.Stdout[0] != 13 {
+		t.Fatalf("stdout %v, want [13]", p.Stdout)
+	}
+}
+
+func TestSchemeMetadataStamped(t *testing.T) {
+	bin := buildServer(t, core.SchemePSSPNT)
+	if bin.Meta[abi.MetaScheme] != "p-ssp-nt" {
+		t.Fatalf("meta scheme %q", bin.Meta[abi.MetaScheme])
+	}
+	if bin.Meta[abi.MetaLinkage] != abi.LinkStatic {
+		t.Fatalf("meta linkage %q", bin.Meta[abi.MetaLinkage])
+	}
+}

@@ -1,0 +1,275 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// fnCtx carries per-function lowering state.
+type fnCtx struct {
+	fi       *FrameInfo
+	b        *Builder
+	globals  map[string]uint64 // global name -> absolute address
+	epilogue int               // label of the common function exit
+	nextTemp int
+
+	// writeCheck, when non-nil, is emitted after every buffer-writing
+	// statement (the §V-E2 check-on-write option).
+	writeCheck func()
+}
+
+// localDisp returns the rbp displacement of a local.
+func (c *fnCtx) localDisp(name string) int32 {
+	off, ok := c.fi.LocalOff[name]
+	if !ok {
+		panic(fmt.Sprintf("cc: unresolved local %q (validator should have caught this)", name))
+	}
+	return int32(off)
+}
+
+// takeTemp allocates the next loop-temporary slot.
+func (c *fnCtx) takeTemp() int32 {
+	if c.nextTemp >= len(c.fi.TempOff) {
+		panic("cc: loop temp underallocated (countLoops mismatch)")
+	}
+	off := c.fi.TempOff[c.nextTemp]
+	c.nextTemp++
+	return int32(off)
+}
+
+// compileFunc lowers one function under the pass. checkOnWrite additionally
+// emits the pass's canary inspection after every buffer-writing statement,
+// for passes that support it.
+func compileFunc(f *Func, pass Pass, globals map[string]uint64, checkOnWrite bool) (*Fragment, error) {
+	fi, err := layoutFrame(f, pass)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder()
+	ctx := &fnCtx{fi: fi, b: b, globals: globals, epilogue: b.Label()}
+	if wc, ok := pass.(WriteChecker); ok && checkOnWrite && fi.Protected {
+		ctx.writeCheck = func() { wc.WriteCheck(fi, b) }
+	}
+
+	// Frame setup: push %rbp ; mov %rsp, %rbp ; sub $frame, %rsp.
+	b.Emit(isa.Inst{Op: isa.PUSH, R1: isa.RBP})
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.RBP, R2: isa.RSP})
+	if fi.FrameSize > 0 {
+		b.Emit(isa.Inst{Op: isa.SUBRI, R1: isa.RSP, Imm: int64(fi.FrameSize)})
+	}
+	if fi.Protected {
+		pass.Prologue(fi, b)
+	}
+
+	if err := ctx.lowerStmts(f.Body); err != nil {
+		return nil, fmt.Errorf("cc: %s: %w", f.Name, err)
+	}
+
+	b.Bind(ctx.epilogue)
+	if fi.Protected {
+		pass.Epilogue(fi, b)
+	}
+	b.Emit(isa.Inst{Op: isa.LEAVE})
+	b.Emit(isa.Inst{Op: isa.RET})
+
+	frag, err := b.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("cc: %s: %w", f.Name, err)
+	}
+	frag.Name = f.Name
+	return frag, nil
+}
+
+func (c *fnCtx) lowerStmts(body []Stmt) error {
+	for _, s := range body {
+		if err := c.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *fnCtx) lowerStmt(s Stmt) error {
+	b := c.b
+	switch s := s.(type) {
+	case SetConst:
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: s.Value})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Dst)})
+
+	case Copy:
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Src)})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Dst)})
+
+	case BinOp:
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Dst)})
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.R10, Base: isa.RBP, Disp: c.localDisp(s.Src)})
+		var op isa.Op
+		switch s.Op {
+		case OpAdd:
+			op = isa.ADDRR
+		case OpSub:
+			op = isa.SUBRR
+		case OpXor:
+			op = isa.XORRR
+		case OpAnd:
+			op = isa.ANDRR
+		case OpOr:
+			op = isa.ORRR
+		default:
+			return fmt.Errorf("bad arith op %d", s.Op)
+		}
+		b.Emit(isa.Inst{Op: op, R1: isa.RAX, R2: isa.R10})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Dst)})
+
+	case Compute:
+		// A dependent ALU chain on rax — cheap, realistic filler work.
+		for i := 0; i < s.Ops; i++ {
+			switch i % 3 {
+			case 0:
+				b.Emit(isa.Inst{Op: isa.ADDRI, R1: isa.RAX, Imm: int64(i + 1)})
+			case 1:
+				b.Emit(isa.Inst{Op: isa.SHLRI, R1: isa.RAX, Imm: 1})
+			default:
+				b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RAX, R2: isa.RAX})
+			}
+		}
+
+	case Loop:
+		tmp := c.takeTemp()
+		top, end := b.Label(), b.Label()
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: int64(s.Count)})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: tmp})
+		b.Bind(top)
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBP, Disp: tmp})
+		b.Emit(isa.Inst{Op: isa.CMPRI, R1: isa.RAX, Imm: 0})
+		b.Jump(isa.JE, end)
+		b.Emit(isa.Inst{Op: isa.SUBRI, R1: isa.RAX, Imm: 1})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: tmp})
+		if err := c.lowerStmts(s.Body); err != nil {
+			return err
+		}
+		b.Jump(isa.JMP, top)
+		b.Bind(end)
+
+	case While:
+		top, end := b.Label(), b.Label()
+		b.Bind(top)
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Var)})
+		b.Emit(isa.Inst{Op: isa.CMPRI, R1: isa.RAX, Imm: 0})
+		b.Jump(isa.JE, end)
+		if err := c.lowerStmts(s.Body); err != nil {
+			return err
+		}
+		b.Jump(isa.JMP, top)
+		b.Bind(end)
+
+	case If:
+		end := b.Label()
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Var)})
+		b.Emit(isa.Inst{Op: isa.CMPRI, R1: isa.RAX, Imm: 0})
+		b.Jump(isa.JE, end)
+		if err := c.lowerStmts(s.Body); err != nil {
+			return err
+		}
+		b.Bind(end)
+
+	case Call:
+		b.Call(s.Callee)
+
+	case Accept:
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: abi.SysAccept})
+		b.Emit(isa.Inst{Op: isa.SYSCALL})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Dst)})
+
+	case ReadInput:
+		if s.LenVar != "" {
+			b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBP, Disp: c.localDisp(s.LenVar)})
+		} else {
+			b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RDX, Imm: int64(s.MaxLen)})
+		}
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RDI, Imm: 0})
+		b.Emit(isa.Inst{Op: isa.LEA, R1: isa.RSI, Base: isa.RBP, Disp: c.localDisp(s.Buf)})
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: abi.SysRead})
+		b.Emit(isa.Inst{Op: isa.SYSCALL})
+		if c.writeCheck != nil {
+			c.writeCheck()
+		}
+
+	case WriteOutput:
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RDX, Imm: int64(s.Len)})
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RDI, Imm: 1})
+		b.Emit(isa.Inst{Op: isa.LEA, R1: isa.RSI, Base: isa.RBP, Disp: c.localDisp(s.Src)})
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: abi.SysWrite})
+		b.Emit(isa.Inst{Op: isa.SYSCALL})
+
+	case LoadGlobal:
+		addr, ok := c.globals[s.Global]
+		if !ok {
+			return fmt.Errorf("unresolved global %q", s.Global)
+		}
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.R10, Imm: int64(addr)})
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.R10, Disp: 0})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Dst)})
+
+	case StoreGlobal:
+		addr, ok := c.globals[s.Global]
+		if !ok {
+			return fmt.Errorf("unresolved global %q", s.Global)
+		}
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBP, Disp: c.localDisp(s.Src)})
+		b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.R10, Imm: int64(addr)})
+		b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.R10, Disp: 0})
+
+	case Return:
+		b.Jump(isa.JMP, c.epilogue)
+
+	default:
+		return fmt.Errorf("unknown statement type %T", s)
+	}
+	return nil
+}
+
+// startFragment builds the crt0-style _start: call main, then exit(rax).
+func startFragment() *Fragment {
+	b := NewBuilder()
+	b.Call("main")
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.RDI, R2: isa.RAX})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: abi.SysExit})
+	b.Emit(isa.Inst{Op: isa.SYSCALL})
+	frag, err := b.Finalize()
+	if err != nil {
+		panic("cc: _start fragment: " + err.Error())
+	}
+	frag.Name = "_start"
+	return frag
+}
+
+// threadExitFragment builds __thread_exit, the trampoline a spawned thread
+// returns into when its entry function finishes — the pthread_exit analog.
+// The kernel pushes its address as the thread's initial return address.
+func threadExitFragment() *Fragment {
+	b := NewBuilder()
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RDI, Imm: 0})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: abi.SysExit})
+	b.Emit(isa.Inst{Op: isa.SYSCALL})
+	frag, err := b.Finalize()
+	if err != nil {
+		panic("cc: __thread_exit fragment: " + err.Error())
+	}
+	frag.Name = "__thread_exit"
+	return frag
+}
+
+// assignGlobals lays out program globals after the reserved runtime area.
+func assignGlobals(prog *Program) map[string]uint64 {
+	out := make(map[string]uint64, len(prog.Globals))
+	addr := mem.DataBase + abi.GlobalsOff
+	for _, g := range prog.Globals {
+		out[g.Name] = addr
+		addr += uint64(roundUp8(g.Size))
+	}
+	return out
+}

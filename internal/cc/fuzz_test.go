@@ -1,0 +1,177 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/rng"
+)
+
+// genProgram builds a random, always-terminating IR program: a handful of
+// functions with random locals (some buffers, some critical), random
+// straight-line bodies with bounded loops and a random acyclic call graph.
+// It is the property-based workout for the whole pipeline: every generated
+// program must compile under every pass and run to a clean exit with no
+// canary false positives.
+func genProgram(r *rng.Source, id int) *Program {
+	nFuncs := 2 + r.Intn(4) // main + 1..4 workers
+	prog := &Program{
+		Name:    fmt.Sprintf("fuzz%d", id),
+		Globals: []Global{{Name: "g0", Size: 8}, {Name: "g1", Size: 16}},
+	}
+
+	names := make([]string, nFuncs)
+	for i := range names {
+		if i == 0 {
+			names[i] = "main"
+		} else {
+			names[i] = fmt.Sprintf("f%d", i)
+		}
+	}
+
+	for i := 0; i < nFuncs; i++ {
+		f := &Func{Name: names[i]}
+		nLocals := 1 + r.Intn(4)
+		for l := 0; l < nLocals; l++ {
+			loc := Local{Name: fmt.Sprintf("v%d", l), Size: 8 * (1 + r.Intn(4))}
+			switch r.Intn(4) {
+			case 0:
+				loc.IsBuffer = true
+			case 1:
+				loc.Critical = true
+			case 2:
+				loc.IsBuffer = true
+				loc.Critical = true
+			}
+			f.Locals = append(f.Locals, loc)
+		}
+		// Callees: only higher-numbered functions — guarantees acyclicity.
+		var callees []string
+		for j := i + 1; j < nFuncs; j++ {
+			if r.Intn(2) == 0 {
+				callees = append(callees, names[j])
+			}
+		}
+		f.Body = genBody(r, f, callees, 2)
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	return prog
+}
+
+func genBody(r *rng.Source, f *Func, callees []string, depth int) []Stmt {
+	n := 1 + r.Intn(5)
+	body := make([]Stmt, 0, n)
+	local := func() string { return f.Locals[r.Intn(len(f.Locals))].Name }
+	for i := 0; i < n; i++ {
+		switch r.Intn(8) {
+		case 0:
+			body = append(body, SetConst{Dst: local(), Value: int64(r.Intn(1000))})
+		case 1:
+			body = append(body, Copy{Dst: local(), Src: local()})
+		case 2:
+			ops := []ArithOp{OpAdd, OpSub, OpXor, OpAnd, OpOr}
+			body = append(body, BinOp{Dst: local(), Src: local(), Op: ops[r.Intn(len(ops))]})
+		case 3:
+			body = append(body, Compute{Ops: r.Intn(20)})
+		case 4:
+			if depth > 0 {
+				body = append(body, Loop{Count: r.Intn(4), Body: genBody(r, f, callees, depth-1)})
+			}
+		case 5:
+			if len(callees) > 0 {
+				body = append(body, Call{Callee: callees[r.Intn(len(callees))]})
+			}
+		case 6:
+			g := "g0"
+			if r.Intn(2) == 0 {
+				g = "g1"
+			}
+			if r.Intn(2) == 0 {
+				body = append(body, StoreGlobal{Global: g, Src: local()})
+			} else {
+				body = append(body, LoadGlobal{Dst: local(), Global: g})
+			}
+		case 7:
+			if depth > 0 {
+				// If on a freshly zeroed or set local — either branch is fine.
+				v := local()
+				body = append(body, SetConst{Dst: v, Value: int64(r.Intn(2))})
+				body = append(body, If{Var: v, Body: genBody(r, f, callees, depth-1)})
+			}
+		}
+	}
+	return body
+}
+
+// TestFuzzCompileRunEverySchemeNoFalsePositives is the pipeline property
+// test: N random programs × all 10 passes, each must compile, link, load,
+// run to StateExited, and trip no canary check.
+func TestFuzzCompileRunEverySchemeNoFalsePositives(t *testing.T) {
+	const programs = 25
+	r := rng.New(0xF022)
+	for i := 0; i < programs; i++ {
+		prog := genProgram(r, i)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("generated invalid program %d: %v", i, err)
+		}
+		for _, scheme := range core.Schemes() {
+			bin, err := Compile(prog, Options{Scheme: scheme, Linkage: abi.LinkStatic})
+			if err != nil {
+				t.Fatalf("program %d scheme %v: compile: %v", i, scheme, err)
+			}
+			k := kernel.New(uint64(i) + 1)
+			p, err := k.Spawn(bin, kernel.SpawnOpts{})
+			if err != nil {
+				t.Fatalf("program %d scheme %v: spawn: %v", i, scheme, err)
+			}
+			if st := k.Run(p); st != kernel.StateExited {
+				t.Fatalf("program %d scheme %v: state %s: %s", i, scheme, st, p.CrashReason)
+			}
+		}
+	}
+}
+
+// TestFuzzCheckOnWriteNoFalsePositives repeats the fuzz run for the LV
+// check-on-write variant, which inserts checks mid-body.
+func TestFuzzCheckOnWriteNoFalsePositives(t *testing.T) {
+	const programs = 15
+	r := rng.New(777)
+	for i := 0; i < programs; i++ {
+		prog := genProgram(r, i)
+		bin, err := Compile(prog, Options{
+			Scheme: core.SchemePSSPLV, Linkage: abi.LinkStatic, CheckOnWrite: true,
+		})
+		if err != nil {
+			t.Fatalf("program %d: compile: %v", i, err)
+		}
+		k := kernel.New(uint64(i) + 50)
+		p, err := k.Spawn(bin, kernel.SpawnOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := k.Run(p); st != kernel.StateExited {
+			t.Fatalf("program %d: state %s: %s", i, st, p.CrashReason)
+		}
+	}
+}
+
+// TestFuzzDeterministicCodegen asserts compilation is a pure function of
+// (program, options): byte-identical output across invocations.
+func TestFuzzDeterministicCodegen(t *testing.T) {
+	r := rng.New(31337)
+	prog := genProgram(r, 0)
+	a, err := Compile(prog, Options{Scheme: core.SchemePSSPOWF, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(prog, Options{Scheme: core.SchemePSSPOWF, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Text().Data) != string(b.Text().Data) {
+		t.Fatal("codegen not deterministic")
+	}
+}

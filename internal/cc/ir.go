@@ -1,0 +1,332 @@
+// Package cc is the toy compiler of the reproduction — the stand-in for the
+// paper's LLVM plugin. It lowers a small function-level IR (locals, buffers,
+// loops, calls, request I/O) to the simulated ISA and runs one protection
+// pass over every function, mirroring the paper's P-SSP-Pass FunctionPass:
+// the pass decides per function whether to protect it (a local buffer is
+// present), reserves canary space in the frame, and emits the prologue and
+// epilogue instruction sequences of Codes 1–9.
+//
+// Supported passes: none, ssp, raf-ssp, dynaguard, dcr, p-ssp, p-ssp-nt,
+// p-ssp-lv, p-ssp-owf, p-ssp-gb (see internal/core for the scheme
+// semantics).
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a compilation unit.
+type Program struct {
+	// Name labels the program (used for binary metadata and experiments).
+	Name string
+	// Funcs are the program's functions; one must be named "main".
+	Funcs []*Func
+	// Globals are 8-byte-aligned data objects addressable by name.
+	Globals []Global
+}
+
+// Global is a named data object in the data section.
+type Global struct {
+	Name string
+	Size int // bytes, rounded up to 8
+}
+
+// Func is one function.
+type Func struct {
+	Name   string
+	Locals []Local
+	Body   []Stmt
+}
+
+// Local declares a stack variable.
+type Local struct {
+	Name string
+	// Size in bytes; rounded up to a multiple of 8.
+	Size int
+	// IsBuffer marks arrays — the presence of one makes the protection pass
+	// instrument the function (the -fstack-protector heuristic), and buffers
+	// are placed closest to the canary so an overflow hits it first.
+	IsBuffer bool
+	// Critical marks variables P-SSP-LV guards with their own canary.
+	Critical bool
+}
+
+// Stmt is one IR statement. The concrete types below form a closed set.
+type Stmt interface{ stmt() }
+
+// SetConst assigns an immediate to a local: dst = value.
+type SetConst struct {
+	Dst   string
+	Value int64
+}
+
+// Copy assigns between locals: dst = src.
+type Copy struct {
+	Dst, Src string
+}
+
+// ArithOp selects a BinOp operation.
+type ArithOp uint8
+
+// Arithmetic operations.
+const (
+	OpAdd ArithOp = iota + 1
+	OpSub
+	OpXor
+	OpAnd
+	OpOr
+)
+
+// BinOp applies dst = dst <op> src for locals dst and src.
+type BinOp struct {
+	Dst, Src string
+	Op       ArithOp
+}
+
+// Compute emits n dependent ALU instructions — synthetic work for the
+// SPEC-analog benchmark bodies.
+type Compute struct {
+	Ops int
+}
+
+// Loop repeats Body a compile-time-constant number of times.
+type Loop struct {
+	Count int
+	Body  []Stmt
+}
+
+// While repeats Body while the local Var is non-zero.
+type While struct {
+	Var  string
+	Body []Stmt
+}
+
+// If runs Body when the local Var is non-zero.
+type If struct {
+	Var  string
+	Body []Stmt
+}
+
+// Call invokes another function by name (no arguments; communication is via
+// globals, as in the paper's benchmark kernels).
+type Call struct {
+	Callee string
+}
+
+// Accept blocks for the next request and stores its length into Dst
+// (0 means shut down). It is the fork point of the server model.
+type Accept struct {
+	Dst string
+}
+
+// ReadInput performs read(0, &Buf, n): the kernel copies up to n request
+// bytes into the buffer with no bounds awareness. If LenVar is set, n comes
+// from that local (the attacker-controlled length — the paper's overflow
+// vector); otherwise n is MaxLen.
+type ReadInput struct {
+	Buf    string
+	MaxLen int
+	LenVar string
+}
+
+// WriteOutput performs write(1, &Src, Len): the response visible to the
+// oracle.
+type WriteOutput struct {
+	Src string
+	Len int
+}
+
+// LoadGlobal reads a global into a local: dst = global.
+type LoadGlobal struct {
+	Dst    string
+	Global string
+}
+
+// StoreGlobal writes a local into a global: global = src.
+type StoreGlobal struct {
+	Global string
+	Src    string
+}
+
+// Return exits the function immediately (falling off the end of Body returns
+// implicitly).
+type Return struct{}
+
+func (SetConst) stmt()    {}
+func (Copy) stmt()        {}
+func (BinOp) stmt()       {}
+func (Compute) stmt()     {}
+func (Loop) stmt()        {}
+func (While) stmt()       {}
+func (If) stmt()          {}
+func (Call) stmt()        {}
+func (Accept) stmt()      {}
+func (ReadInput) stmt()   {}
+func (WriteOutput) stmt() {}
+func (LoadGlobal) stmt()  {}
+func (StoreGlobal) stmt() {}
+func (Return) stmt()      {}
+
+// Validate checks program well-formedness: unique names, resolvable
+// references, and a main function.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("cc: program has no name")
+	}
+	funcs := make(map[string]bool, len(p.Funcs))
+	for _, f := range p.Funcs {
+		if f.Name == "" {
+			return fmt.Errorf("cc: %s: function with empty name", p.Name)
+		}
+		if funcs[f.Name] {
+			return fmt.Errorf("cc: %s: duplicate function %q", p.Name, f.Name)
+		}
+		if strings.HasPrefix(f.Name, "__") || f.Name == "_start" {
+			return fmt.Errorf("cc: %s: function name %q is reserved for the runtime", p.Name, f.Name)
+		}
+		funcs[f.Name] = true
+	}
+	if !funcs["main"] {
+		return fmt.Errorf("cc: %s: no main function", p.Name)
+	}
+	globals := make(map[string]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		if g.Name == "" || g.Size <= 0 {
+			return fmt.Errorf("cc: %s: bad global %+v", p.Name, g)
+		}
+		if globals[g.Name] {
+			return fmt.Errorf("cc: %s: duplicate global %q", p.Name, g.Name)
+		}
+		globals[g.Name] = true
+	}
+	for _, f := range p.Funcs {
+		if err := f.validate(funcs, globals); err != nil {
+			return fmt.Errorf("cc: %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+func (f *Func) validate(funcs, globals map[string]bool) error {
+	locals := make(map[string]bool, len(f.Locals))
+	for _, l := range f.Locals {
+		if l.Name == "" || l.Size <= 0 {
+			return fmt.Errorf("%s: bad local %+v", f.Name, l)
+		}
+		if locals[l.Name] {
+			return fmt.Errorf("%s: duplicate local %q", f.Name, l.Name)
+		}
+		locals[l.Name] = true
+	}
+	return f.validateStmts(f.Body, locals, funcs, globals)
+}
+
+func (f *Func) validateStmts(body []Stmt, locals, funcs, globals map[string]bool) error {
+	needLocal := func(n string) error {
+		if !locals[n] {
+			return fmt.Errorf("%s: unknown local %q", f.Name, n)
+		}
+		return nil
+	}
+	for _, s := range body {
+		var err error
+		switch s := s.(type) {
+		case SetConst:
+			err = needLocal(s.Dst)
+		case Copy:
+			if err = needLocal(s.Dst); err == nil {
+				err = needLocal(s.Src)
+			}
+		case BinOp:
+			if s.Op < OpAdd || s.Op > OpOr {
+				err = fmt.Errorf("%s: bad arith op %d", f.Name, s.Op)
+			} else if err = needLocal(s.Dst); err == nil {
+				err = needLocal(s.Src)
+			}
+		case Compute:
+			if s.Ops < 0 {
+				err = fmt.Errorf("%s: negative Compute.Ops", f.Name)
+			}
+		case Loop:
+			if s.Count < 0 {
+				err = fmt.Errorf("%s: negative loop count", f.Name)
+			} else {
+				err = f.validateStmts(s.Body, locals, funcs, globals)
+			}
+		case While:
+			if err = needLocal(s.Var); err == nil {
+				err = f.validateStmts(s.Body, locals, funcs, globals)
+			}
+		case If:
+			if err = needLocal(s.Var); err == nil {
+				err = f.validateStmts(s.Body, locals, funcs, globals)
+			}
+		case Call:
+			if !funcs[s.Callee] && !isRuntimeCallee(s.Callee) {
+				err = fmt.Errorf("%s: unknown callee %q", f.Name, s.Callee)
+			}
+		case Accept:
+			err = needLocal(s.Dst)
+		case ReadInput:
+			if err = needLocal(s.Buf); err == nil && s.LenVar != "" {
+				err = needLocal(s.LenVar)
+			}
+			if err == nil && s.LenVar == "" && s.MaxLen <= 0 {
+				err = fmt.Errorf("%s: ReadInput needs MaxLen or LenVar", f.Name)
+			}
+		case WriteOutput:
+			if err = needLocal(s.Src); err == nil && s.Len <= 0 {
+				err = fmt.Errorf("%s: WriteOutput needs positive Len", f.Name)
+			}
+		case LoadGlobal:
+			if err = needLocal(s.Dst); err == nil && !globals[s.Global] {
+				err = fmt.Errorf("%s: unknown global %q", f.Name, s.Global)
+			}
+		case StoreGlobal:
+			if err = needLocal(s.Src); err == nil && !globals[s.Global] {
+				err = fmt.Errorf("%s: unknown global %q", f.Name, s.Global)
+			}
+		case Return:
+		default:
+			err = fmt.Errorf("%s: unknown statement type %T", f.Name, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isRuntimeCallee reports whether name is provided by the runtime/libc
+// rather than the program itself.
+func isRuntimeCallee(name string) bool {
+	switch name {
+	case "libc_echo":
+		return true
+	default:
+		return false
+	}
+}
+
+// HasBuffer reports whether the function declares at least one buffer — the
+// pass's "should I protect this function" heuristic.
+func (f *Func) HasBuffer() bool {
+	for _, l := range f.Locals {
+		if l.IsBuffer {
+			return true
+		}
+	}
+	return false
+}
+
+// CriticalCount returns |V|, the number of critical locals.
+func (f *Func) CriticalCount() int {
+	n := 0
+	for _, l := range f.Locals {
+		if l.Critical {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package cc
+
+import "fmt"
+
+// FrameInfo is the computed stack-frame layout of one function under a given
+// protection pass. All offsets are rbp-relative and negative (the frame
+// lives below the saved base pointer; the return address is at rbp+8).
+//
+// Layout, descending from rbp:
+//
+//	[ frame canary region ]          (pass-dependent: 0–3 words)
+//	[ critical local + its guard ]*  (P-SSP-LV only: guard word directly
+//	                                  below each critical variable)
+//	[ buffers ]                      (closest to the canary, so an overflow
+//	                                  reaches it before the return address)
+//	[ scalars ]
+//	[ loop temporaries ]
+type FrameInfo struct {
+	Func *Func
+	// FrameSize is the rsp adjustment in the prologue (16-byte aligned).
+	FrameSize int
+	// LocalOff maps local name to its (negative) rbp offset — the offset of
+	// the variable's lowest-addressed byte.
+	LocalOff map[string]int
+	// CanarySlots are the rbp offsets of frame-canary words, in the order
+	// the pass's prologue fills them.
+	CanarySlots []int
+	// GuardSlots are the rbp offsets of per-critical-variable guard words
+	// (P-SSP-LV), in variable placement order.
+	GuardSlots []int
+	// TempOff are slots for loop counters, in discovery order.
+	TempOff []int
+	// Protected reports whether the pass instruments this function.
+	Protected bool
+}
+
+// GuardCount returns the number of per-variable guard canaries.
+func (fi *FrameInfo) GuardCount() int { return len(fi.GuardSlots) }
+
+// AllCanarySlots returns frame canary slots followed by guard slots — the
+// order the LV epilogue XORs them in.
+func (fi *FrameInfo) AllCanarySlots() []int {
+	out := make([]int, 0, len(fi.CanarySlots)+len(fi.GuardSlots))
+	out = append(out, fi.CanarySlots...)
+	out = append(out, fi.GuardSlots...)
+	return out
+}
+
+// countLoops returns the maximum number of simultaneously live loop
+// temporaries needed by body (loops at the same nesting depth share slots
+// would be an optimization; we allocate one per loop for simplicity).
+func countLoops(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		switch s := s.(type) {
+		case Loop:
+			n += 1 + countLoops(s.Body)
+		case While:
+			n += countLoops(s.Body)
+		case If:
+			n += countLoops(s.Body)
+		}
+	}
+	return n
+}
+
+// roundUp8 rounds n up to a multiple of 8.
+func roundUp8(n int) int { return (n + 7) &^ 7 }
+
+// layoutFrame computes the frame for f under the pass.
+func layoutFrame(f *Func, pass Pass) (*FrameInfo, error) {
+	fi := &FrameInfo{
+		Func:      f,
+		LocalOff:  make(map[string]int, len(f.Locals)),
+		Protected: pass.NeedsProtection(f),
+	}
+
+	off := 0
+	place := func(size int) int {
+		off += roundUp8(size)
+		return -off
+	}
+
+	if fi.Protected {
+		canaryBytes := pass.CanaryBytes(f)
+		if canaryBytes%8 != 0 {
+			return nil, fmt.Errorf("cc: pass %s: canary bytes %d not word-aligned", pass.Scheme(), canaryBytes)
+		}
+		// Frame canary words, highest first: slot -8, then -16, ...
+		for b := 8; b <= canaryBytes; b += 8 {
+			fi.CanarySlots = append(fi.CanarySlots, -b)
+		}
+		off = canaryBytes
+
+		if pass.GuardsCriticals() {
+			// Each critical variable sits directly above its guard word:
+			// [... guard][critical ...] ascending — i.e. place the critical
+			// first (higher address), then its guard below it.
+			for _, l := range f.Locals {
+				if !l.Critical {
+					continue
+				}
+				fi.LocalOff[l.Name] = place(l.Size)
+				fi.GuardSlots = append(fi.GuardSlots, place(8))
+			}
+		}
+	}
+
+	// Buffers next (closest to the canary region), then scalars.
+	for _, l := range f.Locals {
+		if _, done := fi.LocalOff[l.Name]; done {
+			continue
+		}
+		if l.IsBuffer {
+			fi.LocalOff[l.Name] = place(l.Size)
+		}
+	}
+	for _, l := range f.Locals {
+		if _, done := fi.LocalOff[l.Name]; done {
+			continue
+		}
+		fi.LocalOff[l.Name] = place(l.Size)
+	}
+
+	for i := 0; i < countLoops(f.Body); i++ {
+		fi.TempOff = append(fi.TempOff, place(8))
+	}
+
+	// 16-byte align the frame, x86-64 style.
+	fi.FrameSize = (off + 15) &^ 15
+	return fi, nil
+}

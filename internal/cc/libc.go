@@ -1,0 +1,91 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/binfmt"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// This file builds the simulated C library. It contains:
+//
+//   - __stack_chk_fail: the abort path every epilogue check calls — the
+//     paper's Figure 3 target (the binary rewriter later injects the P-SSP
+//     packed-canary check in front of its abort tail).
+//   - libc_echo: a canary-protected utility function with its own stack
+//     buffer. Applications call it across the module boundary, which is what
+//     the paper's §VI-C compatibility experiment exercises (P-SSP app + SSP
+//     libc and vice versa must coexist because both validate against the
+//     same unchanged TLS canary C).
+//
+// For dynamic linkage the libc is a separate image mapped at abi.LibcBase;
+// for static linkage the same fragments are appended to the app's text.
+
+// libcEchoFunc is the IR for libc_echo: copy up to 16 request bytes into a
+// local buffer and echo 8 back.
+func libcEchoFunc() *Func {
+	return &Func{
+		Name: "libc_echo",
+		Locals: []Local{
+			{Name: "buf", Size: 16, IsBuffer: true},
+		},
+		Body: []Stmt{
+			ReadInput{Buf: "buf", MaxLen: 16},
+			WriteOutput{Src: "buf", Len: 8},
+		},
+	}
+}
+
+// stackChkFailFragment emits the stock __stack_chk_fail: abort(2), which the
+// kernel reports as "stack smashing detected".
+func stackChkFailFragment() *Fragment {
+	b := NewBuilder()
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: abi.SysAbort})
+	b.Emit(isa.Inst{Op: isa.SYSCALL})
+	// Unreachable: abort never returns. RET keeps the symbol well-formed for
+	// the disassembler and gives the rewriter a stable function extent.
+	b.Emit(isa.Inst{Op: isa.RET})
+	frag, err := b.Finalize()
+	if err != nil {
+		panic("cc: __stack_chk_fail fragment: " + err.Error())
+	}
+	frag.Name = StackChkFail
+	return frag
+}
+
+// libcFragments compiles the library functions under the given scheme.
+func libcFragments(scheme core.Scheme) ([]*Fragment, error) {
+	pass, err := PassFor(scheme)
+	if err != nil {
+		return nil, err
+	}
+	echo, err := compileFunc(libcEchoFunc(), pass, nil, false)
+	if err != nil {
+		return nil, fmt.Errorf("cc: libc_echo: %w", err)
+	}
+	return []*Fragment{stackChkFailFragment(), echo}, nil
+}
+
+// BuildLibc compiles the shared C-library image, protected by the given
+// scheme, for mapping at abi.LibcBase.
+func BuildLibc(scheme core.Scheme) (*binfmt.Binary, error) {
+	frags, err := libcFragments(scheme)
+	if err != nil {
+		return nil, err
+	}
+	code, syms, err := link(frags, abi.LibcBase, nil)
+	if err != nil {
+		return nil, err
+	}
+	b := binfmt.New()
+	b.AddSection(".text.libc", abi.LibcBase, mem.PermRead|mem.PermExec, code)
+	for _, s := range syms {
+		b.AddSymbol(s)
+	}
+	b.Meta[abi.MetaScheme] = scheme.String()
+	b.Meta[abi.MetaKind] = "libc"
+	return b, nil
+}

@@ -1,0 +1,416 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// StackChkFail is the runtime symbol every epilogue check calls on mismatch.
+const StackChkFail = "__stack_chk_fail"
+
+// Pass is one protection pass — the analog of the paper's P-SSP-Pass
+// subclass of llvm::FunctionPass. The compiler asks it whether a function
+// needs instrumentation, how much frame-canary space to reserve, and has it
+// emit the prologue and epilogue sequences.
+type Pass interface {
+	// Scheme identifies the pass.
+	Scheme() core.Scheme
+	// NeedsProtection is the runOnFunction decision: instrument only
+	// functions with a stack buffer (plus critical locals for LV).
+	NeedsProtection(f *Func) bool
+	// CanaryBytes is the size of the frame-canary region below saved rbp.
+	CanaryBytes(f *Func) int
+	// GuardsCriticals reports whether critical locals get guard words.
+	GuardsCriticals() bool
+	// Prologue emits the canary-install sequence (frame setup is already
+	// done: rbp pushed, rsp adjusted).
+	Prologue(fi *FrameInfo, b *Builder)
+	// Epilogue emits the canary check ending in a conditional call to
+	// __stack_chk_fail (frame teardown follows).
+	Epilogue(fi *FrameInfo, b *Builder)
+}
+
+// WriteChecker is implemented by passes that can also inspect their canaries
+// immediately after a buffer-writing statement — the paper's §V-E2 design
+// option for P-SSP-LV ("add canary inspection code after executing functions
+// like strcpy(), read(), ..."), which detects local-variable corruption
+// before the tainted values are ever used instead of waiting for the
+// function epilogue.
+type WriteChecker interface {
+	// WriteCheck emits the same consistency check as the epilogue, at the
+	// current body position.
+	WriteCheck(fi *FrameInfo, b *Builder)
+}
+
+// PassFor returns the pass implementing the scheme.
+func PassFor(s core.Scheme) (Pass, error) {
+	switch s {
+	case core.SchemeNone:
+		return nonePass{}, nil
+	case core.SchemeSSP:
+		return sspPass{scheme: core.SchemeSSP}, nil
+	case core.SchemeRAFSSP:
+		// RAF-SSP compiles identically to SSP; only the fork hook differs.
+		return sspPass{scheme: core.SchemeRAFSSP}, nil
+	case core.SchemePSSP:
+		return psspPass{}, nil
+	case core.SchemePSSPNT:
+		return ntPass{}, nil
+	case core.SchemePSSPLV:
+		return lvPass{}, nil
+	case core.SchemePSSPOWF:
+		return owfPass{}, nil
+	case core.SchemePSSPGB:
+		return gbPass{}, nil
+	case core.SchemeDynaGuard:
+		return dynaGuardPass{}, nil
+	case core.SchemeDCR:
+		return dcrPass{}, nil
+	default:
+		return nil, fmt.Errorf("cc: no pass for scheme %v", s)
+	}
+}
+
+// immU64 reinterprets a uint64 bit pattern as the int64 immediate field.
+// (A constant conversion would overflow at compile time for high-bit masks.)
+func immU64(v uint64) int64 { return int64(v) }
+
+// failCheck emits "je ok; call __stack_chk_fail; ok:" — shared by every
+// epilogue. The preceding instructions must have set ZF on success.
+func failCheck(b *Builder) {
+	ok := b.Label()
+	b.Jump(isa.JE, ok)
+	b.Call(StackChkFail)
+	b.Bind(ok)
+}
+
+// --- none ---
+
+type nonePass struct{}
+
+func (nonePass) Scheme() core.Scheme           { return core.SchemeNone }
+func (nonePass) NeedsProtection(*Func) bool    { return false }
+func (nonePass) CanaryBytes(*Func) int         { return 0 }
+func (nonePass) GuardsCriticals() bool         { return false }
+func (nonePass) Prologue(*FrameInfo, *Builder) {}
+func (nonePass) Epilogue(*FrameInfo, *Builder) {}
+
+// --- ssp (paper Codes 1 and 2) ---
+
+type sspPass struct{ scheme core.Scheme }
+
+func (p sspPass) Scheme() core.Scheme        { return p.scheme }
+func (sspPass) NeedsProtection(f *Func) bool { return f.HasBuffer() }
+func (sspPass) CanaryBytes(*Func) int        { return 8 }
+func (sspPass) GuardsCriticals() bool        { return false }
+
+func (sspPass) Prologue(fi *FrameInfo, b *Builder) {
+	// mov %fs:0x28, %rax ; mov %rax, -8(%rbp)
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RAX, Disp: core.TLSCanaryOff})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: int32(fi.CanarySlots[0])})
+}
+
+func (sspPass) Epilogue(fi *FrameInfo, b *Builder) {
+	// mov -8(%rbp), %rdx ; xor %fs:0x28, %rdx ; je ok ; call fail
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBP, Disp: int32(fi.CanarySlots[0])})
+	b.Emit(isa.Inst{Op: isa.XORFS, R1: isa.RDX, Disp: core.TLSCanaryOff})
+	failCheck(b)
+}
+
+// --- p-ssp (paper Codes 3 and 4) ---
+
+type psspPass struct{}
+
+func (psspPass) Scheme() core.Scheme          { return core.SchemePSSP }
+func (psspPass) NeedsProtection(f *Func) bool { return f.HasBuffer() }
+func (psspPass) CanaryBytes(*Func) int        { return 16 }
+func (psspPass) GuardsCriticals() bool        { return false }
+
+func (psspPass) Prologue(fi *FrameInfo, b *Builder) {
+	// mov %fs:0x2a8, %rax ; mov %rax, -8(%rbp)
+	// mov %fs:0x2b0, %rax ; mov %rax, -16(%rbp)
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RAX, Disp: core.TLSShadow0Off})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: int32(fi.CanarySlots[0])})
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RAX, Disp: core.TLSShadow1Off})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: int32(fi.CanarySlots[1])})
+}
+
+// psspEpilogue is shared by P-SSP, P-SSP-NT, and LV's no-critical case:
+// mov -8(%rbp), %rdx ; mov -16(%rbp), %rdi ; xor %rdi, %rdx ;
+// xor %fs:0x28, %rdx ; je ok ; call fail.
+func psspEpilogue(fi *FrameInfo, b *Builder) {
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBP, Disp: int32(fi.CanarySlots[0])})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDI, Base: isa.RBP, Disp: int32(fi.CanarySlots[1])})
+	b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RDX, R2: isa.RDI})
+	b.Emit(isa.Inst{Op: isa.XORFS, R1: isa.RDX, Disp: core.TLSCanaryOff})
+	failCheck(b)
+}
+
+func (psspPass) Epilogue(fi *FrameInfo, b *Builder) { psspEpilogue(fi, b) }
+
+// --- p-ssp-nt (paper Code 7) ---
+
+type ntPass struct{}
+
+func (ntPass) Scheme() core.Scheme          { return core.SchemePSSPNT }
+func (ntPass) NeedsProtection(f *Func) bool { return f.HasBuffer() }
+func (ntPass) CanaryBytes(*Func) int        { return 16 }
+func (ntPass) GuardsCriticals() bool        { return false }
+
+// ntPrologue emits the per-call re-randomization:
+// rdrand %rax ; mov %rax, -8(%rbp) ;
+// mov %fs:0x28, %rcx ; xor %rax, %rcx ; mov %rcx, -16(%rbp)
+func ntPrologue(fi *FrameInfo, b *Builder) {
+	b.Emit(isa.Inst{Op: isa.RDRAND, R1: isa.RAX})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: int32(fi.CanarySlots[0])})
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RCX, Disp: core.TLSCanaryOff})
+	b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RCX, R2: isa.RAX})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RCX, Base: isa.RBP, Disp: int32(fi.CanarySlots[1])})
+}
+
+func (ntPass) Prologue(fi *FrameInfo, b *Builder) { ntPrologue(fi, b) }
+func (ntPass) Epilogue(fi *FrameInfo, b *Builder) { psspEpilogue(fi, b) }
+
+// --- p-ssp-lv (paper Algorithm 2) ---
+
+type lvPass struct{}
+
+func (lvPass) Scheme() core.Scheme { return core.SchemePSSPLV }
+func (lvPass) NeedsProtection(f *Func) bool {
+	return f.HasBuffer() || f.CriticalCount() > 0
+}
+
+func (lvPass) CanaryBytes(f *Func) int {
+	if f.CriticalCount() == 0 {
+		return 16 // degenerates to NT's pair
+	}
+	return 8 // frame canary C0; guards are placed per critical variable
+}
+
+func (lvPass) GuardsCriticals() bool { return true }
+
+func (lvPass) Prologue(fi *FrameInfo, b *Builder) {
+	if fi.GuardCount() == 0 {
+		ntPrologue(fi, b)
+		return
+	}
+	// C0 <- rdrand; acc <- C ^ C0
+	b.Emit(isa.Inst{Op: isa.RDRAND, R1: isa.RAX})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: int32(fi.CanarySlots[0])})
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RCX, Disp: core.TLSCanaryOff})
+	b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RCX, R2: isa.RAX})
+	// Guards G1..G(n-1) random, folded into acc; the last guard is acc
+	// itself so that the XOR of all canaries equals C (Algorithm 2 line 14).
+	for i, slot := range fi.GuardSlots {
+		if i < len(fi.GuardSlots)-1 {
+			b.Emit(isa.Inst{Op: isa.RDRAND, R1: isa.RAX})
+			b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: int32(slot)})
+			b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RCX, R2: isa.RAX})
+		} else {
+			b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RCX, Base: isa.RBP, Disp: int32(slot)})
+		}
+	}
+}
+
+// WriteCheck implements WriteChecker: the LV consistency check can run at
+// any body point, since it only reads the canary slots and the TLS canary.
+func (p lvPass) WriteCheck(fi *FrameInfo, b *Builder) { p.Epilogue(fi, b) }
+
+func (lvPass) Epilogue(fi *FrameInfo, b *Builder) {
+	if fi.GuardCount() == 0 {
+		psspEpilogue(fi, b)
+		return
+	}
+	slots := fi.AllCanarySlots()
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBP, Disp: int32(slots[0])})
+	for _, slot := range slots[1:] {
+		b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDI, Base: isa.RBP, Disp: int32(slot)})
+		b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RDX, R2: isa.RDI})
+	}
+	b.Emit(isa.Inst{Op: isa.XORFS, R1: isa.RDX, Disp: core.TLSCanaryOff})
+	failCheck(b)
+}
+
+// --- p-ssp-owf (paper Codes 8 and 9, Algorithm 3) ---
+
+type owfPass struct{}
+
+func (owfPass) Scheme() core.Scheme          { return core.SchemePSSPOWF }
+func (owfPass) NeedsProtection(f *Func) bool { return f.HasBuffer() }
+
+// CanaryBytes: nonce word at -8, AES ciphertext (16 bytes) at -24..-9.
+func (owfPass) CanaryBytes(*Func) int { return 24 }
+func (owfPass) GuardsCriticals() bool { return false }
+
+// owfLoadInputs emits the shared core of Code 8/9: xmm15 <- nonce || retaddr,
+// xmm1 <- key from r13/r12, then AES-encrypt. nonceSrc selects where the
+// nonce comes from: fresh rdtsc (prologue) or the saved stack word
+// (epilogue).
+func owfAES(b *Builder) {
+	b.Emit(isa.Inst{Op: isa.MOVQX, X1: isa.XMM15, R1: isa.RAX})
+	b.Emit(isa.Inst{Op: isa.MOVHX, X1: isa.XMM15, Base: isa.RBP, Disp: 8}) // return address
+	b.Emit(isa.Inst{Op: isa.MOVQX, X1: isa.XMM1, R1: isa.R13})
+	b.Emit(isa.Inst{Op: isa.PUNPCKX, X1: isa.XMM1, R1: isa.R12})
+	b.Emit(isa.Inst{Op: isa.AESENC})
+}
+
+func (owfPass) Prologue(fi *FrameInfo, b *Builder) {
+	nonceSlot := int32(fi.CanarySlots[0])
+	ctSlot := int32(fi.CanarySlots[2])
+	// rdtsc ; shl $32, %rdx ; or %rdx, %rax  — reassemble the 64-bit TSC.
+	b.Emit(isa.Inst{Op: isa.RDTSC})
+	b.Emit(isa.Inst{Op: isa.SHLRI, R1: isa.RDX, Imm: 32})
+	b.Emit(isa.Inst{Op: isa.ORRR, R1: isa.RAX, R2: isa.RDX})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: nonceSlot})
+	owfAES(b)
+	b.Emit(isa.Inst{Op: isa.STX, X1: isa.XMM15, Base: isa.RBP, Disp: ctSlot})
+}
+
+func (owfPass) Epilogue(fi *FrameInfo, b *Builder) {
+	nonceSlot := int32(fi.CanarySlots[0])
+	ctSlot := int32(fi.CanarySlots[2])
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBP, Disp: nonceSlot})
+	owfAES(b)
+	b.Emit(isa.Inst{Op: isa.CMPX, X1: isa.XMM15, Base: isa.RBP, Disp: ctSlot})
+	failCheck(b)
+}
+
+// --- p-ssp-gb (paper Figure 6) ---
+
+type gbPass struct{}
+
+func (gbPass) Scheme() core.Scheme          { return core.SchemePSSPGB }
+func (gbPass) NeedsProtection(f *Func) bool { return f.HasBuffer() }
+
+// CanaryBytes is one word — the whole point of the variant: the stack layout
+// stays identical to SSP while C1 lives in the global buffer.
+func (gbPass) CanaryBytes(*Func) int { return 8 }
+func (gbPass) GuardsCriticals() bool { return false }
+
+func (gbPass) Prologue(fi *FrameInfo, b *Builder) {
+	slot := int32(fi.CanarySlots[0])
+	// C0 <- rdrand, stored in the frame; C1 = C ^ C0 appended to the global
+	// buffer (fork clones the buffer with the data segment).
+	b.Emit(isa.Inst{Op: isa.RDRAND, R1: isa.RAX})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: slot})
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RCX, Disp: core.TLSCanaryOff})
+	b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RCX, R2: isa.RAX})
+	// tls.buf[tls.count] = C1 ; tls.count++ — the buffer is thread-local
+	// (paper Figure 6: one buffer per thread), addressed off the FS base.
+	b.Emit(isa.Inst{Op: isa.RDFSBASE, R1: isa.RBX})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBX, Disp: abi.GBCountOff})
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.R10, R2: isa.RDX})
+	b.Emit(isa.Inst{Op: isa.SHLRI, R1: isa.R10, Imm: 3})
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.R11, R2: isa.RBX})
+	b.Emit(isa.Inst{Op: isa.ADDRR, R1: isa.R11, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RCX, Base: isa.R11, Disp: abi.GBBufOff})
+	b.Emit(isa.Inst{Op: isa.ADDRI, R1: isa.RDX, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RDX, Base: isa.RBX, Disp: abi.GBCountOff})
+}
+
+func (gbPass) Epilogue(fi *FrameInfo, b *Builder) {
+	slot := int32(fi.CanarySlots[0])
+	// tls.count-- ; C1 = tls.buf[tls.count]
+	b.Emit(isa.Inst{Op: isa.RDFSBASE, R1: isa.RBX})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBX, Disp: abi.GBCountOff})
+	b.Emit(isa.Inst{Op: isa.SUBRI, R1: isa.RDX, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RDX, Base: isa.RBX, Disp: abi.GBCountOff})
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.R10, R2: isa.RDX})
+	b.Emit(isa.Inst{Op: isa.SHLRI, R1: isa.R10, Imm: 3})
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.R11, R2: isa.RBX})
+	b.Emit(isa.Inst{Op: isa.ADDRR, R1: isa.R11, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDI, Base: isa.R11, Disp: abi.GBBufOff})
+	// check C0 ^ C1 ^ C == 0
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBP, Disp: slot})
+	b.Emit(isa.Inst{Op: isa.XORRR, R1: isa.RDX, R2: isa.RDI})
+	b.Emit(isa.Inst{Op: isa.XORFS, R1: isa.RDX, Disp: core.TLSCanaryOff})
+	failCheck(b)
+}
+
+// --- dynaguard (Petsios et al.) ---
+
+type dynaGuardPass struct{}
+
+func (dynaGuardPass) Scheme() core.Scheme          { return core.SchemeDynaGuard }
+func (dynaGuardPass) NeedsProtection(f *Func) bool { return f.HasBuffer() }
+func (dynaGuardPass) CanaryBytes(*Func) int        { return 8 }
+func (dynaGuardPass) GuardsCriticals() bool        { return false }
+
+func (dynaGuardPass) Prologue(fi *FrameInfo, b *Builder) {
+	slot := int32(fi.CanarySlots[0])
+	// Classic SSP canary install...
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RAX, Disp: core.TLSCanaryOff})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: slot})
+	// ...plus the canary-address-buffer bookkeeping: CAB[count++] = &slot.
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RBX, Imm: int64(mem.DataBase + abi.DynaGuardCountOff)})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RCX, Base: isa.RBX, Disp: 0})
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.R10, R2: isa.RCX})
+	b.Emit(isa.Inst{Op: isa.SHLRI, R1: isa.R10, Imm: 3})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.R11, Imm: int64(mem.DataBase + abi.DynaGuardBufOff)})
+	b.Emit(isa.Inst{Op: isa.ADDRR, R1: isa.R11, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.LEA, R1: isa.RDX, Base: isa.RBP, Disp: slot})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RDX, Base: isa.R11, Disp: 0})
+	b.Emit(isa.Inst{Op: isa.ADDRI, R1: isa.RCX, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RCX, Base: isa.RBX, Disp: 0})
+}
+
+func (dynaGuardPass) Epilogue(fi *FrameInfo, b *Builder) {
+	// Pop the CAB entry, then the classic check.
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RBX, Imm: int64(mem.DataBase + abi.DynaGuardCountOff)})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RCX, Base: isa.RBX, Disp: 0})
+	b.Emit(isa.Inst{Op: isa.SUBRI, R1: isa.RCX, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RCX, Base: isa.RBX, Disp: 0})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBP, Disp: int32(fi.CanarySlots[0])})
+	b.Emit(isa.Inst{Op: isa.XORFS, R1: isa.RDX, Disp: core.TLSCanaryOff})
+	failCheck(b)
+}
+
+// --- dcr (Hawkins et al.) ---
+
+type dcrPass struct{}
+
+func (dcrPass) Scheme() core.Scheme          { return core.SchemeDCR }
+func (dcrPass) NeedsProtection(f *Func) bool { return f.HasBuffer() }
+func (dcrPass) CanaryBytes(*Func) int        { return 8 }
+func (dcrPass) GuardsCriticals() bool        { return false }
+
+func (dcrPass) Prologue(fi *FrameInfo, b *Builder) {
+	slot := int32(fi.CanarySlots[0])
+	// canary = (C & high) | ((prevHead - &slot) >> 3); head = &slot.
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RAX, Disp: core.TLSCanaryOff})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RCX, Imm: immU64(abi.DCRHighMask)})
+	b.Emit(isa.Inst{Op: isa.ANDRR, R1: isa.RAX, R2: isa.RCX})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RBX, Imm: int64(mem.DataBase + abi.DCRHeadOff)})
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBX, Disp: 0})
+	b.Emit(isa.Inst{Op: isa.LEA, R1: isa.R10, Base: isa.RBP, Disp: slot})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.R10, Base: isa.RBX, Disp: 0})
+	b.Emit(isa.Inst{Op: isa.SUBRR, R1: isa.RDX, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.SHRRI, R1: isa.RDX, Imm: 3})
+	b.Emit(isa.Inst{Op: isa.ORRR, R1: isa.RAX, R2: isa.RDX})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.RAX, Base: isa.RBP, Disp: slot})
+}
+
+func (dcrPass) Epilogue(fi *FrameInfo, b *Builder) {
+	slot := int32(fi.CanarySlots[0])
+	// Recover prev = &slot + (delta << 3), restore head, then compare the
+	// canary's high bits with C's.
+	b.Emit(isa.Inst{Op: isa.LOAD, R1: isa.RDX, Base: isa.RBP, Disp: slot})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.R10, Imm: int64(abi.DCRDeltaMask)})
+	b.Emit(isa.Inst{Op: isa.MOVRR, R1: isa.R11, R2: isa.RDX})
+	b.Emit(isa.Inst{Op: isa.ANDRR, R1: isa.R11, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.SHLRI, R1: isa.R11, Imm: 3})
+	b.Emit(isa.Inst{Op: isa.LEA, R1: isa.R10, Base: isa.RBP, Disp: slot})
+	b.Emit(isa.Inst{Op: isa.ADDRR, R1: isa.R11, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.RBX, Imm: int64(mem.DataBase + abi.DCRHeadOff)})
+	b.Emit(isa.Inst{Op: isa.STORE, R1: isa.R11, Base: isa.RBX, Disp: 0})
+	b.Emit(isa.Inst{Op: isa.MOVRI, R1: isa.R10, Imm: immU64(abi.DCRHighMask)})
+	b.Emit(isa.Inst{Op: isa.ANDRR, R1: isa.RDX, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.LDFS, R1: isa.RAX, Disp: core.TLSCanaryOff})
+	b.Emit(isa.Inst{Op: isa.ANDRR, R1: isa.RAX, R2: isa.R10})
+	b.Emit(isa.Inst{Op: isa.CMPRR, R1: isa.RAX, R2: isa.RDX})
+	failCheck(b)
+}

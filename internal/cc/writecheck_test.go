@@ -1,0 +1,147 @@
+package cc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// lvVictim is a handler whose critical variable feeds the response: if
+// corruption is detected only at function return, the poisoned response has
+// already been written.
+func lvVictim() *Program {
+	return &Program{
+		Name:    "lvvictim",
+		Globals: []Global{{Name: "reqlen", Size: 8}},
+		Funcs: []*Func{
+			{Name: "main", Body: []Stmt{Call{Callee: "serve"}}},
+			{
+				Name: "serve",
+				Locals: []Local{
+					{Name: "pad", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []Stmt{
+					Accept{Dst: "n"},
+					While{Var: "n", Body: []Stmt{
+						StoreGlobal{Global: "reqlen", Src: "n"},
+						Call{Callee: "handle"},
+						Accept{Dst: "n"},
+					}},
+				},
+			},
+			{
+				Name: "handle",
+				Locals: []Local{
+					{Name: "secret", Size: 8, IsBuffer: true, Critical: true},
+					{Name: "buf", Size: 16, IsBuffer: true},
+					{Name: "len", Size: 8},
+				},
+				Body: []Stmt{
+					SetConst{Dst: "secret", Value: 7},
+					LoadGlobal{Dst: "len", Global: "reqlen"},
+					ReadInput{Buf: "buf", LenVar: "len"},
+					WriteOutput{Src: "secret", Len: 1}, // uses the critical value
+				},
+			},
+		},
+	}
+}
+
+// attackPayload overflows buf across the guard into secret, stopping short
+// of the frame canary: 16 buffer bytes + 8 over the guard + 1 into secret.
+func attackPayload() []byte {
+	p := bytes.Repeat([]byte{0x42}, 25)
+	p[24] = 9 // secret = 9
+	return p
+}
+
+func runLVVictim(t *testing.T, checkOnWrite bool) kernel.Outcome {
+	t.Helper()
+	bin, err := Compile(lvVictim(), Options{
+		Scheme:       core.SchemePSSPLV,
+		Linkage:      abi.LinkStatic,
+		CheckOnWrite: checkOnWrite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(41)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Benign request must pass in both modes.
+	out, err := srv.Handle([]byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("benign request crashed (checkOnWrite=%v): %s", checkOnWrite, out.CrashReason)
+	}
+	if len(out.Response) != 1 || out.Response[0] != 7 {
+		t.Fatalf("benign response %v", out.Response)
+	}
+	out, err = srv.Handle(attackPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestLVEpilogueCheckDetectsButLeaksResponse(t *testing.T) {
+	out := runLVVictim(t, false)
+	if !out.Crashed {
+		t.Fatal("epilogue check missed the guard corruption")
+	}
+	// The poisoned response escaped before the epilogue ran — the detection
+	// latency problem §V-E2 describes.
+	if len(out.Response) != 1 || out.Response[0] != 9 {
+		t.Fatalf("expected leaked poisoned response [9], got %v", out.Response)
+	}
+}
+
+func TestLVCheckOnWriteDetectsBeforeUse(t *testing.T) {
+	out := runLVVictim(t, true)
+	if !out.Crashed {
+		t.Fatal("write-time check missed the guard corruption")
+	}
+	if len(out.Response) != 0 {
+		t.Fatalf("write-time check still leaked a response: %v", out.Response)
+	}
+}
+
+func TestCheckOnWriteIgnoredByNonLVPasses(t *testing.T) {
+	// Other passes don't implement WriteChecker; the option must be a no-op
+	// (identical code) rather than an error.
+	prog := lvVictim()
+	plain, err := Compile(prog, Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFlag, err := Compile(prog, Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic, CheckOnWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Text().Data, withFlag.Text().Data) {
+		t.Fatal("CheckOnWrite changed code for a pass without WriteChecker")
+	}
+}
+
+func TestCheckOnWriteAddsCode(t *testing.T) {
+	prog := lvVictim()
+	plain, err := Compile(prog, Options{Scheme: core.SchemePSSPLV, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFlag, err := Compile(prog, Options{Scheme: core.SchemePSSPLV, Linkage: abi.LinkStatic, CheckOnWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFlag.CodeSize() <= plain.CodeSize() {
+		t.Fatal("CheckOnWrite emitted no extra inspection code")
+	}
+}

@@ -1,0 +1,179 @@
+// Package core implements the paper's primary contribution: polymorphic
+// stack canaries (P-SSP) and its three extensions, as a pure-Go library
+// independent of the simulated machine.
+//
+// The building block is Algorithm 1, Re-Randomize: split the fixed TLS
+// canary C into a fresh random pair (C0, C1) with C0 XOR C1 = C. Because C0
+// is uniformly random, exposing either half (or any number of past pairs)
+// reveals nothing about C — the property Theorem 1 proves and the tests in
+// this package validate statistically.
+//
+// On top of the split, the package provides:
+//
+//   - the packed 32-bit variant the binary rewriter uses to preserve SSP's
+//     stack layout (Section V-C of the paper),
+//   - Algorithm 2, the per-critical-local-variable canary chain (P-SSP-LV),
+//   - Algorithm 3, the AES-based one-way-function canary (P-SSP-OWF), and
+//   - the global-buffer variant from the paper's discussion (Figure 6).
+//
+// Layout constants for the simulated TLS block live in tls.go; the scheme
+// registry used by the compiler, kernel and experiment harness lives in
+// scheme.go.
+package core
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+
+	"repro/internal/rng"
+)
+
+// ReRandomize is Algorithm 1: given the TLS canary c, return a fresh pair
+// (c0, c1) with c0 XOR c1 == c. c0 is uniformly random, so each output pair
+// is independent of every other pair derived from the same c.
+func ReRandomize(c uint64, r *rng.Source) (c0, c1 uint64) {
+	c0 = r.Uint64()
+	return c0, c0 ^ c
+}
+
+// Check verifies a stack canary pair against the TLS canary. It is the
+// function-epilogue test: C0 XOR C1 must reproduce C.
+func Check(c0, c1, c uint64) bool { return c0^c1 == c }
+
+// SplitPacked is the binary-instrumentation variant (paper Section V-C):
+// the pair is downgraded to two 32-bit halves packed into a single 64-bit
+// word, so the rewritten prologue still pushes exactly one word and the SSP
+// stack layout is preserved. The low 32 bits hold C0, the high 32 bits C1,
+// and C0 XOR C1 equals the low 32 bits of the TLS canary.
+func SplitPacked(c uint64, r *rng.Source) uint64 {
+	c0 := uint64(r.Uint32())
+	c1 := (c0 ^ c) & 0xffffffff
+	return c0 | c1<<32
+}
+
+// CheckPacked verifies a packed 32-bit pair against the TLS canary.
+func CheckPacked(packed, c uint64) bool {
+	return (packed^(packed>>32))&0xffffffff == c&0xffffffff
+}
+
+// PackedEntropyBits is the effective entropy of the packed variant: the
+// paper acknowledges the drop from 64 to 32 bits and argues it is still 64×
+// the byte-by-byte cost on 32-bit platforms.
+const PackedEntropyBits = 32
+
+// LVCanaries is Algorithm 2's canary chain for P-SSP-LV: one canary per
+// critical local variable plus the frame canary C0, generated so that the
+// XOR of all of them equals the TLS canary c.
+//
+// numCritical is |V|, the number of critical variables. The returned slice
+// has numCritical+1 entries: index 0 is the frame canary C0 guarding the
+// return address, and entries 1..numCritical guard the critical variables in
+// stack order. All but the last are independently random; the last is
+// computed as c XOR (all previous), mirroring line 14 of Algorithm 2.
+func LVCanaries(c uint64, numCritical int, r *rng.Source) []uint64 {
+	if numCritical < 0 {
+		numCritical = 0
+	}
+	out := make([]uint64, numCritical+1)
+	acc := c
+	for i := 0; i < numCritical; i++ {
+		out[i] = r.Uint64()
+		acc ^= out[i]
+	}
+	out[numCritical] = acc
+	return out
+}
+
+// LVCheck is the P-SSP-LV epilogue test: all frame canaries must XOR to the
+// TLS canary.
+func LVCheck(canaries []uint64, c uint64) bool {
+	acc := uint64(0)
+	for _, v := range canaries {
+		acc ^= v
+	}
+	return acc == c
+}
+
+// OWFKey is the 128-bit AES key P-SSP-OWF keeps in the reserved callee-save
+// registers r12/r13. It is generated once per process and never written to
+// memory the attacker can overflow.
+type OWFKey struct {
+	Lo, Hi uint64 // r13, r12 in the paper's prologue
+}
+
+// NewOWFKey draws a fresh 128-bit key.
+func NewOWFKey(r *rng.Source) OWFKey {
+	return OWFKey{Lo: r.Uint64(), Hi: r.Uint64()}
+}
+
+// OWFCanary is Algorithm 3's canary: AES-128-encrypt the block
+// (nonce || returnAddress) under the process key. The nonce (the paper uses
+// the time-stamp counter) makes the canary differ across invocations of the
+// same call site; binding the return address makes a canary leaked from one
+// frame useless in any other frame.
+//
+// The result is the 128-bit ciphertext as (lo, hi) words, matching the
+// xmm15 layout of the paper's Code 8.
+func OWFCanary(key OWFKey, returnAddress, nonce uint64) (lo, hi uint64) {
+	var k, block [16]byte
+	binary.LittleEndian.PutUint64(k[:8], key.Lo)
+	binary.LittleEndian.PutUint64(k[8:], key.Hi)
+	binary.LittleEndian.PutUint64(block[:8], nonce)
+	binary.LittleEndian.PutUint64(block[8:], returnAddress)
+	cipher, err := aes.NewCipher(k[:])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key sizes; 16 is always valid.
+		panic("core: impossible AES key-size error: " + err.Error())
+	}
+	cipher.Encrypt(block[:], block[:])
+	return binary.LittleEndian.Uint64(block[:8]), binary.LittleEndian.Uint64(block[8:])
+}
+
+// OWFCheck re-evaluates the one-way function and compares, as the P-SSP-OWF
+// epilogue does (Code 9): the nonce is read back from the stack, the return
+// address from the frame, and any modification of either — or of the stored
+// ciphertext — fails the comparison.
+func OWFCheck(key OWFKey, returnAddress, nonce, lo, hi uint64) bool {
+	wantLo, wantHi := OWFCanary(key, returnAddress, nonce)
+	return lo == wantLo && hi == wantHi
+}
+
+// GlobalBuffer is the discussion-section variant (Figure 6): the stack keeps
+// only C0 (one word, preserving the 64-bit SSP layout) while the matching C1
+// values live in a per-process buffer that fork clones along with the rest
+// of the address space. Push/Pop follow frame creation and teardown.
+type GlobalBuffer struct {
+	c1s []uint64
+}
+
+// Push re-randomizes c and records C1 in the buffer, returning the C0 that
+// goes into the new stack frame.
+func (g *GlobalBuffer) Push(c uint64, r *rng.Source) uint64 {
+	c0, c1 := ReRandomize(c, r)
+	g.c1s = append(g.c1s, c1)
+	return c0
+}
+
+// Pop verifies the topmost frame's C0 against its recorded C1 and removes
+// the record. It reports whether the canary checks out; popping an empty
+// buffer fails.
+func (g *GlobalBuffer) Pop(c0, c uint64) bool {
+	if len(g.c1s) == 0 {
+		return false
+	}
+	c1 := g.c1s[len(g.c1s)-1]
+	g.c1s = g.c1s[:len(g.c1s)-1]
+	return Check(c0, c1, c)
+}
+
+// Depth returns the number of live frames recorded.
+func (g *GlobalBuffer) Depth() int { return len(g.c1s) }
+
+// Clone deep-copies the buffer — the fork(2) step in Figure 6 where the
+// child inherits its parent's C1 records so frames created before the fork
+// still verify.
+func (g *GlobalBuffer) Clone() *GlobalBuffer {
+	out := &GlobalBuffer{c1s: make([]uint64, len(g.c1s))}
+	copy(out.c1s, g.c1s)
+	return out
+}

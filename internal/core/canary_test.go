@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestReRandomizeInvariant(t *testing.T) {
+	r := rng.New(1)
+	f := func(c uint64) bool {
+		c0, c1 := ReRandomize(c, r)
+		return Check(c0, c1, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReRandomizePairsDiffer(t *testing.T) {
+	r := rng.New(2)
+	const c = 0xdeadbeefcafebabe
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		c0, _ := ReRandomize(c, r)
+		if seen[c0] {
+			t.Fatalf("repeated C0 after %d draws", i)
+		}
+		seen[c0] = true
+	}
+}
+
+func TestCheckRejectsCorruption(t *testing.T) {
+	r := rng.New(3)
+	const c = 0x1122334455667788
+	c0, c1 := ReRandomize(c, r)
+	// Flipping any single byte of either half must fail the check, the
+	// overwhelming-probability detection property of SSP-style canaries.
+	for byteIdx := 0; byteIdx < 8; byteIdx++ {
+		mask := uint64(0xff) << (8 * byteIdx)
+		if Check(c0^mask, c1, c) {
+			t.Errorf("corrupting C0 byte %d passed", byteIdx)
+		}
+		if Check(c0, c1^mask, c) {
+			t.Errorf("corrupting C1 byte %d passed", byteIdx)
+		}
+	}
+}
+
+// TestTheorem1Independence validates the paper's Theorem 1 empirically:
+// observing many C1 values from re-randomizations of the same C must give no
+// information about C. We fix two very different C values, collect the C1
+// streams, and check both streams are byte-wise uniform (chi-square), i.e.
+// the observable distribution does not depend on C.
+func TestTheorem1Independence(t *testing.T) {
+	for _, c := range []uint64{0, 0xffffffffffffffff, 0x0123456789abcdef} {
+		r := rng.New(42) // same entropy stream for every C
+		const draws = 40000
+		var counts [8][16]int // per byte position, nibble histogram
+		for i := 0; i < draws; i++ {
+			_, c1 := ReRandomize(c, r)
+			for b := 0; b < 8; b++ {
+				counts[b][(c1>>(8*b))&0xf]++
+			}
+		}
+		expected := float64(draws) / 16
+		for b := 0; b < 8; b++ {
+			var chi2 float64
+			for _, n := range counts[b] {
+				d := float64(n) - expected
+				chi2 += d * d / expected
+			}
+			// 15 dof, alpha=0.001 critical value ~ 37.7
+			if chi2 > 37.7 {
+				t.Errorf("C=%x byte %d: chi-square %.1f — C1 leaks information about C", c, b, chi2)
+			}
+		}
+	}
+}
+
+func TestSplitPackedInvariant(t *testing.T) {
+	r := rng.New(4)
+	f := func(c uint64) bool {
+		return CheckPacked(SplitPacked(c, r), c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPackedRejectsCorruption(t *testing.T) {
+	r := rng.New(5)
+	const c = 0xfeedface12345678
+	packed := SplitPacked(c, r)
+	for byteIdx := 0; byteIdx < 8; byteIdx++ {
+		if CheckPacked(packed^(uint64(0xff)<<(8*byteIdx)), c) {
+			t.Errorf("corrupting packed byte %d passed", byteIdx)
+		}
+	}
+}
+
+func TestLVCanariesInvariant(t *testing.T) {
+	r := rng.New(6)
+	for _, nCrit := range []int{0, 1, 2, 3, 4, 8, 16} {
+		const c = 0xabcdef
+		cs := LVCanaries(c, nCrit, r)
+		if len(cs) != nCrit+1 {
+			t.Fatalf("numCritical=%d: got %d canaries", nCrit, len(cs))
+		}
+		if !LVCheck(cs, c) {
+			t.Fatalf("numCritical=%d: chain does not XOR to C", nCrit)
+		}
+	}
+}
+
+func TestLVCanariesNegativeClamped(t *testing.T) {
+	cs := LVCanaries(7, -3, rng.New(1))
+	if len(cs) != 1 || cs[0] != 7 {
+		t.Fatalf("got %v", cs)
+	}
+}
+
+func TestLVCheckDetectsAnySingleCorruption(t *testing.T) {
+	r := rng.New(7)
+	const c = 0x5555aaaa5555aaaa
+	cs := LVCanaries(c, 4, r)
+	for i := range cs {
+		for bit := 0; bit < 64; bit += 7 {
+			mut := make([]uint64, len(cs))
+			copy(mut, cs)
+			mut[i] ^= 1 << uint(bit)
+			if LVCheck(mut, c) {
+				t.Fatalf("flipping canary %d bit %d passed", i, bit)
+			}
+		}
+	}
+}
+
+func TestLVCanariesIndependentAcrossCalls(t *testing.T) {
+	// Two invocations for the same C must produce unrelated chains
+	// (StackFences, by contrast, reuses one canary everywhere).
+	r := rng.New(8)
+	a := LVCanaries(0x42, 3, r)
+	b := LVCanaries(0x42, 3, r)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("two LV chains identical")
+	}
+}
+
+func TestOWFCanaryDeterministicPerInputs(t *testing.T) {
+	key := OWFKey{Lo: 1, Hi: 2}
+	l1, h1 := OWFCanary(key, 0x400123, 77)
+	l2, h2 := OWFCanary(key, 0x400123, 77)
+	if l1 != l2 || h1 != h2 {
+		t.Fatal("OWF not deterministic for fixed inputs")
+	}
+	if !OWFCheck(key, 0x400123, 77, l1, h1) {
+		t.Fatal("OWFCheck rejects its own canary")
+	}
+}
+
+func TestOWFCanaryBindsEveryInput(t *testing.T) {
+	key := OWFKey{Lo: 0xa, Hi: 0xb}
+	lo, hi := OWFCanary(key, 0x400123, 77)
+	if OWFCheck(key, 0x400124, 77, lo, hi) {
+		t.Error("canary valid for different return address")
+	}
+	if OWFCheck(key, 0x400123, 78, lo, hi) {
+		t.Error("canary valid for different nonce")
+	}
+	if OWFCheck(OWFKey{Lo: 0xa, Hi: 0xc}, 0x400123, 77, lo, hi) {
+		t.Error("canary valid under different key")
+	}
+	if OWFCheck(key, 0x400123, 77, lo^1, hi) {
+		t.Error("corrupted ciphertext accepted")
+	}
+}
+
+func TestOWFNonceMakesCanariesPolymorphic(t *testing.T) {
+	// Same call site, different nonces: canaries must differ (this is why
+	// Algorithm 3 includes the nonce — without it the canary is fixed per
+	// site and the byte-by-byte attack returns).
+	key := NewOWFKey(rng.New(9))
+	seen := make(map[uint64]bool)
+	for nonce := uint64(0); nonce < 256; nonce++ {
+		lo, _ := OWFCanary(key, 0x400123, nonce)
+		if seen[lo] {
+			t.Fatal("OWF canary repeated across nonces")
+		}
+		seen[lo] = true
+	}
+}
+
+func TestOWFLeakDoesNotForgeOtherFrame(t *testing.T) {
+	// Exposure resilience: knowing frame A's (nonce, canary) gives no valid
+	// canary for frame B with a different return address.
+	key := NewOWFKey(rng.New(10))
+	loA, hiA := OWFCanary(key, 0xAAAA, 1)
+	if OWFCheck(key, 0xBBBB, 1, loA, hiA) {
+		t.Fatal("frame A canary verified in frame B")
+	}
+}
+
+func TestGlobalBufferPushPop(t *testing.T) {
+	r := rng.New(11)
+	const c = 0x1234
+	g := &GlobalBuffer{}
+	var c0s []uint64
+	for i := 0; i < 5; i++ {
+		c0s = append(c0s, g.Push(c, r))
+	}
+	if g.Depth() != 5 {
+		t.Fatalf("depth = %d", g.Depth())
+	}
+	for i := 4; i >= 0; i-- {
+		if !g.Pop(c0s[i], c) {
+			t.Fatalf("pop %d failed for valid canary", i)
+		}
+	}
+	if g.Depth() != 0 {
+		t.Fatalf("depth after pops = %d", g.Depth())
+	}
+}
+
+func TestGlobalBufferDetectsCorruption(t *testing.T) {
+	r := rng.New(12)
+	g := &GlobalBuffer{}
+	c0 := g.Push(99, r)
+	if g.Pop(c0^0xff, 99) {
+		t.Fatal("corrupted C0 accepted")
+	}
+}
+
+func TestGlobalBufferPopEmptyFails(t *testing.T) {
+	g := &GlobalBuffer{}
+	if g.Pop(0, 0) {
+		t.Fatal("pop of empty buffer succeeded")
+	}
+}
+
+func TestGlobalBufferCloneForkSemantics(t *testing.T) {
+	// Frames created before the fork must verify in both parent and child;
+	// frames created after are independent.
+	r := rng.New(13)
+	const c = 0x77
+	parent := &GlobalBuffer{}
+	preFork := parent.Push(c, r)
+	child := parent.Clone()
+
+	childC0 := child.Push(c, r)
+	if !child.Pop(childC0, c) {
+		t.Fatal("child's own frame failed")
+	}
+	if !child.Pop(preFork, c) {
+		t.Fatal("inherited frame failed in child")
+	}
+	if !parent.Pop(preFork, c) {
+		t.Fatal("pre-fork frame failed in parent after child ran")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import "fmt"
+
+// Scheme identifies a stack-protection scheme. The set covers the paper's
+// contribution (PSSP and its three extensions), the baselines it compares
+// against in Table I (SSP, RAF-SSP, DynaGuard, DCR), the unprotected
+// baseline, and the discussion-section global-buffer variant.
+type Scheme uint8
+
+// Protection schemes.
+const (
+	// SchemeNone compiles with no stack protection.
+	SchemeNone Scheme = iota + 1
+	// SchemeSSP is classic stack smashing protection: one TLS canary cloned
+	// into every frame.
+	SchemeSSP
+	// SchemeRAFSSP is renew-after-fork SSP (Marco-Gisbert & Ripoll): the TLS
+	// canary itself is refreshed in the child, which breaks frames inherited
+	// from the parent.
+	SchemeRAFSSP
+	// SchemeDynaGuard tracks every canary address in a per-thread buffer and
+	// rewrites them all after fork (Petsios et al.).
+	SchemeDynaGuard
+	// SchemeDCR embeds offsets in canaries to form an in-stack linked list
+	// and re-randomizes by walking it (Hawkins et al.).
+	SchemeDCR
+	// SchemePSSP is the paper's basic scheme: shadow pair (C0,C1) refreshed
+	// on fork, TLS canary unchanged.
+	SchemePSSP
+	// SchemePSSPNT re-randomizes per function call via rdrand; no TLS or
+	// fork changes.
+	SchemePSSPNT
+	// SchemePSSPLV extends NT with per-critical-local-variable canaries.
+	SchemePSSPLV
+	// SchemePSSPOWF derives the canary with AES over (nonce, return address).
+	SchemePSSPOWF
+	// SchemePSSPGB is the discussion-section variant keeping C1 halves in a
+	// fork-cloned global buffer, preserving the one-word stack canary.
+	SchemePSSPGB
+)
+
+var schemeNames = map[Scheme]string{
+	SchemeNone:      "none",
+	SchemeSSP:       "ssp",
+	SchemeRAFSSP:    "raf-ssp",
+	SchemeDynaGuard: "dynaguard",
+	SchemeDCR:       "dcr",
+	SchemePSSP:      "p-ssp",
+	SchemePSSPNT:    "p-ssp-nt",
+	SchemePSSPLV:    "p-ssp-lv",
+	SchemePSSPOWF:   "p-ssp-owf",
+	SchemePSSPGB:    "p-ssp-gb",
+}
+
+// String returns the scheme's canonical lower-case name.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("scheme?%d", uint8(s))
+}
+
+// ParseScheme resolves a canonical name to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// Schemes returns all defined schemes in declaration order.
+func Schemes() []Scheme {
+	return []Scheme{
+		SchemeNone, SchemeSSP, SchemeRAFSSP, SchemeDynaGuard, SchemeDCR,
+		SchemePSSP, SchemePSSPNT, SchemePSSPLV, SchemePSSPOWF, SchemePSSPGB,
+	}
+}
+
+// Properties describes a scheme's security and deployment profile — the
+// rows of the paper's Table I plus the axes discussed in Sections III–IV.
+type Properties struct {
+	// BROPResistant reports whether the byte-by-byte attack gains no
+	// cumulative advantage (each trial faces fresh entropy).
+	BROPResistant bool
+	// CorrectAcrossFork reports whether a child returning into frames
+	// created by its parent passes canary checks.
+	CorrectAcrossFork bool
+	// ProtectsLocalVariables reports whether overflows that stop short of
+	// the return address are detectable.
+	ProtectsLocalVariables bool
+	// ExposureResilient reports whether leaking one frame's stack canary
+	// keeps other frames safe.
+	ExposureResilient bool
+	// NeedsTLSUpdate reports whether deployment changes the TLS layout or
+	// fork-like functions.
+	NeedsTLSUpdate bool
+	// NeedsFrameTracking reports whether the scheme must track canary
+	// locations at runtime (the DynaGuard/DCR complexity P-SSP avoids).
+	NeedsFrameTracking bool
+	// Detects reports whether the scheme detects a plain stack smash at all.
+	Detects bool
+}
+
+// Props returns the scheme's profile.
+func (s Scheme) Props() Properties {
+	switch s {
+	case SchemeNone:
+		return Properties{}
+	case SchemeSSP:
+		return Properties{Detects: true, CorrectAcrossFork: true}
+	case SchemeRAFSSP:
+		return Properties{Detects: true, BROPResistant: true}
+	case SchemeDynaGuard:
+		return Properties{Detects: true, BROPResistant: true, CorrectAcrossFork: true,
+			NeedsTLSUpdate: true, NeedsFrameTracking: true}
+	case SchemeDCR:
+		return Properties{Detects: true, BROPResistant: true, CorrectAcrossFork: true,
+			NeedsFrameTracking: true}
+	case SchemePSSP:
+		return Properties{Detects: true, BROPResistant: true, CorrectAcrossFork: true,
+			NeedsTLSUpdate: true}
+	case SchemePSSPNT:
+		return Properties{Detects: true, BROPResistant: true, CorrectAcrossFork: true}
+	case SchemePSSPLV:
+		return Properties{Detects: true, BROPResistant: true, CorrectAcrossFork: true,
+			ProtectsLocalVariables: true}
+	case SchemePSSPOWF:
+		return Properties{Detects: true, BROPResistant: true, CorrectAcrossFork: true,
+			ExposureResilient: true}
+	case SchemePSSPGB:
+		return Properties{Detects: true, BROPResistant: true, CorrectAcrossFork: true,
+			NeedsTLSUpdate: true, NeedsFrameTracking: true}
+	default:
+		return Properties{}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", s.String(), err)
+			continue
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+}
+
+func TestParseSchemeUnknown(t *testing.T) {
+	if _, err := ParseScheme("stackguard-9000"); err == nil {
+		t.Fatal("unknown scheme parsed")
+	}
+}
+
+func TestPropsMatchTableI(t *testing.T) {
+	// Table I: SSP does not prevent BROP but is correct; RAF-SSP prevents
+	// BROP but is incorrect; DynaGuard/DCR both; P-SSP both without frame
+	// tracking.
+	cases := []struct {
+		s            Scheme
+		brop         bool
+		correct      bool
+		frameTracked bool
+	}{
+		{SchemeSSP, false, true, false},
+		{SchemeRAFSSP, true, false, false},
+		{SchemeDynaGuard, true, true, true},
+		{SchemeDCR, true, true, true},
+		{SchemePSSP, true, true, false},
+		{SchemePSSPNT, true, true, false},
+	}
+	for _, c := range cases {
+		p := c.s.Props()
+		if p.BROPResistant != c.brop {
+			t.Errorf("%v: BROPResistant = %v, want %v", c.s, p.BROPResistant, c.brop)
+		}
+		if p.CorrectAcrossFork != c.correct {
+			t.Errorf("%v: CorrectAcrossFork = %v, want %v", c.s, p.CorrectAcrossFork, c.correct)
+		}
+		if p.NeedsFrameTracking != c.frameTracked {
+			t.Errorf("%v: NeedsFrameTracking = %v, want %v", c.s, p.NeedsFrameTracking, c.frameTracked)
+		}
+	}
+}
+
+func TestExtensionProps(t *testing.T) {
+	if !SchemePSSPLV.Props().ProtectsLocalVariables {
+		t.Error("P-SSP-LV must protect local variables")
+	}
+	if SchemePSSP.Props().ProtectsLocalVariables {
+		t.Error("basic P-SSP does not protect local variables")
+	}
+	if !SchemePSSPOWF.Props().ExposureResilient {
+		t.Error("P-SSP-OWF must be exposure resilient")
+	}
+	if SchemePSSP.Props().ExposureResilient {
+		t.Error("basic P-SSP is not exposure resilient (single point of failure)")
+	}
+	if SchemePSSPNT.Props().NeedsTLSUpdate {
+		t.Error("P-SSP-NT must not need TLS updates (its selling point)")
+	}
+	if !SchemePSSP.Props().NeedsTLSUpdate {
+		t.Error("basic P-SSP updates the TLS shadow on fork")
+	}
+}
+
+func TestNoneDetectsNothing(t *testing.T) {
+	if SchemeNone.Props().Detects {
+		t.Error("none must not detect")
+	}
+	for _, s := range Schemes()[1:] {
+		if !s.Props().Detects {
+			t.Errorf("%v must detect stack smash", s)
+		}
+	}
+}
+
+func TestUnknownSchemeString(t *testing.T) {
+	if Scheme(99).String() == "" {
+		t.Fatal("empty string for unknown scheme")
+	}
+	if Scheme(99).Props().Detects {
+		t.Fatal("unknown scheme claims detection")
+	}
+}

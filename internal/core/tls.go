@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// TLS layout offsets, relative to the FS base. They mirror the paper's
+// Section V-A: the classic canary C at fs:0x28, and the P-SSP shadow canary
+// pair (C0, C1) at fs:0x2a8..0x2b7.
+const (
+	// TLSCanaryOff is the classic SSP canary slot (fs:0x28). P-SSP never
+	// changes this value after process start — that is the design point that
+	// keeps inherited frames valid across fork.
+	TLSCanaryOff = 0x28
+	// TLSShadow0Off holds C0 of the shadow pair (fs:0x2a8).
+	TLSShadow0Off = 0x2a8
+	// TLSShadow1Off holds C1 of the shadow pair (fs:0x2b0).
+	TLSShadow1Off = 0x2b0
+	// TLSPackedOff holds the packed 32-bit pair used by instrumentation-based
+	// P-SSP. The paper stores its packed pair at fs:0x2a8 in that deployment;
+	// we give it a distinct slot so one TLS image serves both deployments
+	// (documented as a deviation in DESIGN.md §6).
+	TLSPackedOff = 0x2b8
+)
+
+// TLS wraps a process's thread-local-storage block in an address space and
+// provides the canary operations the shared library performs: seeding at
+// startup and refreshing the shadow pair after fork.
+type TLS struct {
+	space *mem.Space
+	base  uint64
+}
+
+// NewTLS wraps the TLS block at base within sp. The block must already be
+// mapped (the kernel maps it when building a process).
+func NewTLS(sp *mem.Space, base uint64) *TLS {
+	return &TLS{space: sp, base: base}
+}
+
+// Base returns the FS base address.
+func (t *TLS) Base() uint64 { return t.base }
+
+// Seed installs a fresh TLS canary C and a first shadow pair. It is the
+// setup_p-ssp constructor from the paper's shared library, run before
+// main().
+func (t *TLS) Seed(r *rng.Source) error {
+	c := r.Uint64()
+	// Terminator-style canaries keep a zero byte in practice; we use the raw
+	// random word, as the paper's analysis does.
+	if err := t.space.WriteU64(t.base+TLSCanaryOff, c); err != nil {
+		return fmt.Errorf("core: seed TLS canary: %w", err)
+	}
+	return t.RefreshShadow(r)
+}
+
+// Canary returns the TLS canary C.
+func (t *TLS) Canary() (uint64, error) {
+	return t.space.ReadU64(t.base + TLSCanaryOff)
+}
+
+// Shadow returns the current shadow pair (C0, C1).
+func (t *TLS) Shadow() (c0, c1 uint64, err error) {
+	if c0, err = t.space.ReadU64(t.base + TLSShadow0Off); err != nil {
+		return 0, 0, err
+	}
+	if c1, err = t.space.ReadU64(t.base + TLSShadow1Off); err != nil {
+		return 0, 0, err
+	}
+	return c0, c1, nil
+}
+
+// RefreshShadow re-randomizes the shadow canary pair (both the 64-bit pair
+// and the packed 32-bit variant) without touching the TLS canary C. It is
+// the operation the wrapped fork()/pthread_create() perform in the child.
+func (t *TLS) RefreshShadow(r *rng.Source) error {
+	c, err := t.Canary()
+	if err != nil {
+		return fmt.Errorf("core: refresh shadow: %w", err)
+	}
+	c0, c1 := ReRandomize(c, r)
+	if err := t.space.WriteU64(t.base+TLSShadow0Off, c0); err != nil {
+		return err
+	}
+	if err := t.space.WriteU64(t.base+TLSShadow1Off, c1); err != nil {
+		return err
+	}
+	return t.space.WriteU64(t.base+TLSPackedOff, SplitPacked(c, r))
+}
+
+// Verify checks the invariant the whole design rests on: the shadow pair
+// must XOR to the TLS canary, and the packed pair's halves must XOR to its
+// low 32 bits.
+func (t *TLS) Verify() error {
+	c, err := t.Canary()
+	if err != nil {
+		return err
+	}
+	c0, c1, err := t.Shadow()
+	if err != nil {
+		return err
+	}
+	if !Check(c0, c1, c) {
+		return fmt.Errorf("core: TLS shadow pair inconsistent: %x^%x != %x", c0, c1, c)
+	}
+	packed, err := t.space.ReadU64(t.base + TLSPackedOff)
+	if err != nil {
+		return err
+	}
+	if !CheckPacked(packed, c) {
+		return fmt.Errorf("core: TLS packed pair inconsistent: %x vs %x", packed, c)
+	}
+	return nil
+}
+
+// SetCanary overwrites the TLS canary C itself. P-SSP never does this; it
+// exists to model the RAF-SSP baseline, whose renew-after-fork update is
+// exactly what breaks correctness for inherited frames.
+func (t *TLS) SetCanary(c uint64) error {
+	return t.space.WriteU64(t.base+TLSCanaryOff, c)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+func newTLS(t *testing.T) *TLS {
+	t.Helper()
+	sp := mem.NewSpace()
+	if _, err := sp.Map("tls", mem.TLSBase, mem.TLSSize, mem.PermRead|mem.PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	return NewTLS(sp, mem.TLSBase)
+}
+
+func TestSeedEstablishesInvariant(t *testing.T) {
+	tls := newTLS(t)
+	if err := tls.Seed(rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tls.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tls.Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == 0 {
+		t.Fatal("seeded canary is zero")
+	}
+}
+
+func TestRefreshShadowKeepsCanary(t *testing.T) {
+	tls := newTLS(t)
+	r := rng.New(2)
+	if err := tls.Seed(r); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := tls.Canary()
+	c0a, c1a, _ := tls.Shadow()
+
+	if err := tls.RefreshShadow(r); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tls.Canary()
+	c0b, c1b, _ := tls.Shadow()
+
+	if before != after {
+		t.Fatalf("TLS canary changed by refresh: %x -> %x", before, after)
+	}
+	if c0a == c0b && c1a == c1b {
+		t.Fatal("shadow pair did not change on refresh")
+	}
+	if err := tls.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshShadowManyTimesStaysConsistent(t *testing.T) {
+	tls := newTLS(t)
+	r := rng.New(3)
+	if err := tls.Seed(r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tls.RefreshShadow(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := tls.Verify(); err != nil {
+			t.Fatalf("refresh %d: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	tls := newTLS(t)
+	r := rng.New(4)
+	if err := tls.Seed(r); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt C0 directly.
+	c0, _, _ := tls.Shadow()
+	if err := tls.space.WriteU64(tls.base+TLSShadow0Off, c0^0xff); err != nil {
+		t.Fatal(err)
+	}
+	if err := tls.Verify(); err == nil {
+		t.Fatal("verify passed with corrupted shadow")
+	}
+}
+
+func TestSetCanaryModelsRAFSSP(t *testing.T) {
+	tls := newTLS(t)
+	r := rng.New(5)
+	if err := tls.Seed(r); err != nil {
+		t.Fatal(err)
+	}
+	c0, c1, _ := tls.Shadow()
+	if err := tls.SetCanary(0x1111); err != nil {
+		t.Fatal(err)
+	}
+	// The old shadow pair no longer matches — the RAF-SSP correctness bug.
+	if Check(c0, c1, 0x1111) {
+		t.Fatal("old shadow still valid after canary renewal (should break)")
+	}
+}
+
+func TestTLSOffsetsMatchPaper(t *testing.T) {
+	if TLSCanaryOff != 0x28 {
+		t.Errorf("canary offset 0x%x, paper uses 0x28", TLSCanaryOff)
+	}
+	if TLSShadow0Off != 0x2a8 || TLSShadow1Off != 0x2b0 {
+		t.Errorf("shadow offsets 0x%x/0x%x, paper uses 0x2a8/0x2b0", TLSShadow0Off, TLSShadow1Off)
+	}
+}
+
+func TestSeedOnUnmappedTLSFails(t *testing.T) {
+	sp := mem.NewSpace()
+	tls := NewTLS(sp, mem.TLSBase)
+	if err := tls.Seed(rng.New(1)); err == nil {
+		t.Fatal("seed on unmapped TLS succeeded")
+	}
+}

@@ -1,0 +1,60 @@
+package harness
+
+import "testing"
+
+func TestEntropyAblationShape(t *testing.T) {
+	tab, err := EntropyAblation(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-by-byte cost grows linearly in width (bytes), polymorphic cost
+	// exponentially; at 16 bits the polymorphic cost must already dominate.
+	bbb16 := tab.Values["16/bbb"]
+	poly16 := tab.Values["16/poly/measured"]
+	if bbb16 <= 0 || poly16 <= 0 {
+		t.Fatalf("missing 16-bit measurements: %v %v", bbb16, poly16)
+	}
+	if poly16 < 8*bbb16 {
+		t.Errorf("16-bit polymorphic cost %.0f not clearly above byte-by-byte %.0f", poly16, bbb16)
+	}
+	// Measured polymorphic means should be near the analytic 2^(w-1) —
+	// within 3x is plenty for 12 runs of a geometric variable.
+	for _, w := range []string{"8", "16"} {
+		m := tab.Values[w+"/poly/measured"]
+		a := tab.Values[w+"/poly/analytic"]
+		if m < a/3 || m > a*3 {
+			t.Errorf("width %s: measured %.0f vs analytic %.0f", w, m, a)
+		}
+	}
+	// Byte-by-byte means: ~128 per byte.
+	if b8 := tab.Values["8/bbb"]; b8 < 30 || b8 > 256 {
+		t.Errorf("8-bit byte-by-byte mean %.0f, expected ~128", b8)
+	}
+	if b32, b8 := tab.Values["32/bbb"], tab.Values["8/bbb"]; b32 < 2*b8 {
+		t.Errorf("32-bit byte-by-byte %.0f not ~4x the 8-bit cost %.0f", b32, b8)
+	}
+	// The paper's 64x claim: 32-bit polymorphic analytic vs 32-bit
+	// byte-by-byte is far beyond 64x.
+	if tab.Values["32/poly/analytic"] < 64*tab.Values["32/bbb"] {
+		t.Error("32-bit polymorphic cost not >= 64x byte-by-byte (paper's V-C claim)")
+	}
+}
+
+func TestDetectionLatencyShape(t *testing.T) {
+	tab, err := DetectionLatency(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Values["epilogue/detected"] != 1 || tab.Values["onwrite/detected"] != 1 {
+		t.Fatal("both modes must detect the corruption")
+	}
+	if tab.Values["epilogue/leaked"] == 0 {
+		t.Error("epilogue-only mode should have leaked the poisoned response")
+	}
+	if tab.Values["onwrite/leaked"] != 0 {
+		t.Error("check-on-write mode must not leak anything")
+	}
+	if tab.Values["onwrite/cycles"] <= tab.Values["epilogue/cycles"] {
+		t.Error("check-on-write should cost extra cycles (it adds a check)")
+	}
+}

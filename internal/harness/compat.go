@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// compatProgram is a server whose request handler calls into libc_echo, so
+// every request crosses the app/libc module boundary with a protected frame
+// on each side.
+func compatProgram() *cc.Program {
+	return &cc.Program{
+		Name:    "compat",
+		Globals: []cc.Global{{Name: "reqlen", Size: 8}},
+		Funcs: []*cc.Func{
+			{Name: "main", Body: []cc.Stmt{cc.Call{Callee: "serve"}}},
+			{
+				Name: "serve",
+				Locals: []cc.Local{
+					{Name: "pad", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.Accept{Dst: "n"},
+					cc.While{Var: "n", Body: []cc.Stmt{
+						cc.Call{Callee: "libc_echo"},
+						cc.Accept{Dst: "n"},
+					}},
+				},
+			},
+		},
+	}
+}
+
+// Compatibility reproduces the paper's §VI-C compatibility experiment: mix
+// P-SSP and SSP between the application and the C library (both directions),
+// run benign traffic across fork, and count false positives. The paper
+// observes zero errors in both mixtures.
+func Compatibility(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "§VI-C: Compatibility between P-SSP and SSP across the app/libc boundary",
+		Header: []string{"app scheme", "libc scheme", "requests", "false positives", "verdict"},
+		Notes: []string{
+			"paper: both mixtures behave normally; no false positive when the child returns to inherited frames",
+		},
+	}
+	prog := compatProgram()
+	const requests = 8
+	schemes := []core.Scheme{core.SchemeSSP, core.SchemePSSP}
+	for _, appS := range schemes {
+		for _, libcS := range schemes {
+			libc, err := cc.BuildLibc(libcS)
+			if err != nil {
+				return nil, err
+			}
+			bin, err := cc.Compile(prog, cc.Options{Scheme: appS, Libc: libc})
+			if err != nil {
+				return nil, err
+			}
+			k := kernel.New(cfg.Seed + 3)
+			srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{Libc: libc, Preload: appS})
+			if err != nil {
+				return nil, err
+			}
+			falsePositives := 0
+			for i := 0; i < requests; i++ {
+				out, err := srv.Handle([]byte("mixmatch"))
+				if err != nil {
+					return nil, err
+				}
+				if out.Crashed {
+					falsePositives++
+				} else if !bytes.Equal(out.Response, []byte("mixmatch")) {
+					return nil, fmt.Errorf("compat: bad response %q", out.Response)
+				}
+			}
+			verdict := "OK"
+			if falsePositives > 0 {
+				verdict = "INCOMPATIBLE"
+			}
+			t.Rows = append(t.Rows, []string{
+				appS.String(), libcS.String(),
+				fmt.Sprintf("%d", requests), fmt.Sprintf("%d", falsePositives), verdict,
+			})
+			t.set(appS.String()+"+"+libcS.String()+"/falsepositives", float64(falsePositives))
+		}
+	}
+	return t, nil
+}
+
+// GlobalBuffer evaluates the discussion-section variant (Figure 6):
+// P-SSP-GB keeps the SSP one-word stack canary (layout preservation) while
+// storing C1 halves in a fork-cloned global buffer. The experiment checks
+// layout preservation, cross-fork correctness, overflow detection, and
+// brute-force resistance.
+func GlobalBuffer(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Figure 6 variant: P-SSP-GB (global buffer for C1 halves)",
+		Header: []string{"property", "result"},
+	}
+	target := apps.VulnServers()[0]
+
+	// Layout preservation: GB frames match SSP frames byte for byte.
+	sspBin, err := compileStatic(target.Prog, core.SchemeSSP)
+	if err != nil {
+		return nil, err
+	}
+	gbBin, err := compileStatic(target.Prog, core.SchemePSSPGB)
+	if err != nil {
+		return nil, err
+	}
+	layout := "preserved (one-word stack canary)"
+	pass, err := cc.PassFor(core.SchemePSSPGB)
+	if err != nil {
+		return nil, err
+	}
+	if pass.CanaryBytes(target.Prog.Funcs[2]) != 8 {
+		layout = "NOT preserved"
+	}
+	t.Rows = append(t.Rows, []string{"stack layout vs SSP", layout})
+	t.Rows = append(t.Rows, []string{
+		"code size vs SSP",
+		fmt.Sprintf("%+d bytes (list maintenance in prologue/epilogue)", gbBin.CodeSize()-sspBin.CodeSize()),
+	})
+
+	brop, correct, err := measureSecurityProfile(cfg, core.SchemePSSPGB)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"correct across fork", yesNo(correct)})
+	t.Rows = append(t.Rows, []string{"BROP prevented", yesNo(brop)})
+	t.set("layoutPreserved", boolToF(layout[0] == 'p'))
+	t.set("correct", boolToF(correct))
+	t.set("brop", boolToF(brop))
+	return t, nil
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"repro/internal/apps"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/rewrite"
+)
+
+// Table2 reproduces the paper's Table II: code expansion of the three P-SSP
+// deployment paths, averaged over the SPEC-analog suite.
+//
+//   - Compilation: P-SSP-compiled binaries vs SSP-compiled binaries
+//     (paper: 0.27%).
+//   - Instrumentation, dynamic linkage: the rewriter patches the app image
+//     strictly in place; expansion must be exactly 0 (paper: 0).
+//   - Instrumentation, static linkage: the rewriter appends the checker and
+//     shadow-refresh functions — the analog of the two new glibc functions
+//     Dyninst injects (paper: 2.78%).
+func Table2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	sspLibc, err := cc.BuildLibc(core.SchemeSSP)
+	if err != nil {
+		return nil, err
+	}
+
+	var sumCompile, sumDyn, sumStatic float64
+	n := 0
+	for _, app := range apps.Spec() {
+		sspStatic, err := compileStatic(app.Prog, core.SchemeSSP)
+		if err != nil {
+			return nil, err
+		}
+		psspStatic, err := compileStatic(app.Prog, core.SchemePSSP)
+		if err != nil {
+			return nil, err
+		}
+		sumCompile += float64(psspStatic.CodeSize())/float64(sspStatic.CodeSize()) - 1
+
+		sspDyn, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Libc: sspLibc})
+		if err != nil {
+			return nil, err
+		}
+		instrDyn, _, err := rewrite.Rewrite(sspDyn, sspLibc)
+		if err != nil {
+			return nil, err
+		}
+		sumDyn += float64(instrDyn.CodeSize())/float64(sspDyn.CodeSize()) - 1
+
+		instrStatic, _, err := rewrite.Rewrite(sspStatic, nil)
+		if err != nil {
+			return nil, err
+		}
+		sumStatic += float64(instrStatic.CodeSize())/float64(sspStatic.CodeSize()) - 1
+		n++
+	}
+
+	avgCompile := sumCompile / float64(n)
+	avgDyn := sumDyn / float64(n)
+	avgStatic := sumStatic / float64(n)
+
+	t := &Table{
+		Title:  "Table II: Code expansion rate by different P-SSP implementations",
+		Header: []string{"compilation", "instrumentation (dynamic link)", "instrumentation (static link)"},
+		Rows: [][]string{{
+			pct(avgCompile), pct(avgDyn), pct(avgStatic),
+		}},
+		Notes: []string{
+			"paper: 0.27% / 0 / 2.78% (static growth = two new glibc functions)",
+		},
+	}
+	t.set("compilation", avgCompile)
+	t.set("instrumentation/dynamic", avgDyn)
+	t.set("instrumentation/static", avgStatic)
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/binfmt"
+	"repro/internal/core"
+	"repro/internal/rewrite"
+)
+
+// threeWayServer measures one server app under the paper's three settings:
+// native (SSP default), compiler-based P-SSP, and instrumentation-based
+// P-SSP. It returns average request cycles and the worker memory footprint
+// for each.
+func threeWayServer(cfg Config, app apps.App, requests int) (avg [3]float64, mem [3]int, err error) {
+	builds := [3]func() (*binfmt.Binary, error){
+		func() (*binfmt.Binary, error) { return compileStatic(app.Prog, core.SchemeSSP) },
+		func() (*binfmt.Binary, error) { return compileStatic(app.Prog, core.SchemePSSP) },
+		func() (*binfmt.Binary, error) {
+			ssp, err := compileStatic(app.Prog, core.SchemeSSP)
+			if err != nil {
+				return nil, err
+			}
+			instr, _, err := rewrite.Rewrite(ssp, nil)
+			return instr, err
+		},
+	}
+	for i, build := range builds {
+		bin, berr := build()
+		if berr != nil {
+			return avg, mem, berr
+		}
+		a, m, serr := serverStats(cfg.Seed+uint64(i), bin, app.Request, requests)
+		if serr != nil {
+			return avg, mem, fmt.Errorf("%s setting %d: %w", app.Name, i, serr)
+		}
+		avg[i], mem[i] = a, m
+	}
+	return avg, mem, nil
+}
+
+// Table3 reproduces the paper's Table III: web-server response time under
+// native, compiler-based P-SSP and instrumentation-based P-SSP. The paper
+// stresses Apache2/Nginx with ApacheBench (100k requests); we measure
+// per-request worker CPU time (µs at the testbed's 3.5 GHz), the component
+// the canary scheme can affect.
+func Table3(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Table III: P-SSP's performance impact on web servers (avg per-request CPU µs)",
+		Header: []string{"server", "native", "compiler P-SSP", "instrumented P-SSP"},
+		Notes: []string{
+			"paper (ms incl. network): apache2 33.006/33.008/33.099, nginx 3.088/3.090/3.088",
+			fmt.Sprintf("measured over %d requests/server", cfg.WebRequests),
+		},
+	}
+	for _, app := range apps.WebServers() {
+		avg, _, err := threeWayServer(cfg, app, cfg.WebRequests)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			app.Name,
+			fmt.Sprintf("%.3f", avg[0]/CyclesPerMicrosecond),
+			fmt.Sprintf("%.3f", avg[1]/CyclesPerMicrosecond),
+			fmt.Sprintf("%.3f", avg[2]/CyclesPerMicrosecond),
+		})
+		t.set(app.Name+"/native", avg[0])
+		t.set(app.Name+"/compiler", avg[1])
+		t.set(app.Name+"/instrumented", avg[2])
+	}
+	return t, nil
+}
+
+// Table4 reproduces the paper's Table IV: database query time and memory
+// usage under the same three settings.
+func Table4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Table IV: P-SSP's performance impact on database servers",
+		Header: []string{
+			"db", "native µs", "native KB", "compiler µs", "compiler KB",
+			"instrumented µs", "instrumented KB",
+		},
+		Notes: []string{
+			"paper: MySQL 3.33ms/22.59MB and SQLite 167.27ms/20.58MB, unchanged across settings",
+			fmt.Sprintf("measured over %d queries/db", cfg.DBQueries),
+		},
+	}
+	for _, app := range apps.Databases() {
+		avg, mem, err := threeWayServer(cfg, app, cfg.DBQueries)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			app.Name,
+			fmt.Sprintf("%.2f", avg[0]/CyclesPerMicrosecond),
+			fmt.Sprintf("%.1f", float64(mem[0])/1024),
+			fmt.Sprintf("%.2f", avg[1]/CyclesPerMicrosecond),
+			fmt.Sprintf("%.1f", float64(mem[1])/1024),
+			fmt.Sprintf("%.2f", avg[2]/CyclesPerMicrosecond),
+			fmt.Sprintf("%.1f", float64(mem[2])/1024),
+		})
+		t.set(app.Name+"/native", avg[0])
+		t.set(app.Name+"/compiler", avg[1])
+		t.set(app.Name+"/instrumented", avg[2])
+		t.set(app.Name+"/mem/native", float64(mem[0]))
+		t.set(app.Name+"/mem/instrumented", float64(mem[2]))
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// probeProgram builds a minimal program whose main calls one protected
+// function once; criticals controls how many critical locals the callee
+// declares (for the P-SSP-LV columns).
+func probeProgram(criticals int) *cc.Program {
+	locals := []cc.Local{{Name: "buf", Size: 16, IsBuffer: true}}
+	for i := 0; i < criticals; i++ {
+		locals = append(locals, cc.Local{Name: fmt.Sprintf("v%d", i), Size: 8, Critical: true})
+	}
+	return &cc.Program{
+		Name: "probe",
+		Funcs: []*cc.Func{
+			{Name: "main", Body: []cc.Stmt{cc.Call{Callee: "probe"}}},
+			{Name: "probe", Locals: locals, Body: []cc.Stmt{cc.Compute{Ops: 1}}},
+		},
+	}
+}
+
+// prologueEpilogueDelta measures the cycles one protected call adds over the
+// unprotected build of the same program.
+func prologueEpilogueDelta(cfg Config, scheme core.Scheme, criticals int) (uint64, error) {
+	prog := probeProgram(criticals)
+	unprot, err := compileStatic(prog, core.SchemeNone)
+	if err != nil {
+		return 0, err
+	}
+	base, err := runToExit(cfg.Seed, unprot)
+	if err != nil {
+		return 0, err
+	}
+	prot, err := compileStatic(prog, scheme)
+	if err != nil {
+		return 0, err
+	}
+	got, err := runToExit(cfg.Seed, prot)
+	if err != nil {
+		return 0, err
+	}
+	if got < base {
+		return 0, fmt.Errorf("harness: protected run cheaper than unprotected (%d < %d)", got, base)
+	}
+	return got - base, nil
+}
+
+// Table5 reproduces the paper's Table V: average CPU cycles spent by the
+// function prologue and epilogue for P-SSP and its three extensions. The
+// paper's columns "2 variables" and "4 variables" for P-SSP-LV correspond to
+// 2 and 4 total canary words, i.e. 1 and 3 critical locals plus the frame
+// canary (the paper notes LV generates |canaries|-1 random numbers: one for
+// "2 variables", three for "4 variables").
+//
+// Sweep=true additionally sweeps P-SSP-LV over 1..8 critical variables —
+// the ablation DESIGN.md calls out for the rdrand-per-canary design choice.
+func Table5(cfg Config, sweep bool) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Table V: CPU cycles spent by prologue+epilogue, per scheme",
+		Header: []string{"scheme", "cycles"},
+		Notes: []string{
+			"paper: P-SSP 6, P-SSP-NT 343, P-SSP-LV(2 vars) 343, P-SSP-LV(4 vars) 986, P-SSP-OWF 278",
+			"deltas vs the unprotected build of the same single-call program",
+		},
+	}
+	add := func(label string, scheme core.Scheme, criticals int) error {
+		d, err := prologueEpilogueDelta(cfg, scheme, criticals)
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{label, fmt.Sprintf("%d", d)})
+		t.set(label, float64(d))
+		return nil
+	}
+	if err := add("p-ssp", core.SchemePSSP, 0); err != nil {
+		return nil, err
+	}
+	if err := add("p-ssp-nt", core.SchemePSSPNT, 0); err != nil {
+		return nil, err
+	}
+	if err := add("p-ssp-lv (2 vars)", core.SchemePSSPLV, 1); err != nil {
+		return nil, err
+	}
+	if err := add("p-ssp-lv (4 vars)", core.SchemePSSPLV, 3); err != nil {
+		return nil, err
+	}
+	if err := add("p-ssp-owf", core.SchemePSSPOWF, 0); err != nil {
+		return nil, err
+	}
+	// Context rows: the baselines' per-call cost under the same probe.
+	if err := add("ssp (context)", core.SchemeSSP, 0); err != nil {
+		return nil, err
+	}
+	if err := add("dynaguard (context)", core.SchemeDynaGuard, 0); err != nil {
+		return nil, err
+	}
+	if err := add("dcr (context)", core.SchemeDCR, 0); err != nil {
+		return nil, err
+	}
+	if sweep {
+		for v := 1; v <= 8; v++ {
+			if err := add(fmt.Sprintf("p-ssp-lv sweep %d criticals", v), core.SchemePSSPLV, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,151 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode appends the byte encoding of in to dst and returns the extended
+// slice. The encoding is opcode byte followed by the shape's operand
+// payload; multi-byte values are little-endian.
+func Encode(dst []byte, in Inst) []byte {
+	dst = append(dst, byte(in.Op))
+	switch in.Op.Shape() {
+	case ShapeNone:
+	case ShapeR:
+		dst = append(dst, byte(in.R1))
+	case ShapeRR:
+		dst = append(dst, byte(in.R1), byte(in.R2))
+	case ShapeRI64:
+		dst = append(dst, byte(in.R1))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(in.Imm))
+	case ShapeRI8:
+		dst = append(dst, byte(in.R1), byte(in.Imm))
+	case ShapeRM:
+		dst = append(dst, byte(in.R1), byte(in.Base))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	case ShapeRFS:
+		dst = append(dst, byte(in.R1))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	case ShapeRel32:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	case ShapeXR:
+		dst = append(dst, byte(in.X1), byte(in.R1))
+	case ShapeXM:
+		dst = append(dst, byte(in.X1), byte(in.Base))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Disp))
+	}
+	return dst
+}
+
+// EncodeAll encodes a sequence of instructions into a fresh byte slice.
+func EncodeAll(insts []Inst) []byte {
+	n := 0
+	for _, in := range insts {
+		n += in.Len()
+	}
+	out := make([]byte, 0, n)
+	for _, in := range insts {
+		out = Encode(out, in)
+	}
+	return out
+}
+
+// Decode decodes the instruction starting at code[off]. It returns the
+// instruction and the number of bytes consumed.
+func Decode(code []byte, off int) (Inst, int, error) {
+	if off < 0 || off >= len(code) {
+		return Inst{}, 0, fmt.Errorf("isa: decode offset %d out of range [0,%d)", off, len(code))
+	}
+	op := Op(code[off])
+	if !op.Valid() {
+		return Inst{}, 0, fmt.Errorf("isa: invalid opcode 0x%02x at offset %d", code[off], off)
+	}
+	n := op.EncodedLen()
+	if off+n > len(code) {
+		return Inst{}, 0, fmt.Errorf("isa: truncated %s at offset %d: need %d bytes, have %d",
+			op.Name(), off, n, len(code)-off)
+	}
+	p := code[off+1 : off+n]
+	in := Inst{Op: op}
+	switch op.Shape() {
+	case ShapeNone:
+	case ShapeR:
+		in.R1 = Reg(p[0])
+	case ShapeRR:
+		in.R1, in.R2 = Reg(p[0]), Reg(p[1])
+	case ShapeRI64:
+		in.R1 = Reg(p[0])
+		in.Imm = int64(binary.LittleEndian.Uint64(p[1:]))
+	case ShapeRI8:
+		in.R1 = Reg(p[0])
+		in.Imm = int64(p[1])
+	case ShapeRM:
+		in.R1, in.Base = Reg(p[0]), Reg(p[1])
+		in.Disp = int32(binary.LittleEndian.Uint32(p[2:]))
+	case ShapeRFS:
+		in.R1 = Reg(p[0])
+		in.Disp = int32(binary.LittleEndian.Uint32(p[1:]))
+	case ShapeRel32:
+		in.Disp = int32(binary.LittleEndian.Uint32(p))
+	case ShapeXR:
+		in.X1, in.R1 = Xmm(p[0]), Reg(p[1])
+	case ShapeXM:
+		in.X1, in.Base = Xmm(p[0]), Reg(p[1])
+		in.Disp = int32(binary.LittleEndian.Uint32(p[2:]))
+	}
+	if err := in.validateRegs(); err != nil {
+		return Inst{}, 0, fmt.Errorf("isa: at offset %d: %w", off, err)
+	}
+	return in, n, nil
+}
+
+// validateRegs rejects encodings that name registers outside the file.
+func (in Inst) validateRegs() error {
+	check := func(r Reg) error {
+		if r >= NumGPR {
+			return fmt.Errorf("%s references invalid register %d", in.Op.Name(), r)
+		}
+		return nil
+	}
+	switch in.Op.Shape() {
+	case ShapeR, ShapeRI64, ShapeRI8, ShapeRFS:
+		return check(in.R1)
+	case ShapeRR:
+		if err := check(in.R1); err != nil {
+			return err
+		}
+		return check(in.R2)
+	case ShapeRM:
+		if err := check(in.R1); err != nil {
+			return err
+		}
+		return check(in.Base)
+	case ShapeXR:
+		if in.X1 >= NumXMM {
+			return fmt.Errorf("%s references invalid xmm register %d", in.Op.Name(), in.X1)
+		}
+		return check(in.R1)
+	case ShapeXM:
+		if in.X1 >= NumXMM {
+			return fmt.Errorf("%s references invalid xmm register %d", in.Op.Name(), in.X1)
+		}
+		return check(in.Base)
+	}
+	return nil
+}
+
+// DecodeAll decodes an entire code blob into a sequence of instructions. It
+// fails if the blob does not decode cleanly end to end.
+func DecodeAll(code []byte) ([]Inst, error) {
+	var out []Inst
+	for off := 0; off < len(code); {
+		in, n, err := Decode(code, off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		off += n
+	}
+	return out, nil
+}

@@ -1,0 +1,320 @@
+// Package isa defines the instruction-set architecture of the simulated
+// 64-bit machine used throughout this reproduction.
+//
+// The ISA is a compact x86-64 analog: sixteen 64-bit general-purpose
+// registers with the x86 names, two of the sixteen 128-bit XMM registers the
+// paper's P-SSP-OWF code uses, an FS segment base for thread-local storage,
+// a downward-growing stack manipulated by PUSH/POP/CALL/RET/LEAVE, and the
+// three hardware extensions the paper leans on: RDRAND (hardware random),
+// RDTSC (time-stamp counter), and an AES-128 encrypt primitive (AES-NI).
+//
+// Instructions have a variable-length byte encoding (opcode byte followed by
+// a shape-determined operand payload) so that the binary rewriter in
+// internal/rewrite faces the same "do not change code size" constraint the
+// paper's instrumentation tool faces on real x86.
+package isa
+
+import "fmt"
+
+// Reg identifies a general-purpose register. The numbering follows the
+// x86-64 instruction encoding order.
+type Reg uint8
+
+// General-purpose registers.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NumGPR is the number of general-purpose registers.
+	NumGPR
+)
+
+var regNames = [...]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// String returns the conventional AT&T-style name, e.g. "rax".
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Xmm identifies a 128-bit vector register (xmm0..xmm15).
+type Xmm uint8
+
+// XMM registers referenced by the paper's P-SSP-OWF prologue/epilogue.
+const (
+	XMM0  Xmm = 0
+	XMM1  Xmm = 1
+	XMM15 Xmm = 15
+
+	// NumXMM is the number of vector registers.
+	NumXMM = 16
+)
+
+// String returns the conventional name, e.g. "xmm15".
+func (x Xmm) String() string { return fmt.Sprintf("xmm%d", uint8(x)) }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The comments give the assembly syntax used by internal/asm.
+const (
+	NOP Op = iota // nop
+	HLT           // hlt
+
+	PUSH // push %reg
+	POP  // pop %reg
+
+	MOVRR // mov %src, %dst
+	MOVRI // mov $imm64, %dst
+	LOAD  // mov disp(%base), %dst
+	STORE // mov %src, disp(%base)
+	LDFS  // mov %fs:disp, %dst
+	STFS  // mov %src, %fs:disp
+	LEA   // lea disp(%base), %dst
+
+	ADDRR // add %src, %dst
+	ADDRI // add $imm, %dst
+	SUBRR // sub %src, %dst
+	SUBRI // sub $imm, %dst
+	XORRR // xor %src, %dst        (sets ZF)
+	XORFS // xor %fs:disp, %dst    (sets ZF)
+	ORRR  // or  %src, %dst
+	ANDRR // and %src, %dst
+	SHLRI // shl $imm8, %dst
+	SHRRI // shr $imm8, %dst
+
+	CMPRR // cmp %src, %dst        (sets ZF on equal)
+	CMPRI // cmp $imm, %dst
+
+	JMP // jmp rel32
+	JE  // je  rel32
+	JNE // jne rel32
+
+	CALL  // call rel32
+	CALLR // call *%reg
+	RET   // ret
+	LEAVE // leave
+
+	RDRAND // rdrand %dst           (hardware random, CF=1 on success)
+	RDTSC  // rdtsc                 (edx:eax <- cycle counter)
+
+	MOVQX   // movq %src, %xmm       (xmm low 64 <- reg; high zeroed)
+	MOVHX   // movhps disp(%base), %xmm  (xmm high 64 <- mem)
+	PUNPCKX // punpckhdq %src, %xmm  (xmm high 64 <- reg)
+	MOVXQ   // movq %xmm, %dst       (reg <- xmm low 64)
+	STX     // movdqu %xmm, disp(%base)  (16-byte store)
+	LDX     // movdqu disp(%base), %xmm  (16-byte load)
+	AESENC  // aesenc128             (xmm15 <- AES-128_Encrypt(key=xmm1, xmm15))
+	CMPX    // comisx disp(%base), %xmm  (ZF <- 128-bit equality)
+
+	SYSCALL // syscall               (nr in rax; args rdi,rsi,rdx; ret rax)
+
+	RDFSBASE // rdfsbase %dst        (dst <- FS base; per-thread TLS pointer)
+
+	// NumOps is the number of defined opcodes.
+	NumOps
+)
+
+// Shape describes an opcode's operand payload, which fixes its encoded
+// length. The rewriter depends on shapes: replacing an instruction with
+// another of the same shape never changes code size.
+type Shape uint8
+
+// Operand shapes.
+const (
+	ShapeNone  Shape = iota // no operands
+	ShapeR                  // one register
+	ShapeRR                 // two registers
+	ShapeRI64               // register + 64-bit immediate
+	ShapeRI8                // register + 8-bit immediate
+	ShapeRM                 // register + base register + 32-bit displacement
+	ShapeRFS                // register + 32-bit FS displacement
+	ShapeRel32              // 32-bit relative branch target
+	ShapeXR                 // xmm register + GPR
+	ShapeXM                 // xmm register + base register + 32-bit displacement
+)
+
+// payloadLen is the number of operand bytes following the opcode byte.
+var payloadLen = map[Shape]int{
+	ShapeNone:  0,
+	ShapeR:     1,
+	ShapeRR:    2,
+	ShapeRI64:  9,
+	ShapeRI8:   2,
+	ShapeRM:    6,
+	ShapeRFS:   5,
+	ShapeRel32: 4,
+	ShapeXR:    2,
+	ShapeXM:    6,
+}
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	name  string
+	shape Shape
+	// cycles is the simulated cost. The model is calibrated in DESIGN.md §2:
+	// ordinary register/memory operations cost 1–2 cycles, RDRAND costs 337
+	// (matching the ~340-cycle delta the paper measures for P-SSP-NT in
+	// Table V), RDTSC 25, and the AES-128 primitive 120 (two evaluations plus
+	// RDTSC land P-SSP-OWF near the paper's 278-cycle delta).
+	cycles uint64
+}
+
+var opTable = [NumOps]opInfo{
+	NOP: {"nop", ShapeNone, 1},
+	HLT: {"hlt", ShapeNone, 1},
+
+	PUSH: {"push", ShapeR, 1},
+	POP:  {"pop", ShapeR, 1},
+
+	MOVRR: {"mov", ShapeRR, 1},
+	MOVRI: {"movi", ShapeRI64, 1},
+	LOAD:  {"load", ShapeRM, 1},
+	STORE: {"store", ShapeRM, 1},
+	LDFS:  {"ldfs", ShapeRFS, 1},
+	STFS:  {"stfs", ShapeRFS, 1},
+	LEA:   {"lea", ShapeRM, 1},
+
+	ADDRR: {"add", ShapeRR, 1},
+	ADDRI: {"addi", ShapeRI64, 1},
+	SUBRR: {"sub", ShapeRR, 1},
+	SUBRI: {"subi", ShapeRI64, 1},
+	XORRR: {"xor", ShapeRR, 1},
+	XORFS: {"xorfs", ShapeRFS, 1},
+	ORRR:  {"or", ShapeRR, 1},
+	ANDRR: {"and", ShapeRR, 1},
+	SHLRI: {"shl", ShapeRI8, 1},
+	SHRRI: {"shr", ShapeRI8, 1},
+
+	CMPRR: {"cmp", ShapeRR, 1},
+	CMPRI: {"cmpi", ShapeRI64, 1},
+
+	JMP: {"jmp", ShapeRel32, 1},
+	JE:  {"je", ShapeRel32, 1},
+	JNE: {"jne", ShapeRel32, 1},
+
+	CALL:  {"call", ShapeRel32, 2},
+	CALLR: {"callr", ShapeR, 2},
+	RET:   {"ret", ShapeNone, 2},
+	LEAVE: {"leave", ShapeNone, 2},
+
+	RDRAND: {"rdrand", ShapeR, 337},
+	RDTSC:  {"rdtsc", ShapeNone, 25},
+
+	MOVQX:   {"movqx", ShapeXR, 1},
+	MOVHX:   {"movhx", ShapeXM, 1},
+	PUNPCKX: {"punpckx", ShapeXR, 1},
+	MOVXQ:   {"movxq", ShapeXR, 1},
+	STX:     {"stx", ShapeXM, 2},
+	LDX:     {"ldx", ShapeXM, 2},
+	AESENC:  {"aesenc128", ShapeNone, 120},
+	CMPX:    {"cmpx", ShapeXM, 2},
+
+	SYSCALL: {"syscall", ShapeNone, 50},
+
+	RDFSBASE: {"rdfsbase", ShapeR, 1},
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Op) Name() string {
+	if op < NumOps {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Shape returns the operand shape of op.
+func (op Op) Shape() Shape {
+	if op < NumOps {
+		return opTable[op].shape
+	}
+	return ShapeNone
+}
+
+// Cycles returns the simulated cycle cost of op under the calibrated model.
+func (op Op) Cycles() uint64 {
+	if op < NumOps {
+		return opTable[op].cycles
+	}
+	return 1
+}
+
+// EncodedLen returns the total encoded length of an instruction with opcode
+// op, including the opcode byte.
+func (op Op) EncodedLen() int { return 1 + payloadLen[op.Shape()] }
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < NumOps }
+
+// Inst is one decoded instruction. Which fields are meaningful depends on
+// the opcode's shape:
+//
+//	ShapeR:     R1
+//	ShapeRR:    R1 (dst), R2 (src)
+//	ShapeRI64:  R1, Imm
+//	ShapeRI8:   R1, Imm (low 8 bits)
+//	ShapeRM:    R1, Base, Disp
+//	ShapeRFS:   R1, Disp
+//	ShapeRel32: Disp (branch displacement relative to next instruction)
+//	ShapeXR:    X1, R1
+//	ShapeXM:    X1, Base, Disp
+type Inst struct {
+	Op   Op
+	R1   Reg
+	R2   Reg
+	X1   Xmm
+	Base Reg
+	Disp int32
+	Imm  int64
+}
+
+// Len returns the instruction's encoded length in bytes.
+func (in Inst) Len() int { return in.Op.EncodedLen() }
+
+// String renders the instruction in the textual assembly accepted by
+// internal/asm.
+func (in Inst) String() string {
+	switch in.Op.Shape() {
+	case ShapeNone:
+		return in.Op.Name()
+	case ShapeR:
+		return fmt.Sprintf("%s %%%s", in.Op.Name(), in.R1)
+	case ShapeRR:
+		return fmt.Sprintf("%s %%%s, %%%s", in.Op.Name(), in.R2, in.R1)
+	case ShapeRI64:
+		return fmt.Sprintf("%s $%d, %%%s", in.Op.Name(), in.Imm, in.R1)
+	case ShapeRI8:
+		return fmt.Sprintf("%s $%d, %%%s", in.Op.Name(), in.Imm&0xff, in.R1)
+	case ShapeRM:
+		return fmt.Sprintf("%s %d(%%%s), %%%s", in.Op.Name(), in.Disp, in.Base, in.R1)
+	case ShapeRFS:
+		return fmt.Sprintf("%s %%fs:%d, %%%s", in.Op.Name(), in.Disp, in.R1)
+	case ShapeRel32:
+		return fmt.Sprintf("%s %d", in.Op.Name(), in.Disp)
+	case ShapeXR:
+		return fmt.Sprintf("%s %%%s, %%%s", in.Op.Name(), in.R1, in.X1)
+	case ShapeXM:
+		return fmt.Sprintf("%s %d(%%%s), %%%s", in.Op.Name(), in.Disp, in.Base, in.X1)
+	default:
+		return fmt.Sprintf("%s <bad shape>", in.Op.Name())
+	}
+}

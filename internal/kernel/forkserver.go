@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/binfmt"
+)
+
+// ForkServer is the fork-per-request supervisor of the paper's threat model:
+// a parent process runs to its accept(2) point and parks there; every
+// incoming request is served by a freshly forked child that inherits the
+// parent's address space — including its TLS canary and its live stack
+// frames. When a child crashes, the parent simply forks another for the next
+// request.
+//
+// For the attacker this is the oracle: Handle returns whether the child
+// crashed (guess wrong) or responded (guess right).
+type ForkServer struct {
+	kernel *Kernel
+	parent *Process
+
+	// Requests counts Handle calls; Crashes counts children that died.
+	Requests int
+	Crashes  int
+
+	// TotalCycles and TotalInsts accumulate child execution costs for the
+	// response-time experiments.
+	TotalCycles uint64
+	TotalInsts  uint64
+}
+
+// Outcome reports one request's fate.
+type Outcome struct {
+	// Crashed is true if the worker died (canary mismatch abort, fault, ...).
+	Crashed bool
+	// CrashReason describes the death, empty otherwise.
+	CrashReason string
+	// Response is everything the worker wrote to fd 1 before finishing —
+	// including output emitted before a crash, since on a real socket those
+	// bytes have already left the process. Detection *latency* is therefore
+	// observable: a check that fires only in the epilogue may leak a
+	// response computed from corrupted data first.
+	Response []byte
+	// Cycles and Insts are the worker's execution cost for this request.
+	Cycles uint64
+	Insts  uint64
+}
+
+// NewForkServer spawns the server program and runs it to its accept point.
+func NewForkServer(k *Kernel, app *binfmt.Binary, opts SpawnOpts) (*ForkServer, error) {
+	parent, err := k.Spawn(app, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch st := k.Run(parent); st {
+	case StateWaiting:
+		return &ForkServer{kernel: k, parent: parent}, nil
+	case StateCrashed:
+		return nil, fmt.Errorf("kernel: server crashed before accept: %s", parent.CrashReason)
+	default:
+		return nil, fmt.Errorf("kernel: server reached state %s before accept", st)
+	}
+}
+
+// Parent returns the parked parent process (for inspection in experiments).
+func (s *ForkServer) Parent() *Process { return s.parent }
+
+// Handle serves one request with a fresh child and reports its outcome.
+func (s *ForkServer) Handle(req []byte) (Outcome, error) {
+	child, err := s.kernel.Fork(s.parent)
+	if err != nil {
+		return Outcome{}, err
+	}
+	startCycles, startInsts := child.CPU.Cycles, child.CPU.Insts
+	if err := child.Deliver(req); err != nil {
+		return Outcome{}, err
+	}
+	st := s.kernel.Run(child)
+
+	out := Outcome{
+		Cycles: child.CPU.Cycles - startCycles,
+		Insts:  child.CPU.Insts - startInsts,
+	}
+	s.Requests++
+	s.TotalCycles += out.Cycles
+	s.TotalInsts += out.Insts
+
+	out.Response = child.Stdout
+	switch st {
+	case StateExited:
+	case StateCrashed:
+		out.Crashed = true
+		out.CrashReason = child.CrashReason
+		s.Crashes++
+	default:
+		return Outcome{}, fmt.Errorf("kernel: worker stuck in state %s", st)
+	}
+	return out, nil
+}

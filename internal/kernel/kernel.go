@@ -1,0 +1,360 @@
+// Package kernel models the operating-system layer of the reproduction: a
+// process abstraction over the VM, program loading with dynamic or static
+// linkage, fork(2) with full address-space cloning (including the TLS block
+// — the inheritance the byte-by-byte attack exploits), the LD_PRELOAD-style
+// scheme hooks from the paper's shared library, and a fork-per-request
+// server supervisor that serves as the attacker's crash oracle.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/binfmt"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/vm"
+)
+
+// State is a process's lifecycle state.
+type State uint8
+
+// Process states.
+const (
+	// StateRunning means the process can execute.
+	StateRunning State = iota + 1
+	// StateWaiting means the process is blocked in accept(2) waiting for a
+	// request. The fork server forks children from this point.
+	StateWaiting
+	// StateExited means the process terminated normally via exit(2).
+	StateExited
+	// StateCrashed means the process died abnormally: a memory fault, an
+	// illegal instruction, or __stack_chk_fail's abort.
+	StateCrashed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateWaiting:
+		return "waiting"
+	case StateExited:
+		return "exited"
+	case StateCrashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("state?%d", uint8(s))
+	}
+}
+
+// errAwaitAccept is the internal signal that a process blocked in accept.
+var errAwaitAccept = errors.New("kernel: await accept")
+
+// Process is one simulated process.
+type Process struct {
+	ID    int
+	Space *mem.Space
+	CPU   *vm.CPU
+	State State
+
+	// Scheme is the preload behaviour applied at startup and fork — the
+	// paper's shared-library role. It may differ from the scheme the binary
+	// was compiled with (that is the compatibility experiment).
+	Scheme core.Scheme
+
+	// ExitCode is valid in StateExited.
+	ExitCode uint64
+	// CrashReason is valid in StateCrashed.
+	CrashReason string
+
+	// Stdout accumulates SysWrite output (fd 1).
+	Stdout []byte
+
+	stdin    []byte
+	stdinOff int
+	pending  []byte // request delivered but not yet accepted
+	isChild  bool   // children get exactly one request, then accept returns 0
+
+	rand *rng.Source
+	bin  *binfmt.Binary
+}
+
+// TLS returns the thread-local-storage view at the CPU's current FS base
+// (the process's main TLS block, or the thread's own for SpawnThread'ed
+// threads).
+func (p *Process) TLS() *core.TLS { return core.NewTLS(p.Space, p.CPU.FSBase) }
+
+// TLSAt returns the TLS view at an explicit FS base.
+func (p *Process) TLSAt(base uint64) *core.TLS { return core.NewTLS(p.Space, base) }
+
+// Binary returns the program image the process was spawned from.
+func (p *Process) Binary() *binfmt.Binary { return p.bin }
+
+// Deliver hands a request to a process blocked in accept and unblocks it.
+func (p *Process) Deliver(req []byte) error {
+	if p.State != StateWaiting {
+		return fmt.Errorf("kernel: deliver to process %d in state %s", p.ID, p.State)
+	}
+	p.pending = append([]byte(nil), req...)
+	// accept(2) already trapped; complete it by writing its return value.
+	p.stdin = p.pending
+	p.stdinOff = 0
+	p.pending = nil
+	p.CPU.GPR[isa.RAX] = uint64(len(p.stdin))
+	p.State = StateRunning
+	return nil
+}
+
+// Kernel owns processes and the global entropy source.
+type Kernel struct {
+	rand    *rng.Source
+	nextPID int
+
+	// MaxInsts bounds one Run call; a process exceeding it is crashed with a
+	// budget fault (the analog of a watchdog kill).
+	MaxInsts uint64
+
+	// now is global machine time in cycles, advanced by every Run. New
+	// processes read the time-stamp counter relative to it, so TSC behaves
+	// like hardware: monotonic across the whole machine, never reset by
+	// fork.
+	now uint64
+
+	// spawned collects children created by guest-initiated SysFork calls,
+	// ready to be scheduled by the host via TakeSpawned.
+	spawned []*Process
+}
+
+// TakeSpawned returns and clears the children created by guest fork(2)
+// calls since the last invocation. The host is the scheduler: run them with
+// Run in whatever order the experiment needs.
+func (k *Kernel) TakeSpawned() []*Process {
+	out := k.spawned
+	k.spawned = nil
+	return out
+}
+
+// Now returns the machine's global cycle clock.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// New returns a kernel seeded with seed.
+func New(seed uint64) *Kernel {
+	return &Kernel{rand: rng.New(seed), nextPID: 1, MaxInsts: 4 << 20}
+}
+
+// SpawnOpts configures process creation.
+type SpawnOpts struct {
+	// Libc is the shared C-library image for dynamically linked apps.
+	// Ignored for statically linked apps.
+	Libc *binfmt.Binary
+	// Preload selects the scheme hooks (startup seeding, fork refresh). Zero
+	// means "derive from the app image's scheme metadata".
+	Preload core.Scheme
+}
+
+// Spawn loads the app (plus libc for dynamic linkage), maps stack and TLS,
+// runs the startup hooks (the paper's setup_p-ssp constructor), and returns
+// the new runnable process.
+func (k *Kernel) Spawn(app *binfmt.Binary, opts SpawnOpts) (*Process, error) {
+	sp := mem.NewSpace()
+	if err := binfmt.Load(app, sp); err != nil {
+		return nil, fmt.Errorf("kernel: spawn: %w", err)
+	}
+	if app.Meta[abi.MetaLinkage] != abi.LinkStatic {
+		if opts.Libc == nil {
+			return nil, errors.New("kernel: spawn: dynamically linked app needs a libc image")
+		}
+		if err := binfmt.Load(opts.Libc, sp); err != nil {
+			return nil, fmt.Errorf("kernel: spawn libc: %w", err)
+		}
+	}
+	if _, err := sp.Map("tls", mem.TLSBase, mem.TLSSize, mem.PermRead|mem.PermWrite); err != nil {
+		return nil, err
+	}
+	if _, err := sp.Map("stack", mem.StackTop-mem.StackSize, mem.StackSize, mem.PermRead|mem.PermWrite); err != nil {
+		return nil, err
+	}
+
+	scheme := opts.Preload
+	if scheme == 0 {
+		if s, err := core.ParseScheme(app.Meta[abi.MetaScheme]); err == nil {
+			scheme = s
+		} else {
+			scheme = core.SchemeNone
+		}
+	}
+
+	p := &Process{
+		ID:     k.nextPID,
+		Space:  sp,
+		State:  StateRunning,
+		Scheme: scheme,
+		rand:   k.rand.Fork(),
+		bin:    app,
+	}
+	k.nextPID++
+
+	cpu := vm.New(sp, p.rand)
+	cpu.RIP = app.Entry
+	cpu.TSCBase = k.now
+	cpu.FSBase = mem.TLSBase
+	cpu.GPR[isa.RSP] = mem.StackTop
+	cpu.Sys = &sysHandler{k: k, p: p}
+	p.CPU = cpu
+
+	if err := applyStartupHooks(p); err != nil {
+		return nil, fmt.Errorf("kernel: spawn: startup hooks: %w", err)
+	}
+	return p, nil
+}
+
+// Fork clones a process: full address-space copy (TLS included, as fork(2)
+// semantics require), CPU state, and stdin. It then applies the scheme's
+// fork hooks to the child only — the paper's wrapped fork() — and returns
+// the runnable child.
+//
+// The child is marked single-shot: its first accept consumes the delivered
+// request, its second returns 0 (shutdown), matching a fork-per-connection
+// worker.
+func (k *Kernel) Fork(parent *Process) (*Process, error) {
+	child := &Process{
+		ID:       k.nextPID,
+		Space:    parent.Space.Clone(),
+		State:    parent.State,
+		Scheme:   parent.Scheme,
+		stdin:    append([]byte(nil), parent.stdin...),
+		stdinOff: parent.stdinOff,
+		isChild:  true,
+		rand:     parent.rand.Fork(),
+		bin:      parent.bin,
+	}
+	k.nextPID++
+
+	cpu := vm.New(child.Space, child.rand)
+	*cpu = *parent.CPU
+	cpu.Mem = child.Space
+	cpu.Rand = child.rand
+	// The child keeps reading machine time, not a replay of the parent's
+	// cycle count: TSC is global hardware state.
+	cpu.TSCBase = k.now - cpu.Cycles
+	cpu.Sys = &sysHandler{k: k, p: child}
+	child.CPU = cpu
+
+	if err := applyForkHooks(child); err != nil {
+		return nil, fmt.Errorf("kernel: fork hooks: %w", err)
+	}
+	return child, nil
+}
+
+// Run executes the process until it exits, crashes, or blocks in accept.
+// It returns the resulting state.
+func (k *Kernel) Run(p *Process) State {
+	if p.State != StateRunning {
+		return p.State
+	}
+	startCycles := p.CPU.Cycles
+	defer func() { k.now += p.CPU.Cycles - startCycles }()
+	for i := uint64(0); i < k.MaxInsts; i++ {
+		err := p.CPU.Step()
+		switch {
+		case err == nil:
+		case errors.Is(err, vm.ErrHalted):
+			p.State = StateExited
+			return p.State
+		case errors.Is(err, errAwaitAccept):
+			p.State = StateWaiting
+			return p.State
+		default:
+			p.State = StateCrashed
+			p.CrashReason = err.Error()
+			return p.State
+		}
+	}
+	p.State = StateCrashed
+	p.CrashReason = fmt.Sprintf("instruction budget %d exhausted", k.MaxInsts)
+	return p.State
+}
+
+// sysHandler routes SYSCALL traps to the owning process.
+type sysHandler struct {
+	k *Kernel
+	p *Process
+}
+
+// Syscall implements vm.Syscaller.
+func (h *sysHandler) Syscall(cpu *vm.CPU, nr, a1, a2, a3 uint64) (uint64, error) {
+	p := h.p
+	switch nr {
+	case abi.SysExit:
+		p.ExitCode = a1
+		cpu.Halt()
+		return 0, nil
+
+	case abi.SysAbort:
+		return 0, &vm.CrashError{RIP: cpu.RIP, Reason: "abort (stack smashing detected)"}
+
+	case abi.SysRead:
+		if a1 != 0 {
+			return 0, nil
+		}
+		n := len(p.stdin) - p.stdinOff
+		if n > int(a3) {
+			n = int(a3)
+		}
+		if n <= 0 {
+			return 0, nil
+		}
+		// The kernel copies straight into the caller's buffer with no idea
+		// of stack-frame boundaries — read(fd, buf, too_much) is the
+		// overflow primitive of the threat model.
+		if err := cpu.Mem.Write(a2, p.stdin[p.stdinOff:p.stdinOff+n]); err != nil {
+			return 0, &vm.CrashError{RIP: cpu.RIP, Reason: "read into bad buffer", Cause: err}
+		}
+		p.stdinOff += n
+		return uint64(n), nil
+
+	case abi.SysWrite:
+		if a1 != 1 {
+			return a3, nil
+		}
+		b, err := cpu.Mem.Read(a2, int(a3))
+		if err != nil {
+			return 0, &vm.CrashError{RIP: cpu.RIP, Reason: "write from bad buffer", Cause: err}
+		}
+		p.Stdout = append(p.Stdout, b...)
+		return a3, nil
+
+	case abi.SysGetPID:
+		return uint64(p.ID), nil
+
+	case abi.SysFork:
+		child, err := h.k.Fork(p)
+		if err != nil {
+			return 0, &vm.CrashError{RIP: cpu.RIP, Reason: "fork failed", Cause: err}
+		}
+		child.CPU.GPR[isa.RAX] = 0
+		h.k.spawned = append(h.k.spawned, child)
+		return uint64(child.ID), nil
+
+	case abi.SysAccept:
+		if p.pending != nil {
+			p.stdin = p.pending
+			p.stdinOff = 0
+			p.pending = nil
+			return uint64(len(p.stdin)), nil
+		}
+		if p.isChild {
+			// Fork-per-connection worker: one request per child.
+			return 0, nil
+		}
+		return 0, errAwaitAccept
+
+	default:
+		return 0, &vm.CrashError{RIP: cpu.RIP, Reason: fmt.Sprintf("unknown syscall %d", nr)}
+	}
+}

@@ -1,0 +1,63 @@
+package kernel
+
+import (
+	"errors"
+
+	"repro/internal/vm"
+)
+
+// RunInterleaved executes a set of runnable processes/threads round-robin,
+// quantum instructions at a time, until all have exited or crashed (or the
+// per-entity budget runs out). It returns the final states in input order.
+//
+// The simulator is single-threaded; interleaving at instruction granularity
+// is what exposes shared-state races between threads — e.g. two threads'
+// prologues/epilogues interleaving around the same TLS canary, which P-SSP's
+// design must tolerate (each frame's pair is self-contained; only the
+// never-changing C is shared).
+func (k *Kernel) RunInterleaved(procs []*Process, quantum uint64) []State {
+	if quantum == 0 {
+		quantum = 64
+	}
+	budget := k.MaxInsts
+	for spent := uint64(0); spent < budget; spent += quantum {
+		live := false
+		for _, p := range procs {
+			if p.State != StateRunning {
+				continue
+			}
+			live = true
+			k.step(p, quantum)
+		}
+		if !live {
+			break
+		}
+	}
+	out := make([]State, len(procs))
+	for i, p := range procs {
+		out[i] = p.State
+	}
+	return out
+}
+
+// step runs up to n instructions of p, updating its state like Run does.
+func (k *Kernel) step(p *Process, n uint64) {
+	startCycles := p.CPU.Cycles
+	defer func() { k.now += p.CPU.Cycles - startCycles }()
+	for i := uint64(0); i < n; i++ {
+		err := p.CPU.Step()
+		switch {
+		case err == nil:
+		case errors.Is(err, errAwaitAccept):
+			p.State = StateWaiting
+			return
+		case errors.Is(err, vm.ErrHalted):
+			p.State = StateExited
+			return
+		default:
+			p.State = StateCrashed
+			p.CrashReason = err.Error()
+			return
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// threadedProg has a worker function suitable as a thread entry: a protected
+// frame that stamps a global and returns.
+func threadedProg() *cc.Program {
+	return &cc.Program{
+		Name:    "threaded",
+		Globals: []cc.Global{{Name: "stamp", Size: 8}},
+		Funcs: []*cc.Func{
+			{
+				Name:   "main",
+				Locals: []cc.Local{{Name: "n", Size: 8}},
+				Body: []cc.Stmt{
+					cc.Accept{Dst: "n"}, // park so the test can attach threads
+				},
+			},
+			{
+				Name: "worker",
+				Locals: []cc.Local{
+					{Name: "buf", Size: 16, IsBuffer: true},
+					{Name: "x", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.SetConst{Dst: "x", Value: 77},
+					cc.StoreGlobal{Global: "stamp", Src: "x"},
+					cc.Compute{Ops: 16},
+				},
+			},
+		},
+	}
+}
+
+// spawnParked compiles the program under scheme and parks main at accept.
+func spawnParked(t *testing.T, scheme core.Scheme) (*Kernel, *Process) {
+	t.Helper()
+	bin, err := cc.Compile(threadedProg(), cc.Options{Scheme: scheme, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(31)
+	p, err := k.Spawn(bin, SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(p); st != StateWaiting {
+		t.Fatalf("main did not park: %s (%s)", st, p.CrashReason)
+	}
+	return k, p
+}
+
+func TestThreadRunsProtectedFunctionAndExits(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeSSP, core.SchemePSSP, core.SchemePSSPNT, core.SchemePSSPOWF} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			k, p := spawnParked(t, scheme)
+			th, err := k.SpawnThread(p, "worker", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := k.Run(th); st != StateExited {
+				t.Fatalf("thread state %s (%s)", st, th.CrashReason)
+			}
+			// The thread wrote to the shared address space.
+			sym, ok := p.Binary().Symbol("stamp")
+			if !ok {
+				t.Fatal("no stamp global")
+			}
+			v, err := p.Space.ReadU64(sym.Addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 77 {
+				t.Fatalf("stamp = %d, want 77 (shared memory broken)", v)
+			}
+		})
+	}
+}
+
+func TestThreadSharesCanaryButNotShadow(t *testing.T) {
+	// glibc copies C into every thread's TCB; the wrapped pthread_create
+	// refreshes only the shadow pair — the same invariant as fork.
+	k, p := spawnParked(t, core.SchemePSSP)
+	th, err := k.SpawnThread(p, "worker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMain, err := p.TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cThread, err := th.TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cMain != cThread {
+		t.Fatalf("thread canary %x != process canary %x", cThread, cMain)
+	}
+	m0, m1, err := p.TLS().Shadow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, t1, err := th.TLS().Shadow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0 == t0 && m1 == t1 {
+		t.Fatal("thread shadow pair identical to main's — not refreshed")
+	}
+	if !core.Check(t0, t1, cThread) {
+		t.Fatal("thread shadow inconsistent")
+	}
+}
+
+func TestThreadsHaveDisjointTLSAndStacks(t *testing.T) {
+	k, p := spawnParked(t, core.SchemePSSP)
+	t1, err := k.SpawnThread(p, "worker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := k.SpawnThread(p, "worker", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.CPU.FSBase == t2.CPU.FSBase || t1.CPU.FSBase == p.CPU.FSBase {
+		t.Fatal("threads share an FS base")
+	}
+	if err := t1.TLS().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.TLS().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(t1); st != StateExited {
+		t.Fatalf("t1 %s (%s)", st, t1.CrashReason)
+	}
+	if st := k.Run(t2); st != StateExited {
+		t.Fatalf("t2 %s (%s)", st, t2.CrashReason)
+	}
+}
+
+func TestThreadIDReuseRejected(t *testing.T) {
+	k, p := spawnParked(t, core.SchemeSSP)
+	if _, err := k.SpawnThread(p, "worker", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.SpawnThread(p, "worker", 1); err == nil {
+		t.Fatal("duplicate tid accepted (overlapping mappings)")
+	}
+	if _, err := k.SpawnThread(p, "worker", 0); err == nil {
+		t.Fatal("tid 0 accepted")
+	}
+	if _, err := k.SpawnThread(p, "ghost", 2); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+}
+
+func TestThreadOverflowDetected(t *testing.T) {
+	// A thread's own protected frame still detects corruption: scribble over
+	// the thread's canary slot mid-flight by single-stepping to the body.
+	k, p := spawnParked(t, core.SchemePSSP)
+	th, err := k.SpawnThread(p, "worker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step through the prologue (frame setup + canary install ~6 insts),
+	// then trash the pair slots just below the thread's rbp.
+	for i := 0; i < 8; i++ {
+		if err := th.CPU.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	rbp := th.CPU.GPR[5]
+	if err := th.Space.WriteU64(rbp-8, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(th); st != StateCrashed {
+		t.Fatalf("thread with corrupted canary exited %s", st)
+	}
+}
+
+// forkProg is a hand-assembled guest that calls fork(2) itself: the child
+// writes 'c' and exits 0, the parent writes 'p' and exits with the child's
+// pid.
+const forkProgSrc = `
+_start:
+	movi $57, %rax
+	syscall
+	cmpi $0, %rax
+	je child
+	mov %rax, %r15
+	call emit_p
+	mov %r15, %rdi
+	movi $60, %rax
+	syscall
+child:
+	call emit_c
+	movi $0, %rdi
+	movi $60, %rax
+	syscall
+emit_p:
+	movi $112, %rax
+	stfs %fs:0x900, %rax
+	call emit
+	ret
+emit_c:
+	movi $99, %rax
+	stfs %fs:0x900, %rax
+	call emit
+	ret
+emit:
+	movi $1, %rax
+	movi $1, %rdi
+	movi $1, %rdx
+	movi $0x7f000900, %rsi
+	syscall
+	ret
+`
+
+func TestGuestInitiatedFork(t *testing.T) {
+	bin := buildStatic(t, forkProgSrc, "p-ssp")
+	k := New(61)
+	parent, err := k.Spawn(bin, SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(parent); st != StateExited {
+		t.Fatalf("parent state %s (%s)", st, parent.CrashReason)
+	}
+	if string(parent.Stdout) != "p" {
+		t.Fatalf("parent stdout %q", parent.Stdout)
+	}
+	kids := k.TakeSpawned()
+	if len(kids) != 1 {
+		t.Fatalf("spawned %d children", len(kids))
+	}
+	child := kids[0]
+	if parent.ExitCode != uint64(child.ID) {
+		t.Fatalf("parent exit %d != child pid %d", parent.ExitCode, child.ID)
+	}
+	if st := k.Run(child); st != StateExited {
+		t.Fatalf("child state %s (%s)", st, child.CrashReason)
+	}
+	if string(child.Stdout) != "c" {
+		t.Fatalf("child stdout %q", child.Stdout)
+	}
+	if child.ExitCode != 0 {
+		t.Fatalf("child exit %d", child.ExitCode)
+	}
+	// The P-SSP fork hook ran on the guest-forked child too.
+	pc, _ := parent.TLS().Canary()
+	cc2, _ := child.TLS().Canary()
+	if pc != cc2 {
+		t.Fatal("guest fork changed the TLS canary")
+	}
+	p0, p1, _ := parent.TLS().Shadow()
+	c0, c1, _ := child.TLS().Shadow()
+	if p0 == c0 && p1 == c1 {
+		t.Fatal("guest fork did not refresh the child's shadow pair")
+	}
+	if k.TakeSpawned() != nil {
+		t.Fatal("TakeSpawned did not clear the queue")
+	}
+}
+
+func TestInterleavedThreadsNoFalsePositives(t *testing.T) {
+	// Three threads of the same process run their protected worker frames
+	// interleaved at a tight quantum. Each thread's canary state is
+	// self-contained (own stack, own TLS shadow) while C is shared — no
+	// interleaving may produce a canary mismatch.
+	for _, scheme := range []core.Scheme{core.SchemePSSP, core.SchemePSSPNT, core.SchemePSSPOWF, core.SchemePSSPGB} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			k, p := spawnParked(t, scheme)
+			var threads []*Process
+			for tid := 1; tid <= 3; tid++ {
+				th, err := k.SpawnThread(p, "worker", tid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				threads = append(threads, th)
+			}
+			states := k.RunInterleaved(threads, 3)
+			for i, st := range states {
+				if st != StateExited {
+					t.Fatalf("thread %d state %s (%s)", i, st, threads[i].CrashReason)
+				}
+			}
+		})
+	}
+}
+
+func TestInterleavedQuantumDefault(t *testing.T) {
+	k, p := spawnParked(t, core.SchemeSSP)
+	th, err := k.SpawnThread(p, "worker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := k.RunInterleaved([]*Process{th}, 0) // default quantum
+	if states[0] != StateExited {
+		t.Fatalf("state %s", states[0])
+	}
+}

@@ -1,0 +1,266 @@
+// Package mem implements the byte-addressed virtual memory of the simulated
+// machine: a set of non-overlapping segments with permissions, little-endian
+// word access, and cheap whole-space cloning for the fork model.
+//
+// The address-space layout mirrors a conventional Linux x86-64 process
+// closely enough for the paper's mechanics to carry over: code low, globals
+// above it, the thread-local storage block reachable through the FS base,
+// and a stack near the top of the space growing downward.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Perm is a segment permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// String renders the permission like "rwx".
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Fault describes an invalid memory access. The VM converts faults into
+// simulated process crashes (the analog of SIGSEGV), which is exactly the
+// signal the byte-by-byte attacker observes.
+type Fault struct {
+	Addr  uint64
+	Size  int
+	Write bool
+	Exec  bool
+	Why   string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	if f.Exec {
+		kind = "exec"
+	}
+	return fmt.Sprintf("mem: %s fault at 0x%x (size %d): %s", kind, f.Addr, f.Size, f.Why)
+}
+
+// Segment is one contiguous mapped region.
+type Segment struct {
+	Name string
+	Base uint64
+	Perm Perm
+	Data []byte
+}
+
+// End returns the first address past the segment.
+func (s *Segment) End() uint64 { return s.Base + uint64(len(s.Data)) }
+
+// Contains reports whether [addr, addr+size) lies inside the segment.
+func (s *Segment) Contains(addr uint64, size int) bool {
+	return addr >= s.Base && addr+uint64(size) <= s.End() && addr+uint64(size) >= addr
+}
+
+// CopyIn copies p into the segment starting at byte offset off, bypassing
+// permissions. The loader uses it to install code into read-only/executable
+// segments.
+func (s *Segment) CopyIn(off int, p []byte) error {
+	if off < 0 || off+len(p) > len(s.Data) {
+		return fmt.Errorf("mem: CopyIn to %q at offset %d (%d bytes) out of range (segment size %d)",
+			s.Name, off, len(p), len(s.Data))
+	}
+	copy(s.Data[off:], p)
+	return nil
+}
+
+// Space is a full address space. The zero value is an empty space.
+type Space struct {
+	segs []*Segment // sorted by Base
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// Map creates a segment of the given size. It fails if the region overlaps
+// an existing segment or wraps the address space.
+func (sp *Space) Map(name string, base uint64, size int, perm Perm) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mem: map %q: non-positive size %d", name, size)
+	}
+	if base+uint64(size) < base {
+		return nil, fmt.Errorf("mem: map %q: region wraps address space", name)
+	}
+	for _, s := range sp.segs {
+		if base < s.End() && s.Base < base+uint64(size) {
+			return nil, fmt.Errorf("mem: map %q at 0x%x overlaps segment %q [0x%x,0x%x)",
+				name, base, s.Name, s.Base, s.End())
+		}
+	}
+	seg := &Segment{Name: name, Base: base, Perm: perm, Data: make([]byte, size)}
+	sp.segs = append(sp.segs, seg)
+	sort.Slice(sp.segs, func(i, j int) bool { return sp.segs[i].Base < sp.segs[j].Base })
+	return seg, nil
+}
+
+// Segment returns the segment named name, or nil.
+func (sp *Space) Segment(name string) *Segment {
+	for _, s := range sp.segs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Segments returns the mapped segments in address order. The slice is owned
+// by the Space; callers must not mutate it.
+func (sp *Space) Segments() []*Segment { return sp.segs }
+
+// find locates the segment containing [addr, addr+size).
+func (sp *Space) find(addr uint64, size int) *Segment {
+	// Binary search on Base.
+	i := sort.Search(len(sp.segs), func(i int) bool { return sp.segs[i].End() > addr })
+	if i < len(sp.segs) && sp.segs[i].Contains(addr, size) {
+		return sp.segs[i]
+	}
+	return nil
+}
+
+// Read copies size bytes at addr into a fresh slice.
+func (sp *Space) Read(addr uint64, size int) ([]byte, error) {
+	seg := sp.find(addr, size)
+	if seg == nil {
+		return nil, &Fault{Addr: addr, Size: size, Why: "unmapped"}
+	}
+	if seg.Perm&PermRead == 0 {
+		return nil, &Fault{Addr: addr, Size: size, Why: "segment " + seg.Name + " not readable"}
+	}
+	off := addr - seg.Base
+	out := make([]byte, size)
+	copy(out, seg.Data[off:off+uint64(size)])
+	return out, nil
+}
+
+// Write copies p into memory at addr.
+func (sp *Space) Write(addr uint64, p []byte) error {
+	seg := sp.find(addr, len(p))
+	if seg == nil {
+		return &Fault{Addr: addr, Size: len(p), Write: true, Why: "unmapped"}
+	}
+	if seg.Perm&PermWrite == 0 {
+		return &Fault{Addr: addr, Size: len(p), Write: true, Why: "segment " + seg.Name + " not writable"}
+	}
+	copy(seg.Data[addr-seg.Base:], p)
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit word.
+func (sp *Space) ReadU64(addr uint64) (uint64, error) {
+	b, err := sp.Read(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (sp *Space) WriteU64(addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return sp.Write(addr, b[:])
+}
+
+// ReadU32 reads a little-endian 32-bit word.
+func (sp *Space) ReadU32(addr uint64) (uint32, error) {
+	b, err := sp.Read(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// WriteU32 writes a little-endian 32-bit word.
+func (sp *Space) WriteU32(addr uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return sp.Write(addr, b[:])
+}
+
+// Fetch returns up to size bytes of executable memory at addr for
+// instruction decoding. Unlike Read it tolerates a short result at the end
+// of the segment, since the decoder knows how many bytes it needs.
+func (sp *Space) Fetch(addr uint64, size int) ([]byte, error) {
+	seg := sp.find(addr, 1)
+	if seg == nil {
+		return nil, &Fault{Addr: addr, Size: size, Exec: true, Why: "unmapped"}
+	}
+	if seg.Perm&PermExec == 0 {
+		return nil, &Fault{Addr: addr, Size: size, Exec: true, Why: "segment " + seg.Name + " not executable"}
+	}
+	off := addr - seg.Base
+	end := off + uint64(size)
+	if end > uint64(len(seg.Data)) {
+		end = uint64(len(seg.Data))
+	}
+	return seg.Data[off:end], nil
+}
+
+// Clone returns a deep copy of the space. This is the memory half of the
+// fork(2) model: the child gets an identical address space, including the
+// TLS segment — which is precisely the inheritance the byte-by-byte attack
+// exploits.
+func (sp *Space) Clone() *Space {
+	out := &Space{segs: make([]*Segment, len(sp.segs))}
+	for i, s := range sp.segs {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		out.segs[i] = &Segment{Name: s.Name, Base: s.Base, Perm: s.Perm, Data: d}
+	}
+	return out
+}
+
+// Footprint returns the total mapped bytes — used by the Table IV memory
+// usage column.
+func (sp *Space) Footprint() int {
+	total := 0
+	for _, s := range sp.segs {
+		total += len(s.Data)
+	}
+	return total
+}
+
+// Canonical address-space layout constants shared by the loader and kernel.
+const (
+	// TextBase is where program code is mapped.
+	TextBase uint64 = 0x0040_0000
+	// DataBase is where initialized globals are mapped.
+	DataBase uint64 = 0x0060_0000
+	// HeapBase is where the bump-allocated heap is mapped.
+	HeapBase uint64 = 0x0080_0000
+	// TLSBase is the FS-segment base: thread-local storage. fs:0x28 holds
+	// the classic SSP canary; fs:0x2a8.. holds the P-SSP shadow canary.
+	TLSBase uint64 = 0x7f00_0000
+	// TLSSize is the size of the TLS block.
+	TLSSize = 0x1000
+	// StackTop is the initial stack pointer; the stack grows down from here.
+	StackTop uint64 = 0x7fff_0000
+	// StackSize is the size of the stack mapping, ending at StackTop.
+	StackSize = 0x40000
+)

@@ -1,0 +1,240 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSpace(t *testing.T) *Space {
+	t.Helper()
+	sp := NewSpace()
+	if _, err := sp.Map("text", 0x1000, 0x1000, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Map("data", 0x4000, 0x1000, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	sp := newTestSpace(t)
+	cases := []struct {
+		base uint64
+		size int
+	}{
+		{0x1000, 16},     // exact start
+		{0x1800, 0x1000}, // straddles end of text
+		{0x0f00, 0x200},  // straddles start of text
+		{0x3fff, 2},      // straddles start of data
+	}
+	for _, c := range cases {
+		if _, err := sp.Map("x", c.base, c.size, PermRead); err == nil {
+			t.Errorf("Map(0x%x, %d) succeeded, want overlap error", c.base, c.size)
+		}
+	}
+}
+
+func TestMapAdjacentAllowed(t *testing.T) {
+	sp := newTestSpace(t)
+	if _, err := sp.Map("x", 0x2000, 0x1000, PermRead); err != nil {
+		t.Fatalf("adjacent map failed: %v", err)
+	}
+}
+
+func TestMapRejectsBadSizes(t *testing.T) {
+	sp := NewSpace()
+	if _, err := sp.Map("z", 0, 0, PermRead); err == nil {
+		t.Error("zero-size map succeeded")
+	}
+	if _, err := sp.Map("w", ^uint64(0)-4, 16, PermRead); err == nil {
+		t.Error("wrapping map succeeded")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	sp := newTestSpace(t)
+	payload := []byte("polymorphic canary")
+	if err := sp.Write(0x4010, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.Read(0x4010, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %q, want %q", got, payload)
+	}
+}
+
+func TestU64RoundTripProperty(t *testing.T) {
+	sp := newTestSpace(t)
+	f := func(v uint64, off uint16) bool {
+		addr := 0x4000 + uint64(off)%(0x1000-8)
+		if err := sp.WriteU64(addr, v); err != nil {
+			return false
+		}
+		got, err := sp.ReadU64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU32RoundTrip(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.WriteU32(0x4000, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sp.ReadU32(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Fatalf("got 0x%x", v)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.WriteU64(0x4000, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.Read(0x4000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("byte order %v, want %v", b, want)
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.Write(0x1000, []byte{1}); err == nil {
+		t.Error("write to text succeeded")
+	}
+	if _, err := sp.Fetch(0x4000, 1); err == nil {
+		t.Error("fetch from data succeeded")
+	}
+	var f *Fault
+	err := sp.Write(0x1000, []byte{1})
+	if !errors.As(err, &f) {
+		t.Fatalf("error %v is not a *Fault", err)
+	}
+	if !f.Write {
+		t.Error("fault not marked as write")
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	sp := newTestSpace(t)
+	if _, err := sp.Read(0x9000, 1); err == nil {
+		t.Error("read of unmapped address succeeded")
+	}
+	if err := sp.Write(0x9000, []byte{1}); err == nil {
+		t.Error("write to unmapped address succeeded")
+	}
+	// Access straddling the end of a segment must fault, not partially apply.
+	if _, err := sp.Read(0x4ffc, 8); err == nil {
+		t.Error("read straddling segment end succeeded")
+	}
+}
+
+func TestFetchShortAtEnd(t *testing.T) {
+	sp := newTestSpace(t)
+	b, err := sp.Fetch(0x1ffe, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("fetch at segment end returned %d bytes, want 2", len(b))
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.WriteU64(0x4000, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	cl := sp.Clone()
+	if err := cl.WriteU64(0x4000, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := sp.ReadU64(0x4000)
+	if orig != 0x1111 {
+		t.Fatalf("parent memory changed by child write: 0x%x", orig)
+	}
+	got, _ := cl.ReadU64(0x4000)
+	if got != 0x2222 {
+		t.Fatalf("child memory lost its write: 0x%x", got)
+	}
+}
+
+func TestClonePreservesContents(t *testing.T) {
+	sp := newTestSpace(t)
+	payload := []byte{0xca, 0xfe, 0xba, 0xbe}
+	if err := sp.Write(0x4100, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.Clone().Read(0x4100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("clone lost contents: %v", got)
+	}
+}
+
+func TestSegmentLookupByName(t *testing.T) {
+	sp := newTestSpace(t)
+	if sp.Segment("text") == nil {
+		t.Error("Segment(text) = nil")
+	}
+	if sp.Segment("nope") != nil {
+		t.Error("Segment(nope) != nil")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	sp := newTestSpace(t)
+	if got := sp.Footprint(); got != 0x2000 {
+		t.Fatalf("Footprint() = %d, want %d", got, 0x2000)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := (PermRead | PermWrite).String(); got != "rw-" {
+		t.Fatalf("perm string %q", got)
+	}
+	if got := (PermRead | PermExec).String(); got != "r-x" {
+		t.Fatalf("perm string %q", got)
+	}
+}
+
+func TestFaultErrorMessage(t *testing.T) {
+	f := &Fault{Addr: 0x1234, Size: 8, Write: true, Why: "unmapped"}
+	msg := f.Error()
+	if msg == "" || !bytes.Contains([]byte(msg), []byte("0x1234")) {
+		t.Fatalf("unhelpful fault message %q", msg)
+	}
+}
+
+func TestSegmentsSorted(t *testing.T) {
+	sp := NewSpace()
+	for _, base := range []uint64{0x9000, 0x1000, 0x5000} {
+		if _, err := sp.Map("s", base, 0x100, PermRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := sp.Segments()
+	for i := 1; i < len(segs); i++ {
+		if segs[i-1].Base >= segs[i].Base {
+			t.Fatal("segments not sorted by base")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package rewrite implements the paper's binary instrumentation tool
+// (Section V-C): it upgrades SSP-compiled binaries to P-SSP without
+// recompilation, under the two constraints the paper identifies:
+//
+//  1. The stack layout must not change — code addresses locals by fixed
+//     rbp offsets, so the canary cannot grow from one word to two. The
+//     rewriter therefore downgrades to two 32-bit canaries packed into one
+//     word (core.SplitPacked), trading entropy for layout compatibility,
+//     exactly as the paper does.
+//  2. The code layout must not change — section offsets and function
+//     entries must stay put. Every in-place replacement is byte-for-byte
+//     the same length: the prologue's TLS displacement is patched in situ,
+//     and the epilogue's load+xor pair (13 bytes) becomes load+call+nop
+//     (13 bytes), moving the split-XOR check into a function reached
+//     through the rewritten __stack_chk_fail, as in the paper's Figure 3.
+//
+// New code (the packed-canary checker and a shadow-refresh helper, the
+// analog of the two new glibc functions) is appended: to the libc image for
+// dynamically linked programs (app size unchanged — Table II's 0%), or to a
+// new executable section of the app itself for statically linked programs
+// (the paper's Dyninst step, Table II's ~2.78% growth).
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/binfmt"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Symbol names introduced by the rewriter.
+const (
+	// CheckerSym verifies the packed canary in rdi against the TLS canary:
+	// returns with ZF set on match, aborts on mismatch.
+	CheckerSym = "__pssp_check"
+	// RefreshSym re-randomizes the TLS shadow state (the guest-visible body
+	// of the wrapped fork()).
+	RefreshSym = "__pssp_refresh_shadow"
+)
+
+// Rewrite instruments an SSP-compiled app for P-SSP.
+//
+// For dynamically linked apps, libc must be the SSP libc image the app was
+// linked against; the returned pair is (rewritten app, rewritten libc) and
+// the app's code size is unchanged. For statically linked apps, libc must be
+// nil and the new code is appended to the app; the returned libc is nil.
+func Rewrite(app, libc *binfmt.Binary) (*binfmt.Binary, *binfmt.Binary, error) {
+	if got := app.Meta[abi.MetaScheme]; got != core.SchemeSSP.String() {
+		return nil, nil, fmt.Errorf("rewrite: app is %q, need an SSP-compiled binary", got)
+	}
+	static := app.Meta[abi.MetaLinkage] == abi.LinkStatic
+	if static && libc != nil {
+		return nil, nil, fmt.Errorf("rewrite: statically linked app takes no libc image")
+	}
+	if !static && libc == nil {
+		return nil, nil, fmt.Errorf("rewrite: dynamically linked app needs its libc image")
+	}
+
+	newApp := app.Clone()
+	var newLibc *binfmt.Binary
+
+	var checkerAddr uint64
+	if static {
+		// Append the new functions as a fresh executable section placed
+		// after .text — the Dyninst-added code section.
+		text := newApp.Text()
+		if text == nil {
+			return nil, nil, fmt.Errorf("rewrite: app has no .text")
+		}
+		base := text.Addr + uint64(len(text.Data))
+		blob, syms := newCodeSection(base)
+		newApp.AddSection(".pssp.text", base, mem.PermRead|mem.PermExec, blob)
+		for _, s := range syms {
+			newApp.AddSymbol(s)
+		}
+		checkerAddr = syms[0].Addr
+		if err := hookStackChkFail(newApp, newApp.Text(), checkerAddr); err != nil {
+			return nil, nil, err
+		}
+		if err := rewriteFunctions(newApp, newApp.Text(), checkerAddr); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		newLibc = libc.Clone()
+		sec := newLibc.Section(".text.libc")
+		if sec == nil {
+			return nil, nil, fmt.Errorf("rewrite: libc image has no .text.libc")
+		}
+		base := sec.Addr + uint64(len(sec.Data))
+		blob, syms := newCodeSection(base)
+		newLibc.AddSection(".pssp.text", base, mem.PermRead|mem.PermExec, blob)
+		for _, s := range syms {
+			newLibc.AddSymbol(s)
+		}
+		checkerAddr = syms[0].Addr
+		if err := hookStackChkFail(newLibc, sec, checkerAddr); err != nil {
+			return nil, nil, err
+		}
+		// libc's own protected functions (e.g. libc_echo) are rewritten too.
+		if err := rewriteFunctions(newLibc, sec, checkerAddr); err != nil {
+			return nil, nil, err
+		}
+		if err := rewriteFunctions(newApp, newApp.Text(), checkerAddr); err != nil {
+			return nil, nil, err
+		}
+		newLibc.Meta[abi.MetaScheme] = core.SchemePSSP.String()
+	}
+
+	newApp.Meta[abi.MetaScheme] = core.SchemePSSP.String()
+	newApp.Meta["instrumented"] = "p-ssp"
+	return newApp, newLibc, nil
+}
+
+// rewriteFunctions walks every function symbol inside sec and applies the
+// two same-length replacements.
+func rewriteFunctions(bin *binfmt.Binary, sec *binfmt.Section, checkerAddr uint64) error {
+	for _, fn := range bin.Funcs() {
+		if fn.Addr < sec.Addr || fn.Addr+fn.Size > sec.Addr+uint64(len(sec.Data)) {
+			continue // symbol lives in another section
+		}
+		if fn.Name == cc_StackChkFail || fn.Name == CheckerSym || fn.Name == RefreshSym {
+			continue
+		}
+		if err := rewriteFunction(sec, fn, checkerAddr); err != nil {
+			return fmt.Errorf("rewrite: %s: %w", fn.Name, err)
+		}
+	}
+	return nil
+}
+
+// cc_StackChkFail mirrors cc.StackChkFail without importing the compiler.
+const cc_StackChkFail = "__stack_chk_fail"
+
+// rewriteFunction scans one function and patches its SSP prologue and
+// epilogue in place.
+func rewriteFunction(sec *binfmt.Section, fn binfmt.Symbol, checkerAddr uint64) error {
+	start := int(fn.Addr - sec.Addr)
+	end := start + int(fn.Size)
+	code := sec.Data
+
+	for off := start; off < end; {
+		in, n, err := isa.Decode(code, off)
+		if err != nil {
+			return fmt.Errorf("decode at +%d: %w", off-start, err)
+		}
+
+		// Prologue: mov %fs:0x28, %rax  ->  mov %fs:packed, %rax.
+		// Identical encoding length; only the displacement field changes
+		// (the paper's single-instruction prologue patch, Code 5).
+		if in.Op == isa.LDFS && in.R1 == isa.RAX && in.Disp == core.TLSCanaryOff {
+			patched := isa.Encode(nil, isa.Inst{Op: isa.LDFS, R1: isa.RAX, Disp: core.TLSPackedOff})
+			copy(code[off:], patched)
+			off += n
+			continue
+		}
+
+		// Epilogue: [load -d(%rbp), %rdx ; xor %fs:0x28, %rdx] (13 bytes)
+		// -> [load -d(%rbp), %rdi ; call __pssp_check ; nop] (13 bytes).
+		// The following je/call-fail pair is left untouched; the checker
+		// returns with ZF reflecting the packed-pair comparison.
+		if in.Op == isa.LOAD && in.R1 == isa.RDX && in.Base == isa.RBP {
+			nxt, n2, err2 := isa.Decode(code, off+n)
+			if err2 == nil && nxt.Op == isa.XORFS && nxt.R1 == isa.RDX && nxt.Disp == core.TLSCanaryOff {
+				repl := isa.Encode(nil, isa.Inst{Op: isa.LOAD, R1: isa.RDI, Base: isa.RBP, Disp: in.Disp})
+				callAt := uint64(len(repl))
+				call := isa.Inst{Op: isa.CALL}
+				next := sec.Addr + uint64(off) + callAt + uint64(call.Len())
+				call.Disp = int32(int64(checkerAddr) - int64(next))
+				repl = isa.Encode(repl, call)
+				repl = isa.Encode(repl, isa.Inst{Op: isa.NOP})
+				if len(repl) != n+n2 {
+					return fmt.Errorf("replacement is %d bytes, slot is %d — would shift code", len(repl), n+n2)
+				}
+				copy(code[off:], repl)
+				off += n + n2
+				continue
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// hookStackChkFail overwrites the entry of the stock __stack_chk_fail with a
+// jmp to the checker (the paper's Figure 3: the canary check is spliced in
+// front of the failure handling). SSP-compiled callers that reach it with a
+// non-packed rdi fail the check with overwhelming probability and abort, so
+// SSP compatibility is preserved.
+func hookStackChkFail(bin *binfmt.Binary, sec *binfmt.Section, checkerAddr uint64) error {
+	sym, ok := bin.Symbol(cc_StackChkFail)
+	if !ok {
+		return fmt.Errorf("rewrite: no %s symbol", cc_StackChkFail)
+	}
+	jmp := isa.Inst{Op: isa.JMP}
+	next := sym.Addr + uint64(jmp.Len())
+	jmp.Disp = int32(int64(checkerAddr) - int64(next))
+	enc := isa.Encode(nil, jmp)
+	if uint64(len(enc)) > sym.Size {
+		return fmt.Errorf("rewrite: %s too small to hook (%d bytes)", cc_StackChkFail, sym.Size)
+	}
+	return copyInto(sec, sym.Addr, enc)
+}
+
+func copyInto(sec *binfmt.Section, addr uint64, p []byte) error {
+	off := int(addr - sec.Addr)
+	if off < 0 || off+len(p) > len(sec.Data) {
+		return fmt.Errorf("rewrite: patch at 0x%x outside section %s", addr, sec.Name)
+	}
+	copy(sec.Data[off:], p)
+	return nil
+}
+
+// newCodeSection emits the appended code: the packed-canary checker and the
+// shadow-refresh helper. It returns the encoded blob and its symbols (the
+// checker first).
+func newCodeSection(base uint64) ([]byte, []binfmt.Symbol) {
+	checker := checkerCode()
+	refresh := refreshCode()
+	blob := append(append([]byte{}, checker...), refresh...)
+	return blob, []binfmt.Symbol{
+		{Name: CheckerSym, Addr: base, Size: uint64(len(checker)), Kind: binfmt.SymFunc},
+		{Name: RefreshSym, Addr: base + uint64(len(checker)), Size: uint64(len(refresh)), Kind: binfmt.SymFunc},
+	}
+}
+
+// checkerCode implements the paper's Figure 4 check on the packed canary in
+// rdi: split into C0 (low 32) and C1 (high 32), XOR them, compare with the
+// low 32 bits of the TLS canary. Match: return with ZF set. Mismatch: abort
+// (the spliced __GI__fortify_fail path).
+func checkerCode() []byte {
+	abortSeq := []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: abi.SysAbort},
+		{Op: isa.SYSCALL},
+	}
+	abortLen := 0
+	for _, in := range abortSeq {
+		abortLen += in.Len()
+	}
+	seq := []isa.Inst{
+		{Op: isa.MOVRR, R1: isa.RDX, R2: isa.RDI},
+		{Op: isa.SHRRI, R1: isa.RDX, Imm: 32},         // rdx = C1
+		{Op: isa.MOVRI, R1: isa.R10, Imm: 0xffffffff}, //
+		{Op: isa.ANDRR, R1: isa.RDI, R2: isa.R10},     // rdi = C0
+		{Op: isa.XORRR, R1: isa.RDI, R2: isa.RDX},     // rdi = C0^C1
+		{Op: isa.LDFS, R1: isa.R11, Disp: core.TLSCanaryOff},
+		{Op: isa.ANDRR, R1: isa.R11, R2: isa.R10}, // r11 = C & 0xffffffff
+		{Op: isa.CMPRR, R1: isa.R11, R2: isa.RDI}, // ZF = match
+		{Op: isa.JE, Disp: int32(abortLen)},       // skip abort on match
+	}
+	seq = append(seq, abortSeq...)
+	seq = append(seq, isa.Inst{Op: isa.RET})
+	return isa.EncodeAll(seq)
+}
+
+// refreshCode re-randomizes the TLS shadow state from guest code: a fresh
+// 64-bit pair at fs:0x2a8/0x2b0 and a fresh packed 32-bit pair at the packed
+// slot. It is the guest-visible body of the paper's wrapped fork()/
+// pthread_create().
+func refreshCode() []byte {
+	return isa.EncodeAll([]isa.Inst{
+		// 64-bit pair: C0 = rdrand; C1 = C0 ^ C.
+		{Op: isa.RDRAND, R1: isa.RAX},
+		{Op: isa.STFS, R1: isa.RAX, Disp: core.TLSShadow0Off},
+		{Op: isa.LDFS, R1: isa.RCX, Disp: core.TLSCanaryOff},
+		{Op: isa.XORRR, R1: isa.RCX, R2: isa.RAX},
+		{Op: isa.STFS, R1: isa.RCX, Disp: core.TLSShadow1Off},
+		// Packed pair: c0 = rand32; c1 = c0 ^ (C & 0xffffffff); pack.
+		{Op: isa.RDRAND, R1: isa.R10},
+		{Op: isa.MOVRI, R1: isa.R11, Imm: 0xffffffff},
+		{Op: isa.ANDRR, R1: isa.R10, R2: isa.R11},
+		{Op: isa.LDFS, R1: isa.RCX, Disp: core.TLSCanaryOff},
+		{Op: isa.ANDRR, R1: isa.RCX, R2: isa.R11},
+		{Op: isa.XORRR, R1: isa.RCX, R2: isa.R10},
+		{Op: isa.SHLRI, R1: isa.RCX, Imm: 32},
+		{Op: isa.ORRR, R1: isa.RCX, R2: isa.R10},
+		{Op: isa.STFS, R1: isa.RCX, Disp: core.TLSPackedOff},
+		{Op: isa.RET},
+	})
+}

@@ -1,0 +1,356 @@
+package rewrite
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/binfmt"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// vulnServer mirrors the canonical test server from internal/cc.
+func vulnServer() *cc.Program {
+	return &cc.Program{
+		Name: "vulnserver",
+		Funcs: []*cc.Func{
+			{
+				Name:   "main",
+				Locals: []cc.Local{{Name: "r", Size: 8}},
+				Body:   []cc.Stmt{cc.Call{Callee: "serve"}, cc.Return{}},
+			},
+			{
+				Name: "serve",
+				Locals: []cc.Local{
+					{Name: "buf", Size: 16, IsBuffer: true},
+					{Name: "n", Size: 8},
+				},
+				Body: []cc.Stmt{
+					cc.Accept{Dst: "n"},
+					cc.While{Var: "n", Body: []cc.Stmt{
+						cc.ReadInput{Buf: "buf", LenVar: "n"},
+						cc.WriteOutput{Src: "buf", Len: 4},
+						cc.Accept{Dst: "n"},
+					}},
+				},
+			},
+		},
+	}
+}
+
+func buildSSP(t *testing.T, linkage string, libc *binfmt.Binary) *binfmt.Binary {
+	t.Helper()
+	bin, err := cc.Compile(vulnServer(), cc.Options{Scheme: core.SchemeSSP, Linkage: linkage, Libc: libc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestRewriteRejectsNonSSP(t *testing.T) {
+	bin, err := cc.Compile(vulnServer(), cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Rewrite(bin, nil); err == nil {
+		t.Fatal("rewriting a P-SSP binary succeeded")
+	}
+}
+
+func TestRewriteLinkageArgumentValidation(t *testing.T) {
+	st := buildSSP(t, abi.LinkStatic, nil)
+	libc, err := cc.BuildLibc(core.SchemeSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Rewrite(st, libc); err == nil {
+		t.Fatal("static app with libc accepted")
+	}
+	dyn := buildSSP(t, abi.LinkDynamic, libc)
+	if _, _, err := Rewrite(dyn, nil); err == nil {
+		t.Fatal("dynamic app without libc accepted")
+	}
+}
+
+func TestStaticRewritePreservesTextAndEntries(t *testing.T) {
+	orig := buildSSP(t, abi.LinkStatic, nil)
+	instr, _, err := Rewrite(orig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's constraint: the original .text must not change size, and
+	// every function entry stays put.
+	if len(instr.Text().Data) != len(orig.Text().Data) {
+		t.Fatalf(".text grew from %d to %d", len(orig.Text().Data), len(instr.Text().Data))
+	}
+	for _, fn := range orig.Funcs() {
+		got, ok := instr.Symbol(fn.Name)
+		if !ok || got.Addr != fn.Addr {
+			t.Fatalf("function %s moved: 0x%x -> 0x%x", fn.Name, fn.Addr, got.Addr)
+		}
+	}
+	// New code appended as a separate section.
+	if instr.Section(".pssp.text") == nil {
+		t.Fatal("no .pssp.text section appended")
+	}
+	if _, ok := instr.Symbol(CheckerSym); !ok {
+		t.Fatal("checker symbol missing")
+	}
+	// Original binary untouched.
+	if bytes.Contains(orig.Text().Data, []byte{}) && orig.Section(".pssp.text") != nil {
+		t.Fatal("input binary mutated")
+	}
+	// Growth exists but is modest (Table II shape for static linking).
+	growth := float64(instr.CodeSize()-orig.CodeSize()) / float64(orig.CodeSize())
+	if growth <= 0 || growth > 0.5 {
+		t.Fatalf("static growth %.2f%% implausible", growth*100)
+	}
+}
+
+func TestDynamicRewriteAppSizeUnchanged(t *testing.T) {
+	libc, err := cc.BuildLibc(core.SchemeSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := buildSSP(t, abi.LinkDynamic, libc)
+	instrApp, instrLibc, err := Rewrite(orig, libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II: dynamic instrumentation has zero app code expansion.
+	if instrApp.CodeSize() != orig.CodeSize() {
+		t.Fatalf("dynamic app code size changed: %d -> %d", orig.CodeSize(), instrApp.CodeSize())
+	}
+	if instrLibc == nil || instrLibc.Section(".pssp.text") == nil {
+		t.Fatal("rewritten libc missing appended section")
+	}
+}
+
+// runServer spins up a fork server on the given images.
+func runServer(t *testing.T, seed uint64, app, libc *binfmt.Binary) *kernel.ForkServer {
+	t.Helper()
+	k := kernel.New(seed)
+	srv, err := kernel.NewForkServer(k, app, kernel.SpawnOpts{Libc: libc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestInstrumentedStaticBinaryWorks(t *testing.T) {
+	instr, _, err := Rewrite(buildSSP(t, abi.LinkStatic, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := runServer(t, 21, instr, nil)
+	for i := 0; i < 5; i++ {
+		out, err := srv.Handle([]byte("ping"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Crashed {
+			t.Fatalf("benign request %d crashed: %s", i, out.CrashReason)
+		}
+		if !bytes.Equal(out.Response, []byte("ping")) {
+			t.Fatalf("response %q", out.Response)
+		}
+	}
+}
+
+func TestInstrumentedStaticBinaryDetectsOverflow(t *testing.T) {
+	instr, _, err := Rewrite(buildSSP(t, abi.LinkStatic, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := runServer(t, 22, instr, nil)
+	crashed := false
+	for _, fill := range []byte{0x00, 0xff} {
+		out, err := srv.Handle(bytes.Repeat([]byte{fill}, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed = crashed || out.Crashed
+	}
+	if !crashed {
+		t.Fatal("instrumented binary did not detect overflow")
+	}
+}
+
+func TestInstrumentedDynamicBinaryWorks(t *testing.T) {
+	libc, err := cc.BuildLibc(core.SchemeSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := buildSSP(t, abi.LinkDynamic, libc)
+	instrApp, instrLibc, err := Rewrite(app, libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := runServer(t, 23, instrApp, instrLibc)
+	out, err := srv.Handle([]byte("pong"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("benign request crashed: %s", out.CrashReason)
+	}
+	if !bytes.Equal(out.Response, []byte("pong")) {
+		t.Fatalf("response %q", out.Response)
+	}
+
+	crashed := false
+	for _, fill := range []byte{0x00, 0xff} {
+		out, err := srv.Handle(bytes.Repeat([]byte{fill}, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed = crashed || out.Crashed
+	}
+	if !crashed {
+		t.Fatal("instrumented dynamic binary did not detect overflow")
+	}
+}
+
+func TestInstrumentedPackedPairRefreshesPerFork(t *testing.T) {
+	// The instrumented binary reads the packed pair from the TLS; two
+	// children must observe different pairs that both verify against C.
+	instr, _, err := Rewrite(buildSSP(t, abi.LinkStatic, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(24)
+	srv, err := kernel.NewForkServer(k, instr, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := k.Fork(srv.Parent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Fork(srv.Parent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := a.TLS().Canary()
+	pa, errA := a.Space.ReadU64(a.TLS().Base() + core.TLSPackedOff)
+	pb, errB := b.Space.ReadU64(b.TLS().Base() + core.TLSPackedOff)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if pa == pb {
+		t.Fatal("packed pair identical across forks")
+	}
+	if !core.CheckPacked(pa, c) || !core.CheckPacked(pb, c) {
+		t.Fatal("packed pair inconsistent with TLS canary")
+	}
+}
+
+func TestSSPCallersStillAbortThroughHookedChkFail(t *testing.T) {
+	// Compatibility (paper Section V-C): an SSP-compiled function that
+	// detects a mismatch calls __stack_chk_fail with a non-packed rdi; the
+	// hooked checker must still abort. We simulate by mixing: libc stays
+	// SSP-compiled but is hooked; libc_echo's canary gets corrupted.
+	libc, err := cc.BuildLibc(core.SchemeSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := vulnServer()
+	prog.Funcs[1].Body = []cc.Stmt{
+		cc.Accept{Dst: "n"},
+		cc.While{Var: "n", Body: []cc.Stmt{
+			cc.ReadInput{Buf: "buf", LenVar: "n"}, // still vulnerable
+			cc.Call{Callee: "libc_echo"},
+			cc.Accept{Dst: "n"},
+		}},
+	}
+	app, err := cc.Compile(prog, cc.Options{Scheme: core.SchemeSSP, Libc: libc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrApp, instrLibc, err := Rewrite(app, libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := runServer(t, 25, instrApp, instrLibc)
+	// Benign request flows through both modules.
+	out, err := srv.Handle([]byte("abcd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Fatalf("benign mixed request crashed: %s", out.CrashReason)
+	}
+	// Overflow in the instrumented app function must abort via the hook.
+	crashed := false
+	for _, fill := range []byte{0x00, 0xff} {
+		out, err := srv.Handle(bytes.Repeat([]byte{fill}, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed = crashed || out.Crashed
+	}
+	if !crashed {
+		t.Fatal("overflow undetected in mixed instrumented binary")
+	}
+}
+
+func TestRefreshShadowGuestFunction(t *testing.T) {
+	// The appended refresh helper must maintain the TLS invariants when
+	// called from guest code.
+	prog := &cc.Program{
+		Name: "refresher",
+		Funcs: []*cc.Func{{
+			Name:   "main",
+			Locals: []cc.Local{{Name: "b", Size: 16, IsBuffer: true}},
+			Body:   []cc.Stmt{cc.ReadInput{Buf: "b", MaxLen: 8}},
+		}},
+	}
+	app, err := cc.Compile(prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, _, err := Rewrite(app, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(26)
+	p, err := k.Spawn(instr, kernel.SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := p.Space.ReadU64(p.TLS().Base() + core.TLSPackedOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the CPU at the refresh helper and run it to its RET (which will
+	// fault popping an empty call stack into _start's frame; run Step-wise).
+	sym, ok := instr.Symbol(RefreshSym)
+	if !ok {
+		t.Fatal("no refresh symbol")
+	}
+	p.CPU.RIP = sym.Addr
+	for i := 0; i < 64; i++ {
+		if err := p.CPU.Step(); err != nil {
+			break
+		}
+		if _, done := instr.FuncAt(p.CPU.RIP); !done {
+			break
+		}
+	}
+	after, err := p.Space.ReadU64(p.TLS().Base() + core.TLSPackedOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.TLS().Canary()
+	if after == before {
+		t.Fatal("refresh did not change packed pair")
+	}
+	if !core.CheckPacked(after, c) {
+		t.Fatal("refreshed packed pair inconsistent")
+	}
+	if err := p.TLS().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

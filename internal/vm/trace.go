@@ -1,0 +1,82 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Tracer observes instruction execution. Install one on a CPU to debug guest
+// code or to collect per-opcode statistics for the cost-model experiments.
+type Tracer interface {
+	// Trace is called before each instruction executes.
+	Trace(cpu *CPU, in isa.Inst)
+}
+
+// SetTracer installs (or clears, with nil) the CPU's tracer.
+func (c *CPU) SetTracer(t Tracer) { c.tracer = t }
+
+// WriterTracer writes one line per instruction: cycle count, RIP, and the
+// disassembled instruction.
+type WriterTracer struct {
+	W io.Writer
+	// Limit stops printing after this many instructions (0 = unlimited).
+	Limit uint64
+	n     uint64
+}
+
+// Trace implements Tracer.
+func (t *WriterTracer) Trace(cpu *CPU, in isa.Inst) {
+	if t.Limit > 0 && t.n >= t.Limit {
+		return
+	}
+	t.n++
+	fmt.Fprintf(t.W, "%10d  %08x  %s\n", cpu.Cycles, cpu.RIP, in)
+}
+
+// OpStats counts executed instructions and cycles per opcode — the
+// measurement behind per-scheme cost attribution.
+type OpStats struct {
+	Count  [isa.NumOps]uint64
+	Cycles [isa.NumOps]uint64
+}
+
+// Trace implements Tracer.
+func (s *OpStats) Trace(_ *CPU, in isa.Inst) {
+	s.Count[in.Op]++
+	s.Cycles[in.Op] += in.Op.Cycles()
+}
+
+// Total returns overall instruction and cycle counts.
+func (s *OpStats) Total() (insts, cycles uint64) {
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		insts += s.Count[op]
+		cycles += s.Cycles[op]
+	}
+	return insts, cycles
+}
+
+// Report renders non-zero opcode rows, most cycles first.
+func (s *OpStats) Report(w io.Writer) {
+	type row struct {
+		op isa.Op
+	}
+	var rows []row
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		if s.Count[op] > 0 {
+			rows = append(rows, row{op})
+		}
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if s.Cycles[rows[j].op] > s.Cycles[rows[i].op] {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "opcode", "count", "cycles")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12d %12d\n", r.op.Name(), s.Count[r.op], s.Cycles[r.op])
+	}
+}
