@@ -17,16 +17,13 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/abi"
-	"repro/internal/apps"
-	"repro/internal/attack"
-	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/kernel"
 	"repro/internal/rng"
+	"repro/pssp"
 )
 
 var benchCfg = harness.Config{Seed: 2018, WebRequests: 16, DBQueries: 8, AttackBudget: 3000}
@@ -156,69 +153,56 @@ func BenchmarkSplitPacked(b *testing.B) {
 }
 
 func BenchmarkVMSpecProgram(b *testing.B) {
-	app, err := apps.SpecByName("403.gcc")
-	if err != nil {
-		b.Fatal(err)
-	}
-	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	ctx := context.Background()
+	img, err := pssp.NewMachine(pssp.WithScheme(pssp.SchemePSSP)).CompileApp("403.gcc")
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var insts uint64
 	for i := 0; i < b.N; i++ {
-		k := kernel.New(1)
-		k.MaxInsts = 256 << 20
-		p, err := k.Spawn(bin, kernel.SpawnOpts{})
+		res, err := pssp.NewMachine(pssp.WithSeed(1)).Run(ctx, img)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if st := k.Run(p); st != kernel.StateExited {
-			b.Fatalf("state %v", st)
-		}
-		insts = p.CPU.Insts
+		insts = res.Insts
 	}
 	b.ReportMetric(float64(insts), "guest-insts/op")
 }
 
 func BenchmarkForkServerRequest(b *testing.B) {
-	app := apps.WebServers()[1] // nginx
-	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
-	if err != nil {
-		b.Fatal(err)
-	}
-	k := kernel.New(1)
-	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	ctx := context.Background()
+	m := pssp.NewMachine(pssp.WithSeed(1), pssp.WithScheme(pssp.SchemePSSP))
+	app, _ := pssp.App("nginx")
+	srv, err := m.Pipeline().CompileApp("nginx").Serve(ctx)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := srv.Handle(app.Request)
+		out, err := srv.Handle(ctx, app.Request)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if out.Crashed {
-			b.Fatal(out.CrashReason)
+		if out.Crashed() {
+			b.Fatal(out.Err)
 		}
 	}
 }
 
 func BenchmarkByteByByteAttackSSP(b *testing.B) {
-	target := apps.VulnServers()[0]
-	bin, err := cc.Compile(target.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+	ctx := context.Background()
+	img, err := pssp.NewMachine(pssp.WithScheme(pssp.SchemeSSP)).CompileApp("nginx-vuln")
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		k := kernel.New(uint64(i) + 1)
-		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		m := pssp.NewMachine(pssp.WithSeed(uint64(i)+1), pssp.WithAttackBudget(16*256*8))
+		srv, err := m.Serve(ctx, img)
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv}, attack.Config{
-			BufLen: apps.VulnServerBufSize,
-		})
+		res, err := srv.Attack(ctx, pssp.AttackConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 // Command psspattack runs the byte-by-byte canary brute-force against one of
 // the vulnerable server analogs and reports the outcome — the CLI face of
-// the paper's §VI-C effectiveness experiment.
+// the paper's §VI-C effectiveness experiment, built on the public pssp
+// facade.
 //
 // Usage:
 //
@@ -9,16 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/abi"
-	"repro/internal/apps"
-	"repro/internal/attack"
-	"repro/internal/cc"
-	"repro/internal/core"
-	"repro/internal/kernel"
+	"repro/pssp"
 )
 
 func main() {
@@ -34,42 +31,29 @@ func main() {
 		os.Exit(1)
 	}
 
-	var app *apps.App
-	for _, a := range apps.VulnServers() {
-		if a.Name == *target {
-			app = &a
-			break
-		}
+	s, err := pssp.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
 	}
-	if app == nil {
-		fail(fmt.Errorf("unknown target %q", *target))
-	}
-	s, err := core.ParseScheme(*scheme)
+	m := pssp.NewMachine(
+		pssp.WithSeed(*seed),
+		pssp.WithScheme(s),
+		pssp.WithAttackBudget(*budget),
+	)
+	ctx := context.Background()
+	srv, err := m.Pipeline().CompileApp(*target).Serve(ctx)
 	if err != nil {
 		fail(err)
 	}
 
-	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: s, Linkage: abi.LinkStatic})
-	if err != nil {
-		fail(err)
-	}
-	k := kernel.New(*seed)
-	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
-	if err != nil {
-		fail(err)
-	}
-
-	fmt.Printf("attacking %s (scheme %s), budget %d trials...\n", app.Name, s, *budget)
-	res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv}, attack.Config{
-		BufLen:    apps.VulnServerBufSize,
-		MaxTrials: *budget,
-	})
+	fmt.Printf("attacking %s (scheme %s), budget %d trials...\n", *target, s, *budget)
+	res, err := srv.Attack(ctx, pssp.AttackConfig{})
 	if err != nil {
 		fail(err)
 	}
 
 	if res.Success {
-		real, err := srv.Parent().TLS().Canary()
+		real, err := srv.Canary()
 		if err != nil {
 			fail(err)
 		}
@@ -84,5 +68,5 @@ func main() {
 		fmt.Printf("FAILED after %d trials (stalled at byte %d) — polymorphic canaries resisted\n",
 			res.Trials, res.FailedAt)
 	}
-	fmt.Printf("children crashed during attack: %d\n", srv.Crashes)
+	fmt.Printf("children crashed during attack: %d\n", srv.Crashes())
 }

@@ -1,6 +1,6 @@
 // Command psspcc compiles a program from the built-in application suite
 // under a chosen protection scheme and writes the loadable binary image —
-// the CLI face of the compiler plugin.
+// the CLI face of the compiler plugin, built on the public pssp facade.
 //
 // Usage:
 //
@@ -9,8 +9,7 @@
 //	psspcc -app 400.perlbench -scheme ssp -linkage static -o perl.bin
 //	psspcc -libc p-ssp -o libc.bin      # build a shared libc image
 //
-// Dynamic linkage (the default) also requires -libc-out to emit the matching
-// libc image, or an existing one via -libc-in.
+// Dynamic linkage requires an existing libc image via -libc-in.
 package main
 
 import (
@@ -18,11 +17,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/abi"
-	"repro/internal/apps"
-	"repro/internal/binfmt"
-	"repro/internal/cc"
-	"repro/internal/core"
+	"repro/pssp"
 )
 
 func main() {
@@ -30,7 +25,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available programs")
 		appName  = flag.String("app", "", "program to compile (see -list)")
 		scheme   = flag.String("scheme", "p-ssp", "protection scheme")
-		linkage  = flag.String("linkage", abi.LinkStatic, "static | dynamic")
+		linkage  = flag.String("linkage", "static", "static | dynamic")
 		out      = flag.String("o", "", "output binary path")
 		libcOnly = flag.String("libc", "", "build a libc image with this scheme instead of an app")
 		libcIn   = flag.String("libc-in", "", "existing libc image (dynamic linkage)")
@@ -42,9 +37,9 @@ func main() {
 	}
 
 	if *list {
-		for _, app := range apps.All() {
+		for _, app := range pssp.Apps() {
 			kind := "batch"
-			if app.Kind == apps.KindServer {
+			if app.Server {
 				kind = "server"
 			}
 			fmt.Printf("%-18s %s\n", app.Name, kind)
@@ -56,59 +51,50 @@ func main() {
 	}
 
 	if *libcOnly != "" {
-		s, err := core.ParseScheme(*libcOnly)
+		s, err := pssp.ParseScheme(*libcOnly)
 		if err != nil {
 			fail(err)
 		}
-		libc, err := cc.BuildLibc(s)
+		libc, err := pssp.NewMachine().CompileLibc(s)
 		if err != nil {
 			fail(err)
 		}
-		if err := os.WriteFile(*out, binfmt.Marshal(libc), 0o644); err != nil {
+		if err := libc.WriteFile(*out); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote libc image %s (%d bytes, scheme %s)\n", *out, libc.TotalSize(), s)
 		return
 	}
 
-	var prog *apps.App
-	for _, a := range apps.All() {
-		if a.Name == *appName {
-			prog = &a
-			break
-		}
-	}
-	if prog == nil {
-		fail(fmt.Errorf("unknown app %q (try -list)", *appName))
-	}
-	s, err := core.ParseScheme(*scheme)
+	s, err := pssp.ParseScheme(*scheme)
 	if err != nil {
 		fail(err)
 	}
+	m := pssp.NewMachine(pssp.WithScheme(s))
 
-	opts := cc.Options{Scheme: s, Linkage: *linkage}
-	if *linkage == abi.LinkDynamic {
+	var opts []pssp.CompileOption
+	switch *linkage {
+	case "static":
+	case "dynamic":
 		if *libcIn == "" {
 			fail(fmt.Errorf("dynamic linkage needs -libc-in (build one with -libc)"))
 		}
-		raw, err := os.ReadFile(*libcIn)
+		libc, err := pssp.OpenImage(*libcIn)
 		if err != nil {
 			fail(err)
 		}
-		libc, err := binfmt.Unmarshal(raw)
-		if err != nil {
-			fail(err)
-		}
-		opts.Libc = libc
+		opts = append(opts, pssp.CompileDynamic(libc))
+	default:
+		fail(fmt.Errorf("unknown linkage %q", *linkage))
 	}
 
-	bin, err := cc.Compile(prog.Prog, opts)
+	bin, err := m.CompileApp(*appName, opts...)
 	if err != nil {
-		fail(err)
+		fail(fmt.Errorf("%w (try -list)", err))
 	}
-	if err := os.WriteFile(*out, binfmt.Marshal(bin), 0o644); err != nil {
+	if err := bin.WriteFile(*out); err != nil {
 		fail(err)
 	}
 	fmt.Printf("wrote %s: %s, scheme %s, %s linkage, code %d bytes\n",
-		*out, prog.Name, s, *linkage, bin.CodeSize())
+		*out, bin.Name(), s, bin.Linkage(), bin.CodeSize())
 }

@@ -1,6 +1,6 @@
 // Command psspinstr is the binary instrumentation tool: it upgrades an
 // SSP-compiled binary image to P-SSP in place, preserving code and stack
-// layout (paper Section V-C).
+// layout (paper Section V-C). Built on the public pssp facade.
 //
 // Usage:
 //
@@ -14,8 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/binfmt"
-	"repro/internal/rewrite"
+	"repro/pssp"
 )
 
 func main() {
@@ -34,28 +33,21 @@ func main() {
 		fail(fmt.Errorf("need -in and -o"))
 	}
 
-	load := func(path string) *binfmt.Binary {
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			fail(err)
-		}
-		b, err := binfmt.Unmarshal(raw)
-		if err != nil {
-			fail(fmt.Errorf("%s: %w", path, err))
-		}
-		return b
-	}
-
-	app := load(*in)
-	var libc *binfmt.Binary
-	if *libcIn != "" {
-		libc = load(*libcIn)
-	}
-	newApp, newLibc, err := rewrite.Rewrite(app, libc)
+	app, err := pssp.OpenImage(*in)
 	if err != nil {
 		fail(err)
 	}
-	if err := os.WriteFile(*out, binfmt.Marshal(newApp), 0o644); err != nil {
+	var libc *pssp.Image
+	if *libcIn != "" {
+		if libc, err = pssp.OpenImage(*libcIn); err != nil {
+			fail(err)
+		}
+	}
+	newApp, newLibc, err := pssp.Rewrite(app, libc)
+	if err != nil {
+		fail(err)
+	}
+	if err := newApp.WriteFile(*out); err != nil {
 		fail(err)
 	}
 	fmt.Printf("wrote %s: code %d -> %d bytes (%+.2f%%)\n",
@@ -65,7 +57,7 @@ func main() {
 		if *libcO == "" {
 			fail(fmt.Errorf("dynamic app: need -libc-o for the rewritten libc"))
 		}
-		if err := os.WriteFile(*libcO, binfmt.Marshal(newLibc), 0o644); err != nil {
+		if err := newLibc.WriteFile(*libcO); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s (rewritten libc)\n", *libcO)

@@ -1,6 +1,6 @@
 // Command psspvm loads and runs a binary image in the simulated machine —
 // batch programs to completion, servers for a number of requests — and can
-// disassemble images.
+// disassemble images. Built entirely on the public pssp facade.
 //
 // Usage:
 //
@@ -11,14 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/asm"
-	"repro/internal/binfmt"
-	"repro/internal/kernel"
-	"repro/internal/vm"
+	"repro/pssp"
 )
 
 func main() {
@@ -41,79 +40,85 @@ func main() {
 		fail(fmt.Errorf("need -bin"))
 	}
 
-	load := func(path string) *binfmt.Binary {
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			fail(err)
-		}
-		b, err := binfmt.Unmarshal(raw)
-		if err != nil {
-			fail(fmt.Errorf("%s: %w", path, err))
-		}
-		return b
+	app, err := pssp.OpenImage(*binPath)
+	if err != nil {
+		fail(err)
 	}
-	app := load(*binPath)
-
 	if *disas {
-		for _, sec := range app.Sections {
-			if sec.Perm&0b100 == 0 || len(sec.Data) == 0 {
-				continue
-			}
-			fmt.Printf("section %s at 0x%x (%d bytes):\n", sec.Name, sec.Addr, len(sec.Data))
-			fmt.Print(asm.Disassemble(sec.Data))
-		}
+		fmt.Print(app.Disassembly())
 		return
 	}
 
-	opts := kernel.SpawnOpts{}
-	if *libcPath != "" {
-		opts.Libc = load(*libcPath)
+	if *stats && *trace > 0 {
+		fail(fmt.Errorf("-stats and -trace are mutually exclusive"))
 	}
-	k := kernel.New(*seed)
-	k.MaxInsts = 1 << 30
+	opStats := pssp.NewStats()
+	mOpts := []pssp.Option{pssp.WithSeed(*seed), pssp.WithMaxInstructions(1 << 30)}
+	switch {
+	case *stats:
+		mOpts = append(mOpts, pssp.WithStats(opStats))
+	case *trace > 0:
+		mOpts = append(mOpts, pssp.WithTrace(os.Stdout, uint64(*trace)))
+	}
+	m := pssp.NewMachine(mOpts...)
+
+	var loadOpts []pssp.LoadOption
+	if *libcPath != "" {
+		libc, err := pssp.OpenImage(*libcPath)
+		if err != nil {
+			fail(err)
+		}
+		loadOpts = append(loadOpts, pssp.LoadLibc(libc))
+	}
+	ctx := context.Background()
 
 	if *request == "" {
-		p, err := k.Spawn(app, opts)
+		proc, err := m.Load(app, loadOpts...)
 		if err != nil {
 			fail(err)
 		}
-		opStats := &vm.OpStats{}
+		res, err := proc.Run(ctx)
+		var crash *pssp.CrashError
 		switch {
-		case *trace > 0:
-			p.CPU.SetTracer(&vm.WriterTracer{W: os.Stdout, Limit: uint64(*trace)})
-		case *stats:
-			p.CPU.SetTracer(opStats)
-		}
-		st := k.Run(p)
-		fmt.Printf("state=%s exit=%d cycles=%d insts=%d\n", st, p.ExitCode, p.CPU.Cycles, p.CPU.Insts)
-		if st == kernel.StateCrashed {
-			fmt.Printf("crash: %s\n", p.CrashReason)
+		case err == nil:
+			fmt.Printf("state=exited exit=%d cycles=%d insts=%d\n",
+				res.ExitCode, res.Cycles, res.Insts)
+			if len(res.Output) > 0 {
+				fmt.Printf("stdout (%d bytes): %q\n", len(res.Output), res.Output)
+			}
+			if *stats {
+				opStats.Report(os.Stdout)
+			}
+		case errors.As(err, &crash):
+			fmt.Printf("state=crashed cycles=%d insts=%d\n", proc.Cycles(), proc.Insts())
+			fmt.Printf("crash: %s\n", crash.Reason)
 			os.Exit(1)
-		}
-		if len(p.Stdout) > 0 {
-			fmt.Printf("stdout (%d bytes): %q\n", len(p.Stdout), p.Stdout)
-		}
-		if *stats {
-			opStats.Report(os.Stdout)
+		default:
+			fail(err)
 		}
 		return
 	}
 
-	srv, err := kernel.NewForkServer(k, app, opts)
+	srv, err := m.Serve(ctx, app, loadOpts...)
 	if err != nil {
 		fail(err)
 	}
 	for i := 0; i < *n; i++ {
-		out, err := srv.Handle([]byte(*request))
+		out, err := srv.Handle(ctx, []byte(*request))
 		if err != nil {
 			fail(err)
 		}
-		if out.Crashed {
-			fmt.Printf("request %d: CRASH (%s)\n", i, out.CrashReason)
+		if out.Crashed() {
+			var crash *pssp.CrashError
+			errors.As(out.Err, &crash)
+			fmt.Printf("request %d: CRASH (%s)\n", i, crash.Reason)
 		} else {
-			fmt.Printf("request %d: %q (%d cycles)\n", i, out.Response, out.Cycles)
+			fmt.Printf("request %d: %q (%d cycles)\n", i, out.Body, out.Cycles)
 		}
 	}
-	fmt.Printf("served %d requests, %d crashes, avg %d cycles/request\n",
-		srv.Requests, srv.Crashes, srv.TotalCycles/uint64(srv.Requests))
+	fmt.Printf("served %d requests, %d crashes, avg %.0f cycles/request\n",
+		srv.Requests(), srv.Crashes(), srv.AvgCycles())
+	if *stats {
+		opStats.Report(os.Stdout)
+	}
 }

@@ -1,4 +1,5 @@
-// Forkserver: the paper's headline experiment as a demo.
+// Forkserver: the paper's headline experiment as a demo, driven entirely
+// through the public pssp facade.
 //
 // A vulnerable fork-per-request server (nginx analog with a 16-byte stack
 // buffer and an attacker-controlled read length) is compiled twice — with
@@ -11,73 +12,67 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/abi"
-	"repro/internal/apps"
-	"repro/internal/attack"
-	"repro/internal/cc"
-	"repro/internal/core"
-	"repro/internal/kernel"
-	"repro/internal/mem"
+	"repro/pssp"
 )
 
 func main() {
-	target := apps.VulnServers()[0] // nginx-vuln
-	for _, scheme := range []core.Scheme{core.SchemeSSP, core.SchemePSSP} {
+	ctx := context.Background()
+	target, _ := pssp.App("nginx-vuln")
+	for _, scheme := range []pssp.Scheme{pssp.SchemeSSP, pssp.SchemePSSP} {
 		fmt.Printf("=== victim: %s compiled with %s ===\n", target.Name, scheme)
 
-		bin, err := cc.Compile(target.Prog, cc.Options{Scheme: scheme, Linkage: abi.LinkStatic})
-		if err != nil {
-			fail(err)
-		}
-		k := kernel.New(7)
-		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		m := pssp.NewMachine(pssp.WithSeed(7), pssp.WithScheme(scheme), pssp.WithAttackBudget(4096))
+		pl := m.Pipeline().CompileApp(target.Name)
+		srv, err := pl.Serve(ctx)
 		if err != nil {
 			fail(err)
 		}
 
 		// Sanity: the server actually serves.
-		out, err := srv.Handle(target.Request)
+		out, err := srv.Handle(ctx, target.Request)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("benign request: crashed=%v response=%q\n", out.Crashed, out.Response)
+		fmt.Printf("benign request: crashed=%v response=%q\n", out.Crashed(), out.Body)
 
-		res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv}, attack.Config{
-			BufLen:    apps.VulnServerBufSize,
-			MaxTrials: 4096,
-		})
+		res, err := srv.Attack(ctx, pssp.AttackConfig{})
 		if err != nil {
 			fail(err)
 		}
 		if res.Success {
-			real, _ := srv.Parent().TLS().Canary()
+			real, _ := srv.Canary()
 			fmt.Printf("attack SUCCEEDED in %d trials (paper expects ~1024)\n", res.Trials)
 			fmt.Printf("recovered canary %016x, real canary %016x, match=%v\n",
 				res.RecoveredWord(), real, res.RecoveredWord() == real)
 
 			// Phase 2: with the canary in hand, hijack control flow into the
 			// never-called backdoor function and exit cleanly.
-			backdoor, _ := bin.Symbol("backdoor")
-			exitStub, _ := bin.Symbol("__thread_exit")
-			payload := attack.HijackPayload(
-				apps.VulnServerBufSize, 'A', res.Canary,
-				mem.DataBase+0x2000, backdoor.Addr, exitStub.Addr)
-			hout, err := srv.Handle(payload)
+			img, err := pl.Image()
 			if err != nil {
 				fail(err)
 			}
-			hijacked := !hout.Crashed && len(hout.Response) > 0 &&
-				hout.Response[len(hout.Response)-1] == apps.BackdoorMarker
+			backdoor, _ := img.Symbol("backdoor")
+			exitStub, _ := img.Symbol("__thread_exit")
+			payload := pssp.HijackPayload(
+				pssp.VulnServerBufSize, 'A', res.Canary,
+				pssp.ScratchAddr, backdoor.Addr, exitStub.Addr)
+			hout, err := srv.Handle(ctx, payload)
+			if err != nil {
+				fail(err)
+			}
+			hijacked := !hout.Crashed() && len(hout.Body) > 0 &&
+				hout.Body[len(hout.Body)-1] == pssp.BackdoorMarker
 			fmt.Printf("control-flow hijack into backdoor(): success=%v response=%x\n",
-				hijacked, hout.Response)
+				hijacked, hout.Body)
 		} else {
 			fmt.Printf("attack FAILED after %d trials, stalled at byte %d — ", res.Trials, res.FailedAt)
 			fmt.Println("each fork faced a fresh canary pair")
 		}
-		fmt.Printf("workers crashed during attack: %d\n\n", srv.Crashes)
+		fmt.Printf("workers crashed during attack: %d\n\n", srv.Crashes())
 	}
 }
 

@@ -12,13 +12,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/abi"
 	"repro/internal/cc"
-	"repro/internal/core"
-	"repro/internal/kernel"
+	"repro/pssp"
 )
 
 // victim builds the demo server. Under SSP the critical value is a plain
@@ -74,33 +73,30 @@ func main() {
 	}
 	payload[16] = 1 // is_admin = 1 under SSP's layout
 
-	for _, scheme := range []core.Scheme{core.SchemeSSP, core.SchemePSSPLV} {
+	ctx := context.Background()
+	for _, scheme := range []pssp.Scheme{pssp.SchemeSSP, pssp.SchemePSSPLV} {
 		fmt.Printf("=== handler compiled with %s ===\n", scheme)
-		bin, err := cc.Compile(victim(), cc.Options{Scheme: scheme, Linkage: abi.LinkStatic})
-		if err != nil {
-			fail(err)
-		}
-		k := kernel.New(5)
-		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		m := pssp.NewMachine(pssp.WithSeed(5), pssp.WithScheme(scheme))
+		srv, err := m.Pipeline().Compile(victim()).Serve(ctx)
 		if err != nil {
 			fail(err)
 		}
 
-		out, err := srv.Handle([]byte("hi"))
+		out, err := srv.Handle(ctx, []byte("hi"))
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("benign request:  crashed=%v is_admin=%d\n", out.Crashed, first(out.Response))
+		fmt.Printf("benign request:  crashed=%v is_admin=%d\n", out.Crashed(), first(out.Body))
 
-		out, err = srv.Handle(payload)
+		out, err = srv.Handle(ctx, payload)
 		if err != nil {
 			fail(err)
 		}
-		if out.Crashed {
-			fmt.Printf("attack request:  DETECTED (%s)\n\n", out.CrashReason)
+		if out.Crashed() {
+			fmt.Printf("attack request:  DETECTED (%v)\n\n", out.Err)
 		} else {
 			fmt.Printf("attack request:  crashed=false is_admin=%d  <-- silent corruption!\n\n",
-				first(out.Response))
+				first(out.Body))
 		}
 	}
 	fmt.Println("SSP misses the overwrite (canary untouched); P-SSP-LV's guard word catches it.")

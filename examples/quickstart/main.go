@@ -1,18 +1,24 @@
-// Quickstart: the polymorphic-canary primitives as a plain Go library.
+// Quickstart: the polymorphic-canary primitives as a plain Go library,
+// then the same design running in the full simulated stack via the public
+// pssp facade.
 //
-// This walks the paper's algorithms directly — no simulator involved:
-// Algorithm 1 (Re-Randomize), the packed 32-bit variant the binary rewriter
-// uses, Algorithm 2 (per-local-variable canary chains), Algorithm 3 (the
-// AES one-way-function canary), and the Figure 6 global-buffer variant.
+// The first part walks the paper's algorithms directly — no simulator
+// involved: Algorithm 1 (Re-Randomize), the packed 32-bit variant the
+// binary rewriter uses, Algorithm 2 (per-local-variable canary chains),
+// Algorithm 3 (the AES one-way-function canary), and the Figure 6
+// global-buffer variant. The closing section boots a protected server
+// through the facade's compile→load→boot→serve pipeline.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/pssp"
 )
 
 func main() {
@@ -63,4 +69,22 @@ func main() {
 	child := gb.Clone() // fork
 	fmt.Printf("\nglobal-buffer variant: inherited frame verifies in child: %v\n",
 		child.Pop(slot, c))
+
+	// The same design, end to end: the pssp facade compiles the nginx
+	// analog under P-SSP, boots it in the simulated machine, and serves a
+	// request from a freshly forked worker — every fork refreshing its
+	// canary pair exactly as above.
+	ctx := context.Background()
+	m := pssp.NewMachine(pssp.WithSeed(42), pssp.WithScheme(pssp.SchemePSSP))
+	srv, err := m.Pipeline().CompileApp("nginx").Serve(ctx)
+	if err != nil {
+		panic(err)
+	}
+	app, _ := pssp.App("nginx")
+	resp, err := srv.Handle(ctx, app.Request)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nfacade pipeline: served %q in %d cycles (crashed=%v)\n",
+		resp.Body, resp.Cycles, resp.Crashed())
 }

@@ -1,4 +1,5 @@
-// Rewrite: upgrading a legacy SSP binary to P-SSP without recompilation.
+// Rewrite: upgrading a legacy SSP binary to P-SSP without recompilation,
+// driven entirely through the public pssp facade.
 //
 // The demo compiles the nginx analog with plain SSP (a "legacy binary"),
 // runs the binary rewriter on it, and shows the paper's Section V-C
@@ -12,88 +13,65 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/abi"
-	"repro/internal/apps"
-	"repro/internal/asm"
-	"repro/internal/binfmt"
-	"repro/internal/cc"
-	"repro/internal/core"
-	"repro/internal/isa"
-	"repro/internal/kernel"
-	"repro/internal/rewrite"
+	"repro/pssp"
 )
 
 func main() {
-	target := apps.VulnServers()[0]
-	legacy, err := cc.Compile(target.Prog, cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic})
+	ctx := context.Background()
+	target, _ := pssp.App("nginx-vuln")
+	m := pssp.NewMachine(pssp.WithSeed(11), pssp.WithScheme(pssp.SchemeSSP))
+	legacy, err := m.CompileApp(target.Name)
 	if err != nil {
 		fail(err)
 	}
-	instr, _, err := rewrite.Rewrite(legacy, nil)
+	instr, _, err := pssp.Rewrite(legacy, nil)
 	if err != nil {
 		fail(err)
 	}
 
 	fmt.Printf("legacy .text: %d bytes, instrumented .text: %d bytes (unchanged: %v)\n",
-		len(legacy.Text().Data), len(instr.Text().Data),
-		len(legacy.Text().Data) == len(instr.Text().Data))
+		legacy.TextSize(), instr.TextSize(), legacy.TextSize() == instr.TextSize())
 	fmt.Printf("total code: %d -> %d bytes (%+.2f%%, appended checker + refresh helper)\n",
 		legacy.CodeSize(), instr.CodeSize(),
 		100*(float64(instr.CodeSize())/float64(legacy.CodeSize())-1))
 
-	// Show the rewritten handler epilogue next to the original.
-	sym, ok := legacy.Symbol("handle")
-	if !ok {
-		fail(fmt.Errorf("no handle symbol"))
+	// Show the rewritten handler epilogue next to the original. 40 bytes of
+	// tail is enough to cover the epilogue check.
+	const tail = 40
+	before, err := legacy.DisassembleFunc("handle", tail)
+	if err != nil {
+		fail(err)
+	}
+	after, err := instr.DisassembleFunc("handle", tail)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Println("\nhandle() before instrumentation (tail):")
-	printTail(legacy.Text(), sym)
+	fmt.Print(before)
 	fmt.Println("handle() after instrumentation (same length, check moved into a call):")
-	printTail(instr.Text(), sym)
+	fmt.Print(after)
 
 	// Behaviour: benign requests fine, overflow detected.
-	k := kernel.New(11)
-	srv, err := kernel.NewForkServer(k, instr, kernel.SpawnOpts{})
+	srv, err := m.Serve(ctx, instr)
 	if err != nil {
 		fail(err)
 	}
-	out, err := srv.Handle(target.Request)
+	out, err := srv.Handle(ctx, target.Request)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("\nbenign request: crashed=%v response=%q\n", out.Crashed, out.Response)
+	fmt.Printf("\nbenign request: crashed=%v response=%q\n", out.Crashed(), out.Body)
 
-	payload := bytes.Repeat([]byte{0xfe}, apps.VulnServerBufSize+8)
-	out, err = srv.Handle(payload)
+	payload := bytes.Repeat([]byte{0xfe}, pssp.VulnServerBufSize+8)
+	out, err = srv.Handle(ctx, payload)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("overflow request: crashed=%v (%s)\n", out.Crashed, out.CrashReason)
-}
-
-// printTail disassembles the last few instructions of the function — enough
-// to show the epilogue check.
-func printTail(sec *binfmt.Section, sym binfmt.Symbol) {
-	start := int(sym.Addr - sec.Addr)
-	end := start + int(sym.Size)
-	const tail = 40
-	from := end - tail
-	if from < start {
-		from = start
-	}
-	// Align to an instruction boundary by decoding forward from the start.
-	off := start
-	for off < from {
-		_, n, err := isa.Decode(sec.Data, off)
-		if err != nil {
-			break
-		}
-		off += n
-	}
-	fmt.Print(asm.Disassemble(sec.Data[off:end]))
+	fmt.Printf("overflow request: crashed=%v (%v)\n", out.Crashed(), out.Err)
 }
 
 func fail(err error) {

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Scheme identifies a stack-protection scheme. The set covers the paper's
 // contribution (PSSP and its three extensions), the baselines it compares
@@ -53,6 +56,23 @@ var schemeNames = map[Scheme]string{
 	SchemePSSPGB:    "p-ssp-gb",
 }
 
+// schemeAliases maps accepted spellings to canonical names. The paper and
+// its artifacts write the scheme family both with and without the leading
+// dash ("pssp" vs "p-ssp"); command lines tend to drop punctuation entirely.
+var schemeAliases = map[string]string{
+	"pssp":        "p-ssp",
+	"pssp-nt":     "p-ssp-nt",
+	"psspnt":      "p-ssp-nt",
+	"pssp-lv":     "p-ssp-lv",
+	"pssplv":      "p-ssp-lv",
+	"pssp-owf":    "p-ssp-owf",
+	"psspowf":     "p-ssp-owf",
+	"pssp-gb":     "p-ssp-gb",
+	"psspgb":      "p-ssp-gb",
+	"rafssp":      "raf-ssp",
+	"unprotected": "none",
+}
+
 // String returns the scheme's canonical lower-case name.
 func (s Scheme) String() string {
 	if n, ok := schemeNames[s]; ok {
@@ -61,10 +81,25 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("scheme?%d", uint8(s))
 }
 
-// ParseScheme resolves a canonical name to a Scheme.
+// Valid reports whether s is one of the defined schemes. The zero value is
+// deliberately invalid (schemes start at iota+1) so that "unset" is
+// distinguishable from SchemeNone.
+func (s Scheme) Valid() bool {
+	_, ok := schemeNames[s]
+	return ok
+}
+
+// ParseScheme resolves a name to a Scheme. Matching is case-insensitive,
+// ignores surrounding whitespace, and accepts the paper's undashed aliases
+// ("pssp" for "p-ssp", "psspowf" for "p-ssp-owf", ...). Candidates are
+// checked in declaration order, so resolution is deterministic.
 func ParseScheme(name string) (Scheme, error) {
-	for s, n := range schemeNames {
-		if n == name {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := schemeAliases[n]; ok {
+		n = canon
+	}
+	for _, s := range Schemes() {
+		if schemeNames[s] == n {
 			return s, nil
 		}
 	}

@@ -19,6 +19,60 @@ func TestParseSchemeUnknown(t *testing.T) {
 	if _, err := ParseScheme("stackguard-9000"); err == nil {
 		t.Fatal("unknown scheme parsed")
 	}
+	if _, err := ParseScheme(""); err == nil {
+		t.Fatal("empty scheme parsed")
+	}
+}
+
+func TestParseSchemeAliasesAndCase(t *testing.T) {
+	cases := map[string]Scheme{
+		"pssp":        SchemePSSP,
+		"PSSP":        SchemePSSP,
+		"P-SSP":       SchemePSSP,
+		"  p-ssp  ":   SchemePSSP,
+		"psspowf":     SchemePSSPOWF,
+		"PSSP-LV":     SchemePSSPLV,
+		"psspnt":      SchemePSSPNT,
+		"psspgb":      SchemePSSPGB,
+		"RAFSSP":      SchemeRAFSSP,
+		"Raf-SSP":     SchemeRAFSSP,
+		"DynaGuard":   SchemeDynaGuard,
+		"unprotected": SchemeNone,
+		"NONE":        SchemeNone,
+	}
+	for name, want := range cases {
+		got, err := ParseScheme(name)
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseScheme(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseSchemeDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		got, err := ParseScheme("ssp")
+		if err != nil || got != SchemeSSP {
+			t.Fatalf("iteration %d: ParseScheme(ssp) = %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestSchemeValid(t *testing.T) {
+	if Scheme(0).Valid() {
+		t.Error("zero scheme must be invalid (schemes start at iota+1)")
+	}
+	for _, s := range Schemes() {
+		if !s.Valid() {
+			t.Errorf("%v must be valid", s)
+		}
+	}
+	if Scheme(99).Valid() {
+		t.Error("out-of-range scheme must be invalid")
+	}
 }
 
 func TestPropsMatchTableI(t *testing.T) {

@@ -2,15 +2,15 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/abi"
 	"repro/internal/attack"
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/kernel"
 	"repro/internal/rng"
+	"repro/pssp"
 )
 
 // syntheticOracle models an n-bit canary check without the VM, so the
@@ -157,6 +157,7 @@ func DetectionLatency(cfg Config) (*Table, error) {
 	// (guard) + 1 (poison byte).
 	payload := append(bytes.Repeat([]byte{0x42}, 24), 9)
 
+	ctx := context.Background()
 	for _, mode := range []struct {
 		name    string
 		onWrite bool
@@ -164,43 +165,43 @@ func DetectionLatency(cfg Config) (*Table, error) {
 		{"epilogue only", false},
 		{"check on write", true},
 	} {
-		bin, err := cc.Compile(prog, cc.Options{
-			Scheme:       core.SchemePSSPLV,
-			Linkage:      abi.LinkStatic,
-			CheckOnWrite: mode.onWrite,
-		})
+		m := pssp.NewMachine(pssp.WithSeed(cfg.Seed+7), pssp.WithScheme(core.SchemePSSPLV))
+		compileOpts := []pssp.CompileOption{}
+		if mode.onWrite {
+			compileOpts = append(compileOpts, pssp.CompileCheckOnWrite())
+		}
+		img, err := m.Compile(prog, compileOpts...)
 		if err != nil {
 			return nil, err
 		}
-		k := kernel.New(cfg.Seed + 7)
-		srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+		srv, err := m.Serve(ctx, img)
 		if err != nil {
 			return nil, err
 		}
-		benign, err := srv.Handle([]byte("ok"))
+		benign, err := srv.Handle(ctx, []byte("ok"))
 		if err != nil {
 			return nil, err
 		}
-		if benign.Crashed {
-			return nil, fmt.Errorf("latency: benign request crashed: %s", benign.CrashReason)
+		if benign.Crashed() {
+			return nil, fmt.Errorf("latency: benign request crashed: %w", benign.Err)
 		}
-		out, err := srv.Handle(payload)
+		out, err := srv.Handle(ctx, payload)
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			mode.name,
-			yesNo(out.Crashed),
-			fmt.Sprintf("%d", len(out.Response)),
-			fmt.Sprintf("%d", bin.CodeSize()),
+			yesNo(out.Crashed()),
+			fmt.Sprintf("%d", len(out.Body)),
+			fmt.Sprintf("%d", img.CodeSize()),
 			fmt.Sprintf("%d", benign.Cycles),
 		})
 		key := "epilogue"
 		if mode.onWrite {
 			key = "onwrite"
 		}
-		t.set(key+"/detected", boolToF(out.Crashed))
-		t.set(key+"/leaked", float64(len(out.Response)))
+		t.set(key+"/detected", boolToF(out.Crashed()))
+		t.set(key+"/leaked", float64(len(out.Body)))
 		t.set(key+"/cycles", float64(benign.Cycles))
 	}
 	return t, nil

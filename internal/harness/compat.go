@@ -2,12 +2,13 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/kernel"
+	"repro/pssp"
 )
 
 // compatProgram is a server whose request handler calls into libc_echo, so
@@ -52,32 +53,33 @@ func Compatibility(cfg Config) (*Table, error) {
 	}
 	prog := compatProgram()
 	const requests = 8
+	ctx := context.Background()
 	schemes := []core.Scheme{core.SchemeSSP, core.SchemePSSP}
 	for _, appS := range schemes {
 		for _, libcS := range schemes {
-			libc, err := cc.BuildLibc(libcS)
+			m := pssp.NewMachine(pssp.WithSeed(cfg.Seed + 3))
+			libc, err := m.CompileLibc(libcS)
 			if err != nil {
 				return nil, err
 			}
-			bin, err := cc.Compile(prog, cc.Options{Scheme: appS, Libc: libc})
+			img, err := m.Compile(prog, pssp.CompileScheme(appS), pssp.CompileDynamic(libc))
 			if err != nil {
 				return nil, err
 			}
-			k := kernel.New(cfg.Seed + 3)
-			srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{Libc: libc, Preload: appS})
+			srv, err := m.Serve(ctx, img, pssp.LoadLibc(libc), pssp.LoadPreload(appS))
 			if err != nil {
 				return nil, err
 			}
 			falsePositives := 0
 			for i := 0; i < requests; i++ {
-				out, err := srv.Handle([]byte("mixmatch"))
+				out, err := srv.Handle(ctx, []byte("mixmatch"))
 				if err != nil {
 					return nil, err
 				}
-				if out.Crashed {
+				if out.Crashed() {
 					falsePositives++
-				} else if !bytes.Equal(out.Response, []byte("mixmatch")) {
-					return nil, fmt.Errorf("compat: bad response %q", out.Response)
+				} else if !bytes.Equal(out.Body, []byte("mixmatch")) {
+					return nil, fmt.Errorf("compat: bad response %q", out.Body)
 				}
 			}
 			verdict := "OK"
@@ -130,7 +132,7 @@ func GlobalBuffer(cfg Config) (*Table, error) {
 		fmt.Sprintf("%+d bytes (list maintenance in prologue/epilogue)", gbBin.CodeSize()-sspBin.CodeSize()),
 	})
 
-	brop, correct, err := measureSecurityProfile(cfg, core.SchemePSSPGB)
+	brop, correct, err := measureSecurityProfile(context.Background(), cfg, core.SchemePSSPGB)
 	if err != nil {
 		return nil, err
 	}

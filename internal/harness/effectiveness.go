@@ -1,12 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
-	"repro/internal/attack"
 	"repro/internal/core"
-	"repro/internal/kernel"
+	"repro/pssp"
 )
 
 // Effectiveness reproduces the paper's §VI-C attack experiment: run the
@@ -15,6 +15,7 @@ import (
 // builds and fails on the P-SSP builds.
 func Effectiveness(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ctx := context.Background()
 	t := &Table{
 		Title:  "§VI-C: Byte-by-byte attack effectiveness (measured)",
 		Header: []string{"server", "scheme", "attack result", "trials", "failed at byte"},
@@ -25,26 +26,23 @@ func Effectiveness(cfg Config) (*Table, error) {
 	}
 	for _, app := range apps.VulnServers() {
 		for _, scheme := range []core.Scheme{core.SchemeSSP, core.SchemePSSP} {
-			bin, err := compileStatic(app.Prog, scheme)
+			m := pssp.NewMachine(
+				pssp.WithSeed(cfg.Seed+uint64(len(t.Rows))),
+				pssp.WithScheme(scheme),
+				pssp.WithAttackBudget(cfg.AttackBudget),
+			)
+			srv, err := m.Pipeline().Compile(app.Prog).Serve(ctx)
 			if err != nil {
 				return nil, err
 			}
-			k := kernel.New(cfg.Seed + uint64(len(t.Rows)))
-			srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
-			if err != nil {
-				return nil, err
-			}
-			res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv}, attack.Config{
-				BufLen:    apps.VulnServerBufSize,
-				MaxTrials: cfg.AttackBudget,
-			})
+			res, err := srv.Attack(ctx, pssp.AttackConfig{BufLen: apps.VulnServerBufSize})
 			if err != nil {
 				return nil, err
 			}
 			verdict := "failed"
 			if res.Success {
 				// Verify the recovery is genuine, not a fluke of survival.
-				real, err := srv.Parent().TLS().Canary()
+				real, err := srv.Canary()
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -15,15 +16,16 @@ import (
 // reports averages of 0.24% (compiler) and 1.01% (instrumentation).
 func Figure5(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	native, err := specCycles(cfg, core.SchemeSSP)
+	ctx := context.Background()
+	native, err := specCycles(ctx, cfg, core.SchemeSSP)
 	if err != nil {
 		return nil, err
 	}
-	compiler, err := specCycles(cfg, core.SchemePSSP)
+	compiler, err := specCycles(ctx, cfg, core.SchemePSSP)
 	if err != nil {
 		return nil, err
 	}
-	instr, err := instrumentedSpecCycles(cfg)
+	instr, err := instrumentedSpecCycles(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

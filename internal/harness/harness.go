@@ -10,16 +10,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/abi"
 	"repro/internal/apps"
-	"repro/internal/binfmt"
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/kernel"
-	"repro/internal/rewrite"
+	"repro/pssp"
 )
 
 // CyclesPerMicrosecond converts simulated cycles to microseconds at the
@@ -121,63 +119,68 @@ func (t *Table) set(key string, v float64) {
 	t.Values[key] = v
 }
 
-// compileStatic compiles an IR program as a statically linked binary.
-func compileStatic(prog *cc.Program, scheme core.Scheme) (*binfmt.Binary, error) {
-	return cc.Compile(prog, cc.Options{Scheme: scheme, Linkage: abi.LinkStatic})
+// compileStatic compiles an IR program as a statically linked image.
+func compileStatic(prog *cc.Program, scheme core.Scheme) (*pssp.Image, error) {
+	return pssp.NewMachine(pssp.WithScheme(scheme)).Compile(prog)
 }
 
-// runToExit spawns the binary and runs it to completion, returning the cycle
-// count.
-func runToExit(seed uint64, bin *binfmt.Binary) (uint64, error) {
-	k := kernel.New(seed)
-	k.MaxInsts = 256 << 20
-	p, err := k.Spawn(bin, kernel.SpawnOpts{})
+// runToExit runs the image to completion on a fresh machine, returning the
+// cycle count.
+func runToExit(ctx context.Context, seed uint64, img *pssp.Image) (uint64, error) {
+	res, err := pssp.NewMachine(pssp.WithSeed(seed)).Run(ctx, img)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("harness: %s: %w", img.Name(), err)
 	}
-	if st := k.Run(p); st != kernel.StateExited {
-		return 0, fmt.Errorf("harness: %s: %s (%s)", bin.Meta["name"], st, p.CrashReason)
+	return res.Cycles, nil
+}
+
+// specSuiteCycles measures every SPEC analog on concurrent sessions — one
+// Machine per program — with build supplying each program's image. ctx
+// cancellation aborts the whole sweep.
+func specSuiteCycles(ctx context.Context, cfg Config, build func(m *pssp.Machine, app apps.App) (*pssp.Image, error)) (map[string]uint64, error) {
+	suite := apps.Spec()
+	cycles := make([]uint64, len(suite))
+	err := pssp.RunSessions(ctx, len(suite),
+		func(int) []pssp.Option { return []pssp.Option{pssp.WithSeed(cfg.Seed)} },
+		func(ctx context.Context, s *pssp.Session) error {
+			app := suite[s.ID()]
+			img, err := build(s.Machine(), app)
+			if err != nil {
+				return fmt.Errorf("harness: %s: %w", app.Name, err)
+			}
+			res, err := s.Machine().Run(ctx, img)
+			if err != nil {
+				return fmt.Errorf("harness: %s: %w", app.Name, err)
+			}
+			cycles[s.ID()] = res.Cycles
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return p.CPU.Cycles, nil
+	out := make(map[string]uint64, len(suite))
+	for i, app := range suite {
+		out[app.Name] = cycles[i]
+	}
+	return out, nil
 }
 
 // specCycles measures every SPEC analog under the scheme.
-func specCycles(cfg Config, scheme core.Scheme) (map[string]uint64, error) {
-	out := make(map[string]uint64, 28)
-	for _, app := range apps.Spec() {
-		bin, err := compileStatic(app.Prog, scheme)
-		if err != nil {
-			return nil, err
-		}
-		cycles, err := runToExit(cfg.Seed, bin)
-		if err != nil {
-			return nil, err
-		}
-		out[app.Name] = cycles
-	}
-	return out, nil
+func specCycles(ctx context.Context, cfg Config, scheme core.Scheme) (map[string]uint64, error) {
+	return specSuiteCycles(ctx, cfg, func(m *pssp.Machine, app apps.App) (*pssp.Image, error) {
+		return m.Compile(app.Prog, pssp.CompileScheme(scheme))
+	})
 }
 
 // instrumentedSpecCycles measures every SPEC analog compiled with SSP and
 // upgraded by the binary rewriter.
-func instrumentedSpecCycles(cfg Config) (map[string]uint64, error) {
-	out := make(map[string]uint64, 28)
-	for _, app := range apps.Spec() {
-		bin, err := compileStatic(app.Prog, core.SchemeSSP)
-		if err != nil {
-			return nil, err
-		}
-		instr, _, err := rewrite.Rewrite(bin, nil)
-		if err != nil {
-			return nil, err
-		}
-		cycles, err := runToExit(cfg.Seed, instr)
-		if err != nil {
-			return nil, err
-		}
-		out[app.Name] = cycles
-	}
-	return out, nil
+func instrumentedSpecCycles(ctx context.Context, cfg Config) (map[string]uint64, error) {
+	return specSuiteCycles(ctx, cfg, func(m *pssp.Machine, app apps.App) (*pssp.Image, error) {
+		return m.Pipeline().
+			Compile(app.Prog, pssp.CompileScheme(core.SchemeSSP)).
+			Rewrite().
+			Image()
+	})
 }
 
 // pct formats a ratio as a signed percentage.
@@ -191,24 +194,22 @@ func overheadVs(got, base uint64) float64 {
 	return float64(got)/float64(base) - 1
 }
 
-// serverStats runs n requests against the app under the given binary and
+// serverStats runs n requests against the server image on machine m and
 // returns average request cycles and the worker memory footprint in bytes.
-func serverStats(seed uint64, bin *binfmt.Binary, request []byte, n int) (float64, int, error) {
-	k := kernel.New(seed)
-	k.MaxInsts = 256 << 20
-	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+func serverStats(ctx context.Context, m *pssp.Machine, img *pssp.Image, request []byte, n int) (float64, int, error) {
+	srv, err := m.Serve(ctx, img)
 	if err != nil {
 		return 0, 0, err
 	}
-	footprint := srv.Parent().Space.Footprint()
+	footprint := srv.Footprint()
 	for i := 0; i < n; i++ {
-		out, err := srv.Handle(request)
+		resp, err := srv.Handle(ctx, request)
 		if err != nil {
 			return 0, 0, err
 		}
-		if out.Crashed {
-			return 0, 0, fmt.Errorf("harness: benign request crashed: %s", out.CrashReason)
+		if resp.Crashed() {
+			return 0, 0, fmt.Errorf("harness: benign request crashed: %w", resp.Err)
 		}
 	}
-	return float64(srv.TotalCycles) / float64(n), footprint, nil
+	return srv.AvgCycles(), footprint, nil
 }

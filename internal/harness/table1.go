@@ -1,12 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/apps"
-	"repro/internal/attack"
 	"repro/internal/core"
-	"repro/internal/kernel"
+	"repro/pssp"
 )
 
 // Table1 reproduces the paper's Table I: the brute-force-defence comparison
@@ -21,13 +22,19 @@ import (
 //     by its parent without a false positive.
 //   - Runtime overhead (compiler-based): SPEC-analog average versus the SSP
 //     baseline.
+//
+// The five schemes are measured concurrently. The measurement machines are
+// constructed inside measureSecurityProfile and specCycles from fixed
+// per-purpose seeds, so the parallel run is bit-identical to a sequential
+// one.
 func Table1(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	baseline, err := specCycles(cfg, core.SchemeSSP)
+	ctx := context.Background()
+	baseline, err := specCycles(ctx, cfg, core.SchemeSSP)
 	if err != nil {
 		return nil, err
 	}
-	instr, err := instrumentedSpecCycles(cfg)
+	instr, err := instrumentedSpecCycles(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -54,27 +61,68 @@ func Table1(cfg Config) (*Table, error) {
 		core.SchemeSSP, core.SchemeRAFSSP, core.SchemeDynaGuard,
 		core.SchemeDCR, core.SchemePSSP,
 	}
-	for _, s := range schemes {
-		brop, correct, err := measureSecurityProfile(cfg, s)
-		if err != nil {
-			return nil, fmt.Errorf("table1: %v: %w", s, err)
-		}
-		var overhead string
-		switch s {
-		case core.SchemeSSP:
-			overhead = "baseline"
-		default:
-			cycles, err := specCycles(cfg, s)
+	// Plain parallel-for: the per-scheme measurements build their own
+	// deterministic Machines, so no session state is needed — only a ctx
+	// that cancels the siblings (and their nested SPEC sweeps) on the
+	// first failure.
+	type row struct {
+		brop, correct bool
+		overhead      float64 // compiler overhead vs SSP (unused for SSP itself)
+	}
+	rows := make([]row, len(schemes))
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, s := range schemes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := func() (row, error) {
+				brop, correct, err := measureSecurityProfile(gctx, cfg, s)
+				if err != nil {
+					return row{}, fmt.Errorf("table1: %v: %w", s, err)
+				}
+				r := row{brop: brop, correct: correct}
+				if s != core.SchemeSSP {
+					cycles, err := specCycles(gctx, cfg, s)
+					if err != nil {
+						return row{}, err
+					}
+					var sum float64
+					for name, c := range cycles {
+						sum += overheadVs(c, baseline[name])
+					}
+					r.overhead = sum / float64(len(cycles))
+				}
+				return r, nil
+			}()
 			if err != nil {
-				return nil, err
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+				return
 			}
-			var sum float64
-			for name, c := range cycles {
-				sum += overheadVs(c, baseline[name])
-			}
-			avg := sum / float64(len(cycles))
-			overhead = pct(avg)
-			t.set(s.String()+"/overhead/compiler", avg)
+			rows[i] = r
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i, s := range schemes {
+		r := rows[i]
+		overhead := "baseline"
+		if s != core.SchemeSSP {
+			overhead = pct(r.overhead)
+			t.set(s.String()+"/overhead/compiler", r.overhead)
 		}
 		instrCell := "n/a"
 		if s == core.SchemePSSP {
@@ -82,51 +130,48 @@ func Table1(cfg Config) (*Table, error) {
 			t.set("p-ssp/overhead/instrumentation", instrAvg)
 		}
 		t.Rows = append(t.Rows, []string{
-			s.String(), yesNo(brop), yesNo(correct), overhead, instrCell,
+			s.String(), yesNo(r.brop), yesNo(r.correct), overhead, instrCell,
 		})
-		t.set(s.String()+"/brop", boolToF(brop))
-		t.set(s.String()+"/correct", boolToF(correct))
+		t.set(s.String()+"/brop", boolToF(r.brop))
+		t.set(s.String()+"/correct", boolToF(r.correct))
 	}
 	return t, nil
 }
 
 // measureSecurityProfile runs the two security experiments for one scheme.
-func measureSecurityProfile(cfg Config, s core.Scheme) (bropPrevented, correct bool, err error) {
+func measureSecurityProfile(ctx context.Context, cfg Config, s core.Scheme) (bropPrevented, correct bool, err error) {
 	target := apps.VulnServers()[0] // nginx-vuln
-	bin, err := compileStatic(target.Prog, s)
+	img, err := compileStatic(target.Prog, s)
 	if err != nil {
 		return false, false, err
 	}
 
 	// Correctness: benign requests must survive the child's return through
 	// inherited frames.
-	k := kernel.New(cfg.Seed + 1)
-	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	m := pssp.NewMachine(pssp.WithSeed(cfg.Seed + 1))
+	srv, err := m.Serve(ctx, img)
 	if err != nil {
 		return false, false, err
 	}
 	correct = true
 	for i := 0; i < 5; i++ {
-		out, err := srv.Handle(target.Request)
+		resp, err := srv.Handle(ctx, target.Request)
 		if err != nil {
 			return false, false, err
 		}
-		if out.Crashed {
+		if resp.Crashed() {
 			correct = false
 			break
 		}
 	}
 
 	// BROP prevention: fresh server, full byte-by-byte attack.
-	k2 := kernel.New(cfg.Seed + 2)
-	srv2, err := kernel.NewForkServer(k2, bin, kernel.SpawnOpts{})
+	m2 := pssp.NewMachine(pssp.WithSeed(cfg.Seed+2), pssp.WithAttackBudget(cfg.AttackBudget))
+	srv2, err := m2.Serve(ctx, img)
 	if err != nil {
 		return false, false, err
 	}
-	res, err := attack.ByteByByte(&attack.ServerOracle{Srv: srv2}, attack.Config{
-		BufLen:    apps.VulnServerBufSize,
-		MaxTrials: cfg.AttackBudget,
-	})
+	res, err := srv2.Attack(ctx, pssp.AttackConfig{BufLen: apps.VulnServerBufSize})
 	if err != nil {
 		return false, false, err
 	}

@@ -2,9 +2,8 @@ package harness
 
 import (
 	"repro/internal/apps"
-	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/rewrite"
+	"repro/pssp"
 )
 
 // Table2 reproduces the paper's Table II: code expansion of the three P-SSP
@@ -19,7 +18,8 @@ import (
 //     Dyninst injects (paper: 2.78%).
 func Table2(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	sspLibc, err := cc.BuildLibc(core.SchemeSSP)
+	m := pssp.NewMachine()
+	sspLibc, err := m.CompileLibc(core.SchemeSSP)
 	if err != nil {
 		return nil, err
 	}
@@ -27,27 +27,28 @@ func Table2(cfg Config) (*Table, error) {
 	var sumCompile, sumDyn, sumStatic float64
 	n := 0
 	for _, app := range apps.Spec() {
-		sspStatic, err := compileStatic(app.Prog, core.SchemeSSP)
+		sspStatic, err := m.Compile(app.Prog, pssp.CompileScheme(core.SchemeSSP))
 		if err != nil {
 			return nil, err
 		}
-		psspStatic, err := compileStatic(app.Prog, core.SchemePSSP)
+		psspStatic, err := m.Compile(app.Prog, pssp.CompileScheme(core.SchemePSSP))
 		if err != nil {
 			return nil, err
 		}
 		sumCompile += float64(psspStatic.CodeSize())/float64(sspStatic.CodeSize()) - 1
 
-		sspDyn, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemeSSP, Libc: sspLibc})
+		sspDyn, err := m.Compile(app.Prog,
+			pssp.CompileScheme(core.SchemeSSP), pssp.CompileDynamic(sspLibc))
 		if err != nil {
 			return nil, err
 		}
-		instrDyn, _, err := rewrite.Rewrite(sspDyn, sspLibc)
+		instrDyn, _, err := pssp.Rewrite(sspDyn, sspLibc)
 		if err != nil {
 			return nil, err
 		}
 		sumDyn += float64(instrDyn.CodeSize())/float64(sspDyn.CodeSize()) - 1
 
-		instrStatic, _, err := rewrite.Rewrite(sspStatic, nil)
+		instrStatic, _, err := pssp.Rewrite(sspStatic, nil)
 		if err != nil {
 			return nil, err
 		}

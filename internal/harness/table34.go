@@ -1,43 +1,51 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
-	"repro/internal/binfmt"
 	"repro/internal/core"
-	"repro/internal/rewrite"
+	"repro/pssp"
 )
 
 // threeWayServer measures one server app under the paper's three settings:
 // native (SSP default), compiler-based P-SSP, and instrumentation-based
 // P-SSP. It returns average request cycles and the worker memory footprint
-// for each.
+// for each. The three settings run on concurrent sessions, one Machine
+// each; the seeds match the sequential formulation so results are
+// bit-identical.
 func threeWayServer(cfg Config, app apps.App, requests int) (avg [3]float64, mem [3]int, err error) {
-	builds := [3]func() (*binfmt.Binary, error){
-		func() (*binfmt.Binary, error) { return compileStatic(app.Prog, core.SchemeSSP) },
-		func() (*binfmt.Binary, error) { return compileStatic(app.Prog, core.SchemePSSP) },
-		func() (*binfmt.Binary, error) {
-			ssp, err := compileStatic(app.Prog, core.SchemeSSP)
-			if err != nil {
-				return nil, err
-			}
-			instr, _, err := rewrite.Rewrite(ssp, nil)
-			return instr, err
+	builds := [3]func(m *pssp.Machine) (*pssp.Image, error){
+		func(m *pssp.Machine) (*pssp.Image, error) {
+			return m.Compile(app.Prog, pssp.CompileScheme(core.SchemeSSP))
+		},
+		func(m *pssp.Machine) (*pssp.Image, error) {
+			return m.Compile(app.Prog, pssp.CompileScheme(core.SchemePSSP))
+		},
+		func(m *pssp.Machine) (*pssp.Image, error) {
+			return m.Pipeline().
+				Compile(app.Prog, pssp.CompileScheme(core.SchemeSSP)).
+				Rewrite().
+				Image()
 		},
 	}
-	for i, build := range builds {
-		bin, berr := build()
-		if berr != nil {
-			return avg, mem, berr
-		}
-		a, m, serr := serverStats(cfg.Seed+uint64(i), bin, app.Request, requests)
-		if serr != nil {
-			return avg, mem, fmt.Errorf("%s setting %d: %w", app.Name, i, serr)
-		}
-		avg[i], mem[i] = a, m
-	}
-	return avg, mem, nil
+	err = pssp.RunSessions(context.Background(), len(builds),
+		func(i int) []pssp.Option { return []pssp.Option{pssp.WithSeed(cfg.Seed + uint64(i))} },
+		func(ctx context.Context, s *pssp.Session) error {
+			i := s.ID()
+			img, err := builds[i](s.Machine())
+			if err != nil {
+				return err
+			}
+			a, m, err := serverStats(ctx, s.Machine(), img, app.Request, requests)
+			if err != nil {
+				return fmt.Errorf("%s setting %d: %w", app.Name, i, err)
+			}
+			avg[i], mem[i] = a, m
+			return nil
+		})
+	return avg, mem, err
 }
 
 // Table3 reproduces the paper's Table III: web-server response time under

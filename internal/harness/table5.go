@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cc"
@@ -28,11 +29,12 @@ func probeProgram(criticals int) *cc.Program {
 // unprotected build of the same program.
 func prologueEpilogueDelta(cfg Config, scheme core.Scheme, criticals int) (uint64, error) {
 	prog := probeProgram(criticals)
+	ctx := context.Background()
 	unprot, err := compileStatic(prog, core.SchemeNone)
 	if err != nil {
 		return 0, err
 	}
-	base, err := runToExit(cfg.Seed, unprot)
+	base, err := runToExit(ctx, cfg.Seed, unprot)
 	if err != nil {
 		return 0, err
 	}
@@ -40,7 +42,7 @@ func prologueEpilogueDelta(cfg Config, scheme core.Scheme, criticals int) (uint6
 	if err != nil {
 		return 0, err
 	}
-	got, err := runToExit(cfg.Seed, prot)
+	got, err := runToExit(ctx, cfg.Seed, prot)
 	if err != nil {
 		return 0, err
 	}

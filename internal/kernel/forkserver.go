@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/binfmt"
@@ -31,10 +32,15 @@ type ForkServer struct {
 
 // Outcome reports one request's fate.
 type Outcome struct {
+	// PID is the worker process's id.
+	PID int
 	// Crashed is true if the worker died (canary mismatch abort, fault, ...).
 	Crashed bool
 	// CrashReason describes the death, empty otherwise.
 	CrashReason string
+	// CrashErr is the typed crash error (wraps ErrStackSmash for canary
+	// aborts), nil when the worker exited cleanly.
+	CrashErr error
 	// Response is everything the worker wrote to fd 1 before finishing —
 	// including output emitted before a crash, since on a real socket those
 	// bytes have already left the process. Detection *latency* is therefore
@@ -52,7 +58,18 @@ func NewForkServer(k *Kernel, app *binfmt.Binary, opts SpawnOpts) (*ForkServer, 
 	if err != nil {
 		return nil, err
 	}
-	switch st := k.Run(parent); st {
+	return ServeProcess(context.Background(), k, parent)
+}
+
+// ServeProcess boots an already-spawned parent to its accept point and wraps
+// it as a ForkServer. It exists so callers can instrument the parent (tracer,
+// cost model) between Spawn and boot.
+func ServeProcess(ctx context.Context, k *Kernel, parent *Process) (*ForkServer, error) {
+	st, err := k.RunContext(ctx, parent)
+	if err != nil {
+		return nil, err
+	}
+	switch st {
 	case StateWaiting:
 		return &ForkServer{kernel: k, parent: parent}, nil
 	case StateCrashed:
@@ -67,6 +84,12 @@ func (s *ForkServer) Parent() *Process { return s.parent }
 
 // Handle serves one request with a fresh child and reports its outcome.
 func (s *ForkServer) Handle(req []byte) (Outcome, error) {
+	return s.HandleContext(context.Background(), req)
+}
+
+// HandleContext is Handle with cancellation plumbed into the worker's run.
+// On cancellation the half-run child is discarded and ctx.Err() returned.
+func (s *ForkServer) HandleContext(ctx context.Context, req []byte) (Outcome, error) {
 	child, err := s.kernel.Fork(s.parent)
 	if err != nil {
 		return Outcome{}, err
@@ -75,9 +98,13 @@ func (s *ForkServer) Handle(req []byte) (Outcome, error) {
 	if err := child.Deliver(req); err != nil {
 		return Outcome{}, err
 	}
-	st := s.kernel.Run(child)
+	st, err := s.kernel.RunContext(ctx, child)
+	if err != nil {
+		return Outcome{}, err
+	}
 
 	out := Outcome{
+		PID:    child.ID,
 		Cycles: child.CPU.Cycles - startCycles,
 		Insts:  child.CPU.Insts - startInsts,
 	}
@@ -91,6 +118,7 @@ func (s *ForkServer) Handle(req []byte) (Outcome, error) {
 	case StateCrashed:
 		out.Crashed = true
 		out.CrashReason = child.CrashReason
+		out.CrashErr = child.CrashErr
 		s.Crashes++
 	default:
 		return Outcome{}, fmt.Errorf("kernel: worker stuck in state %s", st)

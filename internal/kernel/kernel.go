@@ -7,6 +7,7 @@
 package kernel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -55,6 +56,16 @@ func (s State) String() string {
 // errAwaitAccept is the internal signal that a process blocked in accept.
 var errAwaitAccept = errors.New("kernel: await accept")
 
+// ErrStackSmash marks crashes raised by __stack_chk_fail's abort — a canary
+// check detected an overwrite. It is carried as the Cause of the CrashError
+// so callers can classify crashes with errors.Is instead of matching the
+// CrashReason string.
+var ErrStackSmash = errors.New("kernel: stack smashing detected")
+
+// ErrBudget marks crashes caused by the instruction-budget watchdog, not by
+// guest misbehaviour.
+var ErrBudget = errors.New("kernel: instruction budget exhausted")
+
 // Process is one simulated process.
 type Process struct {
 	ID    int
@@ -71,6 +82,10 @@ type Process struct {
 	ExitCode uint64
 	// CrashReason is valid in StateCrashed.
 	CrashReason string
+	// CrashErr is the error that crashed the process (valid in StateCrashed).
+	// It wraps ErrStackSmash for canary aborts and ErrBudget for watchdog
+	// kills, so callers can classify with errors.Is/As.
+	CrashErr error
 
 	// Stdout accumulates SysWrite output (fd 1).
 	Stdout []byte
@@ -254,30 +269,54 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 // Run executes the process until it exits, crashes, or blocks in accept.
 // It returns the resulting state.
 func (k *Kernel) Run(p *Process) State {
+	st, _ := k.RunContext(context.Background(), p)
+	return st
+}
+
+// cancelCheckMask matches the VM's polling stride: the context is checked
+// every (mask+1) instructions.
+const cancelCheckMask = 1023
+
+// RunContext is Run with cancellation plumbed into the step loop. When ctx
+// is cancelled mid-execution the process is left in StateRunning exactly
+// where it stopped — a later RunContext call resumes it — and ctx.Err() is
+// returned. The error is nil whenever the process reached a terminal state
+// or blocked in accept.
+func (k *Kernel) RunContext(ctx context.Context, p *Process) (State, error) {
 	if p.State != StateRunning {
-		return p.State
+		return p.State, nil
 	}
 	startCycles := p.CPU.Cycles
 	defer func() { k.now += p.CPU.Cycles - startCycles }()
+	done := ctx.Done()
 	for i := uint64(0); i < k.MaxInsts; i++ {
+		if done != nil && i&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return p.State, ctx.Err()
+			default:
+			}
+		}
 		err := p.CPU.Step()
 		switch {
 		case err == nil:
 		case errors.Is(err, vm.ErrHalted):
 			p.State = StateExited
-			return p.State
+			return p.State, nil
 		case errors.Is(err, errAwaitAccept):
 			p.State = StateWaiting
-			return p.State
+			return p.State, nil
 		default:
 			p.State = StateCrashed
 			p.CrashReason = err.Error()
-			return p.State
+			p.CrashErr = err
+			return p.State, nil
 		}
 	}
 	p.State = StateCrashed
 	p.CrashReason = fmt.Sprintf("instruction budget %d exhausted", k.MaxInsts)
-	return p.State
+	p.CrashErr = fmt.Errorf("%w (%d)", ErrBudget, k.MaxInsts)
+	return p.State, nil
 }
 
 // sysHandler routes SYSCALL traps to the owning process.
@@ -296,7 +335,7 @@ func (h *sysHandler) Syscall(cpu *vm.CPU, nr, a1, a2, a3 uint64) (uint64, error)
 		return 0, nil
 
 	case abi.SysAbort:
-		return 0, &vm.CrashError{RIP: cpu.RIP, Reason: "abort (stack smashing detected)"}
+		return 0, &vm.CrashError{RIP: cpu.RIP, Reason: "abort (stack smashing detected)", Cause: ErrStackSmash}
 
 	case abi.SysRead:
 		if a1 != 0 {

@@ -57,6 +57,7 @@ func (k *Kernel) step(p *Process, n uint64) {
 		default:
 			p.State = StateCrashed
 			p.CrashReason = err.Error()
+			p.CrashErr = err
 			return
 		}
 	}

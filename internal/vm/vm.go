@@ -9,6 +9,7 @@
 package vm
 
 import (
+	"context"
 	"crypto/aes"
 	"encoding/binary"
 	"errors"
@@ -77,6 +78,11 @@ type CPU struct {
 	Rand *rng.Source
 	Sys  Syscaller
 
+	// CostModel, when non-nil, overrides the calibrated per-opcode cycle
+	// table. Fork clones it with the rest of the CPU state, so a model set on
+	// a server parent applies to every worker it forks.
+	CostModel func(op isa.Op) uint64
+
 	tracer Tracer
 	halted bool
 }
@@ -132,7 +138,11 @@ func (c *CPU) Step() error {
 	if c.tracer != nil {
 		c.tracer.Trace(c, in)
 	}
-	c.Cycles += in.Op.Cycles()
+	if c.CostModel != nil {
+		c.Cycles += c.CostModel(in.Op)
+	} else {
+		c.Cycles += in.Op.Cycles()
+	}
 	c.Insts++
 
 	switch in.Op {
@@ -350,7 +360,28 @@ func (c *CPU) aesEncrypt() error {
 // Run executes until halt, crash, or the instruction budget is exhausted.
 // It returns nil on orderly halt.
 func (c *CPU) Run(maxInsts uint64) error {
+	return c.RunContext(context.Background(), maxInsts)
+}
+
+// cancelCheckMask controls how often the step loops poll the context: every
+// (mask+1) instructions. Polling a channel is ~ns-scale, so at this stride
+// cancellation latency stays in the microseconds while the fast path pays
+// one masked compare per instruction.
+const cancelCheckMask = 1023
+
+// RunContext executes until halt, crash, budget exhaustion, or ctx
+// cancellation. On cancellation the CPU is left exactly where it stopped —
+// resumable with another RunContext call — and ctx.Err() is returned.
+func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) error {
+	done := ctx.Done()
 	for i := uint64(0); i < maxInsts; i++ {
+		if done != nil && i&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		switch err := c.Step(); {
 		case err == nil:
 		case errors.Is(err, ErrHalted):

@@ -2,11 +2,13 @@ package vm
 
 import (
 	"bytes"
+	"context"
 	"crypto/aes"
 	"encoding/binary"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -479,5 +481,56 @@ func TestTracerClearable(t *testing.T) {
 	run(t, c)
 	if n, _ := stats.Total(); n != 0 {
 		t.Fatal("cleared tracer still invoked")
+	}
+}
+
+// TestRunContextCancellation drives the VM-level cancellation path: an
+// infinite loop is aborted by a cancelled context, leaving the CPU
+// resumable, and a cost model override changes cycle accounting.
+func TestRunContextCancellation(t *testing.T) {
+	spin := []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 1},
+		{Op: isa.JMP, Disp: -int32(isa.JMP.EncodedLen())}, // jump to self
+	}
+
+	// Pre-cancelled: returns promptly with the context error.
+	c := buildCPU(t, spin)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.RunContext(ctx, 1<<40); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext: %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-run: the loop must notice within the polling stride.
+	c2 := buildCPU(t, spin)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel2()
+	}()
+	if err := c2.RunContext(ctx2, 1<<40); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run RunContext: %v, want context.Canceled", err)
+	}
+	if c2.Insts == 0 || c2.Halted() {
+		t.Fatalf("CPU state after cancellation: insts=%d halted=%v", c2.Insts, c2.Halted())
+	}
+	// The CPU is left where it stopped: a bounded resume still executes.
+	before := c2.Insts
+	if err := c2.RunContext(context.Background(), 10); err == nil || c2.Insts != before+10 {
+		t.Fatalf("resume after cancel: err=%v insts=%d want %d", err, c2.Insts, before+10)
+	}
+}
+
+// TestCostModelOverride checks the pluggable cycle model.
+func TestCostModelOverride(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 7},
+		{Op: isa.HLT},
+	}
+	c := buildCPU(t, prog)
+	c.CostModel = func(isa.Op) uint64 { return 100 }
+	run(t, c)
+	if c.Cycles != 200 {
+		t.Fatalf("flat-100 model: %d cycles for %d insts, want 200", c.Cycles, c.Insts)
 	}
 }

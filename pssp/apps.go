@@ -1,0 +1,55 @@
+package pssp
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+)
+
+// AppInfo describes one program of the built-in application suite: the 28
+// SPEC CPU2006 analogs, the web-server and database analogs, and the
+// vulnerable attack targets.
+type AppInfo struct {
+	// Name identifies the app for CompileApp.
+	Name string
+	// Server reports whether the app blocks in accept and must be driven
+	// with Serve (batch apps run with Run).
+	Server bool
+	// Request is a benign request payload for servers (nil for batch apps).
+	Request []byte
+}
+
+// Apps lists the built-in application suite.
+func Apps() []AppInfo {
+	all := apps.All()
+	out := make([]AppInfo, 0, len(all))
+	for _, a := range all {
+		out = append(out, AppInfo{
+			Name:    a.Name,
+			Server:  a.Kind == apps.KindServer,
+			Request: a.Request,
+		})
+	}
+	return out
+}
+
+// App returns the named app's info.
+func App(name string) (AppInfo, bool) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AppInfo{}, false
+}
+
+// CompileApp compiles a built-in application by name under the machine's
+// (or the options') scheme.
+func (m *Machine) CompileApp(name string, opts ...CompileOption) (*Image, error) {
+	for _, a := range apps.All() {
+		if a.Name == name {
+			return m.Compile(a.Prog, opts...)
+		}
+	}
+	return nil, fmt.Errorf("pssp: unknown app %q", name)
+}

@@ -1,0 +1,63 @@
+package pssp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// Sentinel errors. All crash-shaped failures returned by the facade are
+// *CrashError values that match ErrCrash — and the more specific sentinels
+// where applicable — under errors.Is.
+var (
+	// ErrCrash matches any abnormal process termination: memory fault,
+	// illegal instruction, canary abort, watchdog kill.
+	ErrCrash = errors.New("pssp: process crashed")
+	// ErrCanaryDetected matches crashes raised by a canary check
+	// (__stack_chk_fail's abort) — an overflow was detected.
+	ErrCanaryDetected = errors.New("pssp: canary check detected stack smashing")
+	// ErrBudgetExhausted matches watchdog kills: the process exceeded the
+	// machine's instruction budget (see WithMaxInstructions).
+	ErrBudgetExhausted = errors.New("pssp: instruction budget exhausted")
+	// ErrHalted is returned when running a process that already finished.
+	ErrHalted = errors.New("pssp: process already halted")
+	// ErrAwaitingRequest is returned by Process.Run when the program blocks
+	// in accept(2): it is a server and must be driven via Machine.Serve.
+	ErrAwaitingRequest = errors.New("pssp: process is blocked in accept awaiting a request")
+)
+
+// CrashError reports an abnormal process termination with enough structure
+// to classify it without string matching.
+type CrashError struct {
+	// PID is the simulated process id.
+	PID int
+	// Reason is the human-readable crash description.
+	Reason string
+	cause  error
+}
+
+func newCrashError(pid int, reason string, cause error) *CrashError {
+	return &CrashError{PID: pid, Reason: reason, cause: cause}
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("pssp: process %d crashed: %s", e.PID, e.Reason)
+}
+
+// Unwrap returns the underlying kernel/VM error.
+func (e *CrashError) Unwrap() error { return e.cause }
+
+// Is wires the sentinel taxonomy into errors.Is.
+func (e *CrashError) Is(target error) bool {
+	switch target {
+	case ErrCrash:
+		return true
+	case ErrCanaryDetected:
+		return errors.Is(e.cause, kernel.ErrStackSmash)
+	case ErrBudgetExhausted:
+		return errors.Is(e.cause, kernel.ErrBudget)
+	}
+	return false
+}

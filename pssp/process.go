@@ -1,0 +1,131 @@
+package pssp
+
+import (
+	"context"
+
+	"repro/internal/kernel"
+)
+
+// loadConfig collects per-call load options.
+type loadConfig struct {
+	libc    *Image
+	preload Scheme
+}
+
+// LoadOption adjusts one Load/Serve call.
+type LoadOption func(*loadConfig)
+
+// LoadLibc maps the given libc image into the process — required for
+// dynamically linked apps.
+func LoadLibc(libc *Image) LoadOption {
+	return func(c *loadConfig) { c.libc = libc }
+}
+
+// LoadPreload overrides the preloaded scheme hooks (the paper's shared
+// library role). By default the scheme is derived from the image metadata;
+// overriding it models deploying one scheme's runtime under a binary
+// compiled with another — the compatibility experiment.
+func LoadPreload(s Scheme) LoadOption {
+	return func(c *loadConfig) { c.preload = s }
+}
+
+// Process is one loaded simulated process.
+type Process struct {
+	m        *Machine
+	p        *kernel.Process
+	finished bool
+}
+
+// Result reports a completed run.
+type Result struct {
+	// ExitCode is the value passed to exit(2).
+	ExitCode uint64
+	// Cycles and Insts are the process's total execution cost.
+	Cycles uint64
+	Insts  uint64
+	// Output is everything the process wrote to stdout.
+	Output []byte
+}
+
+// Load spawns the image as a new process: map sections, stack and TLS, run
+// the scheme's startup hooks, apply the machine's instrumentation. The
+// process is ready to Run.
+func (m *Machine) Load(img *Image, opts ...LoadOption) (*Process, error) {
+	cfg := loadConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	kOpts := kernel.SpawnOpts{Preload: cfg.preload}
+	if cfg.libc != nil {
+		kOpts.Libc = cfg.libc.bin
+	}
+	p, err := m.k.Spawn(img.bin, kOpts)
+	if err != nil {
+		return nil, err
+	}
+	m.instrument(p)
+	return &Process{m: m, p: p}, nil
+}
+
+// Run executes the process until it exits, crashes, or ctx is cancelled.
+//
+// On orderly exit it returns the Result. A crash returns a *CrashError
+// matching ErrCrash (and ErrCanaryDetected / ErrBudgetExhausted where
+// applicable). Cancellation returns ctx.Err() with the process left where
+// it stopped — a later Run resumes it. A program that blocks in accept(2)
+// returns ErrAwaitingRequest: it is a server, drive it with Machine.Serve.
+func (pr *Process) Run(ctx context.Context) (*Result, error) {
+	if pr.finished {
+		return nil, ErrHalted
+	}
+	st, err := pr.m.k.RunContext(ctx, pr.p)
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case kernel.StateExited:
+		pr.finished = true
+		return &Result{
+			ExitCode: pr.p.ExitCode,
+			Cycles:   pr.p.CPU.Cycles,
+			Insts:    pr.p.CPU.Insts,
+			Output:   pr.p.Stdout,
+		}, nil
+	case kernel.StateCrashed:
+		pr.finished = true
+		return nil, newCrashError(pr.p.ID, pr.p.CrashReason, pr.p.CrashErr)
+	case kernel.StateWaiting:
+		return nil, ErrAwaitingRequest
+	default:
+		return nil, ErrHalted
+	}
+}
+
+// PID returns the simulated process id.
+func (pr *Process) PID() int { return pr.p.ID }
+
+// Cycles returns the cycles consumed so far.
+func (pr *Process) Cycles() uint64 { return pr.p.CPU.Cycles }
+
+// Insts returns the instructions executed so far.
+func (pr *Process) Insts() uint64 { return pr.p.CPU.Insts }
+
+// Output returns everything written to stdout so far.
+func (pr *Process) Output() []byte { return pr.p.Stdout }
+
+// Canary returns the process's TLS canary C — the secret the paper's
+// attacks try to recover (used by experiments to verify recoveries).
+func (pr *Process) Canary() (uint64, error) { return pr.p.TLS().Canary() }
+
+// Footprint returns the process's mapped memory in bytes.
+func (pr *Process) Footprint() int { return pr.p.Space.Footprint() }
+
+// Run is the one-call batch pipeline: Load the image and run it to
+// completion under ctx.
+func (m *Machine) Run(ctx context.Context, img *Image, opts ...LoadOption) (*Result, error) {
+	p, err := m.Load(img, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx)
+}

@@ -1,0 +1,30 @@
+package pssp
+
+import "repro/internal/core"
+
+// Scheme identifies a stack-protection scheme; it aliases the core type so
+// facade users and internal packages interoperate without conversion.
+type Scheme = core.Scheme
+
+// The full scheme set: the paper's contribution (PSSP and its extensions),
+// the Table I baselines, the unprotected baseline, and the Figure 6
+// global-buffer variant.
+const (
+	SchemeNone      = core.SchemeNone
+	SchemeSSP       = core.SchemeSSP
+	SchemeRAFSSP    = core.SchemeRAFSSP
+	SchemeDynaGuard = core.SchemeDynaGuard
+	SchemeDCR       = core.SchemeDCR
+	SchemePSSP      = core.SchemePSSP
+	SchemePSSPNT    = core.SchemePSSPNT
+	SchemePSSPLV    = core.SchemePSSPLV
+	SchemePSSPOWF   = core.SchemePSSPOWF
+	SchemePSSPGB    = core.SchemePSSPGB
+)
+
+// ParseScheme resolves a scheme name case-insensitively, accepting the
+// paper's undashed aliases ("pssp" for "p-ssp").
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// Schemes returns all defined schemes in declaration order.
+func Schemes() []Scheme { return core.Schemes() }

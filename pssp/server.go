@@ -1,0 +1,168 @@
+package pssp
+
+import (
+	"context"
+
+	"repro/internal/apps"
+	"repro/internal/attack"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// Server is a fork-per-request server: a parent process parked in accept(2)
+// from which every request forks a fresh worker — the paper's threat-model
+// server and the attacker's crash oracle.
+type Server struct {
+	m   *Machine
+	srv *kernel.ForkServer
+}
+
+// Response reports one served request.
+type Response struct {
+	// Body is everything the worker wrote before finishing — including
+	// output emitted before a crash, since on a real socket those bytes
+	// have already left the process.
+	Body []byte
+	// Cycles and Insts are the worker's execution cost.
+	Cycles uint64
+	Insts  uint64
+	// Err is nil when the worker exited cleanly; otherwise a *CrashError
+	// matching ErrCrash (and ErrCanaryDetected for canary aborts).
+	Err error
+}
+
+// Crashed reports whether the worker died.
+func (r *Response) Crashed() bool { return r.Err != nil }
+
+// Serve loads the image and boots it to its accept point, returning the
+// parked server. Cancellation during boot returns ctx.Err().
+func (m *Machine) Serve(ctx context.Context, img *Image, opts ...LoadOption) (*Server, error) {
+	p, err := m.Load(img, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return m.serveLoaded(ctx, p)
+}
+
+// serveLoaded boots an already-loaded process to its accept point.
+func (m *Machine) serveLoaded(ctx context.Context, p *Process) (*Server, error) {
+	srv, err := kernel.ServeProcess(ctx, m.k, p.p)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{m: m, srv: srv}, nil
+}
+
+// Handle serves one request with a freshly forked worker. The returned
+// error covers transport-level failures only (fork failure, cancellation);
+// a worker crash is reported in Response.Err so callers can distinguish
+// "the request was served and the worker died" from "the request never ran".
+func (s *Server) Handle(ctx context.Context, req []byte) (*Response, error) {
+	out, err := s.srv.HandleContext(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Body: out.Response, Cycles: out.Cycles, Insts: out.Insts}
+	if out.Crashed {
+		resp.Err = newCrashError(out.PID, out.CrashReason, out.CrashErr)
+	}
+	return resp, nil
+}
+
+// Canary returns the parent's TLS canary C (for verifying attack results).
+func (s *Server) Canary() (uint64, error) { return s.srv.Parent().TLS().Canary() }
+
+// Footprint returns the parked parent's mapped memory in bytes — the
+// worker memory baseline of the paper's Table IV.
+func (s *Server) Footprint() int { return s.srv.Parent().Space.Footprint() }
+
+// Requests returns the number of requests handled so far.
+func (s *Server) Requests() int { return s.srv.Requests }
+
+// Crashes returns the number of workers that died.
+func (s *Server) Crashes() int { return s.srv.Crashes }
+
+// TotalCycles returns the accumulated worker execution cost.
+func (s *Server) TotalCycles() uint64 { return s.srv.TotalCycles }
+
+// TotalInsts returns the accumulated worker instruction count.
+func (s *Server) TotalInsts() uint64 { return s.srv.TotalInsts }
+
+// AvgCycles returns the mean worker cycles per request (0 before the first
+// request).
+func (s *Server) AvgCycles() float64 {
+	if s.srv.Requests == 0 {
+		return 0
+	}
+	return float64(s.srv.TotalCycles) / float64(s.srv.Requests)
+}
+
+// VulnServerBufSize is the stack-buffer size of the built-in vulnerable
+// servers; their canary sits this many bytes past the buffer start.
+const VulnServerBufSize = apps.VulnServerBufSize
+
+// BackdoorMarker is the byte the vulnerable servers' never-called backdoor
+// function emits when a control-flow hijack reaches it.
+const BackdoorMarker byte = apps.BackdoorMarker
+
+// ScratchAddr is a writable data address safe to plant as a forged
+// saved-RBP in hijack payloads.
+const ScratchAddr uint64 = mem.DataBase + 0x2000
+
+// AttackConfig parameterizes Server.Attack. The zero value attacks the
+// built-in vulnerable servers under the machine's attack budget.
+type AttackConfig struct {
+	// BufLen is the distance in bytes from the buffer start to the canary
+	// (default VulnServerBufSize).
+	BufLen int
+	// CanaryLen is the canary size in bytes (default 8).
+	CanaryLen int
+	// MaxTrials bounds the attack (default: the machine's WithAttackBudget).
+	MaxTrials int
+}
+
+// AttackResult reports an attack run; see the fields on attack.Result.
+type AttackResult = attack.Result
+
+// ctxOracle adapts the server into an attack oracle with cancellation
+// checked on every trial.
+type ctxOracle struct {
+	ctx context.Context
+	s   *Server
+}
+
+// Try implements attack.Oracle.
+func (o *ctxOracle) Try(payload []byte) (bool, error) {
+	out, err := o.s.srv.HandleContext(o.ctx, payload)
+	if err != nil {
+		return false, err
+	}
+	return !out.Crashed, nil
+}
+
+// Attack runs the paper's byte-by-byte canary brute-force (§II-B) against
+// this server, using worker survival as the oracle. On a static canary the
+// attacker's knowledge accumulates (~1024 expected trials); against
+// polymorphic canaries every fork refreshes the secret and the attack
+// stalls.
+func (s *Server) Attack(ctx context.Context, cfg AttackConfig) (AttackResult, error) {
+	if cfg.BufLen == 0 {
+		cfg.BufLen = VulnServerBufSize
+	}
+	if cfg.MaxTrials == 0 {
+		cfg.MaxTrials = s.m.cfg.attackBudget
+	}
+	return attack.ByteByByte(&ctxOracle{ctx: ctx, s: s}, attack.Config{
+		BufLen:    cfg.BufLen,
+		CanaryLen: cfg.CanaryLen,
+		MaxTrials: cfg.MaxTrials,
+	})
+}
+
+// HijackPayload builds the post-recovery exploitation payload: fill the
+// buffer, restore the recovered canary, plant a benign saved-RBP (use
+// ScratchAddr), overwrite the return address with target, and leave a
+// continuation address for target to return into.
+func HijackPayload(bufLen int, filler byte, canary []byte, savedRBP, target, continuation uint64) []byte {
+	return attack.HijackPayload(bufLen, filler, canary, savedRBP, target, continuation)
+}

@@ -1,0 +1,63 @@
+package pssp
+
+import (
+	"context"
+	"sync"
+)
+
+// Session is one independently running Machine with a stable identity
+// inside a concurrent batch. Machines are fully self-contained (kernel,
+// CPU, entropy source), so any number of Sessions run in parallel without
+// shared state; the harness uses this to execute the paper's table drivers
+// and multi-process workloads concurrently.
+type Session struct {
+	id int
+	m  *Machine
+}
+
+// ID returns the session's index within its batch, 0-based.
+func (s *Session) ID() int { return s.id }
+
+// Machine returns the session's private machine.
+func (s *Session) Machine() *Machine { return s.m }
+
+// RunSessions runs fn on n concurrent Sessions, each owning a freshly built
+// Machine, and waits for all of them. optsFor supplies each session's
+// machine options by id; when nil, session i gets WithSeed(i+1) so the
+// sessions draw from distinct deterministic entropy streams.
+//
+// The first non-nil error cancels the context passed to every other
+// session's fn and is returned after all goroutines finish. Cancellation of
+// the parent ctx propagates the same way.
+func RunSessions(ctx context.Context, n int, optsFor func(id int) []Option, fn func(ctx context.Context, s *Session) error) error {
+	if optsFor == nil {
+		optsFor = func(id int) []Option {
+			return []Option{WithSeed(uint64(id) + 1)}
+		}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		s := &Session{id: i, m: NewMachine(optsFor(i)...)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(ctx, s); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,136 @@
+package pssp_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/pssp"
+)
+
+// TestConcurrentSessions runs 8+ independent Machines on goroutines — each
+// compiling, serving, attacking, and running batch work — and checks every
+// session's results. `go test -race` makes this the facade's isolation
+// proof: no state is shared between sessions.
+func TestConcurrentSessions(t *testing.T) {
+	const n = 12
+	type outcome struct {
+		canary    uint64
+		attackWon bool
+		batchOut  []byte
+	}
+	results := make([]outcome, n)
+
+	err := pssp.RunSessions(context.Background(), n, nil, func(ctx context.Context, s *pssp.Session) error {
+		m := s.Machine()
+		// Odd sessions run the polymorphic scheme, even ones classic SSP,
+		// so concurrent sessions exercise different pass pipelines.
+		scheme := pssp.SchemeSSP
+		if s.ID()%2 == 1 {
+			scheme = pssp.SchemePSSP
+		}
+		srv, err := m.Pipeline().CompileApp("nginx-vuln", pssp.CompileScheme(scheme)).Serve(ctx)
+		if err != nil {
+			return fmt.Errorf("session %d: serve: %w", s.ID(), err)
+		}
+		for i := 0; i < 3; i++ {
+			resp, err := srv.Handle(ctx, []byte("GET /"))
+			if err != nil {
+				return fmt.Errorf("session %d: handle: %w", s.ID(), err)
+			}
+			if resp.Crashed() {
+				return fmt.Errorf("session %d: benign request crashed: %w", s.ID(), resp.Err)
+			}
+		}
+		res, err := srv.Attack(ctx, pssp.AttackConfig{MaxTrials: 512})
+		if err != nil {
+			return fmt.Errorf("session %d: attack: %w", s.ID(), err)
+		}
+		canary, err := srv.Canary()
+		if err != nil {
+			return err
+		}
+
+		batch, err := m.Pipeline().Compile(batchProg(), pssp.CompileScheme(scheme)).Run(ctx)
+		if err != nil {
+			return fmt.Errorf("session %d: batch: %w", s.ID(), err)
+		}
+		results[s.ID()] = outcome{canary: canary, attackWon: res.Success, batchOut: batch.Output}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[uint64]int)
+	for id, r := range results {
+		if !bytes.Equal(r.batchOut, []byte{42}) {
+			t.Errorf("session %d: batch output %v", id, r.batchOut)
+		}
+		if r.attackWon && id%2 == 1 {
+			t.Errorf("session %d: attack succeeded against P-SSP", id)
+		}
+		if prev, dup := seen[r.canary]; dup {
+			t.Errorf("sessions %d and %d share a canary %016x — machines not independent", prev, id, r.canary)
+		}
+		seen[r.canary] = id
+	}
+}
+
+// TestSessionsDeterministicSeeds checks the default seeding: the same batch
+// run twice produces identical per-session canaries.
+func TestSessionsDeterministicSeeds(t *testing.T) {
+	run := func() ([]uint64, error) {
+		out := make([]uint64, 8)
+		err := pssp.RunSessions(context.Background(), 8, nil, func(ctx context.Context, s *pssp.Session) error {
+			srv, err := s.Machine().Pipeline().CompileApp("nginx-vuln").Serve(ctx)
+			if err != nil {
+				return err
+			}
+			c, err := srv.Canary()
+			out[s.ID()] = c
+			return err
+		})
+		return out, err
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("session %d: canary %016x vs %016x across identical batches", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSessionsErrorCancelsPeers verifies the first failure cancels the
+// other sessions' contexts and surfaces as the batch error.
+func TestSessionsErrorCancelsPeers(t *testing.T) {
+	boom := errors.New("boom")
+	err := pssp.RunSessions(context.Background(), 8, nil, func(ctx context.Context, s *pssp.Session) error {
+		if s.ID() == 3 {
+			return boom
+		}
+		m := s.Machine()
+		img, err := m.Compile(spinProg())
+		if err != nil {
+			return err
+		}
+		// Everyone else spins until the failing session cancels them.
+		_, err = m.Run(ctx, img)
+		if errors.Is(err, context.Canceled) {
+			return nil
+		}
+		return fmt.Errorf("session %d survived peer failure: %v", s.ID(), err)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("batch error %v, want boom", err)
+	}
+}
