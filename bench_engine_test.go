@@ -1,0 +1,137 @@
+package repro
+
+// Micro-benchmarks of the execution engine introduced by the decode-once
+// refactor. Run them with
+//
+//	go test -run '^$' -bench 'ForkClone|StepLoop|ForkServerRequest' -benchmem .
+//
+// or via scripts/bench_engine.sh, which records the results in
+// BENCH_engine.json so the perf trajectory is tracked across PRs. The
+// "deep" / "interpreter" sub-benchmarks measure the pre-refactor execution
+// model (eager fork copies, decode-each-step) on today's code, so every run
+// re-derives the speedup the engine is expected to hold.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/apps"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/pssp"
+)
+
+var benchEngines = []struct {
+	name   string
+	engine pssp.Engine
+}{
+	{"predecoded", pssp.EnginePredecoded},
+	{"interpreter", pssp.EngineInterpreter},
+}
+
+// parkedServerSpace builds the nginx analog's parent process, boots it to
+// accept, and returns its address space — the exact space the fork-per-
+// request oracle clones for every attack probe.
+func parkedServerSpace(b *testing.B) *mem.Space {
+	b.Helper()
+	var app apps.App
+	for _, a := range apps.WebServers() {
+		if a.Name == "nginx" {
+			app = a
+		}
+	}
+	if app.Prog == nil {
+		b.Fatal("no nginx app")
+	}
+	bin, err := cc.Compile(app.Prog, cc.Options{Scheme: core.SchemePSSP, Linkage: abi.LinkStatic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kernel.New(1)
+	srv, err := kernel.NewForkServer(k, bin, kernel.SpawnOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv.Parent().Space
+}
+
+// BenchmarkForkClone measures the memory half of fork(2): copy-on-write
+// (the engine's path) against the pre-refactor eager deep copy.
+func BenchmarkForkClone(b *testing.B) {
+	sp := parkedServerSpace(b)
+	b.Run("cow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sp.Clone() == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	b.Run("deep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sp.CloneDeep() == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+}
+
+// BenchmarkStepLoop measures the raw dispatch loop: one op is a full run of
+// the 403.gcc SPEC analog (compile hoisted out), so ns/op divided by the
+// guest-insts metric is the per-instruction cost of each engine.
+func BenchmarkStepLoop(b *testing.B) {
+	ctx := context.Background()
+	img, err := pssp.NewMachine(pssp.WithScheme(pssp.SchemePSSP)).CompileApp("403.gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				res, err := pssp.NewMachine(pssp.WithSeed(1), pssp.WithEngine(e.engine)).Run(ctx, img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Insts
+			}
+			b.ReportMetric(float64(insts), "guest-insts/op")
+		})
+	}
+}
+
+// BenchmarkForkServerRequest measures the fork-per-request oracle end to
+// end — COW fork, shared code cache, request execution, teardown — the loop
+// the byte-by-byte attack multiplies by thousands of probes.
+func BenchmarkForkServerRequest(b *testing.B) {
+	ctx := context.Background()
+	app, ok := pssp.App("nginx")
+	if !ok {
+		b.Fatal("no nginx app")
+	}
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			m := pssp.NewMachine(pssp.WithSeed(1), pssp.WithScheme(pssp.SchemePSSP), pssp.WithEngine(e.engine))
+			srv, err := m.Pipeline().CompileApp("nginx").Serve(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := srv.Handle(ctx, app.Request)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Crashed() {
+					b.Fatal(out.Err)
+				}
+			}
+		})
+	}
+}

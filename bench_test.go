@@ -170,26 +170,6 @@ func BenchmarkVMSpecProgram(b *testing.B) {
 	b.ReportMetric(float64(insts), "guest-insts/op")
 }
 
-func BenchmarkForkServerRequest(b *testing.B) {
-	ctx := context.Background()
-	m := pssp.NewMachine(pssp.WithSeed(1), pssp.WithScheme(pssp.SchemePSSP))
-	app, _ := pssp.App("nginx")
-	srv, err := m.Pipeline().CompileApp("nginx").Serve(ctx)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		out, err := srv.Handle(ctx, app.Request)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if out.Crashed() {
-			b.Fatal(out.Err)
-		}
-	}
-}
-
 func BenchmarkByteByByteAttackSSP(b *testing.B) {
 	ctx := context.Background()
 	img, err := pssp.NewMachine(pssp.WithScheme(pssp.SchemeSSP)).CompileApp("nginx-vuln")

@@ -165,7 +165,7 @@ func DetectionLatency(cfg Config) (*Table, error) {
 		{"epilogue only", false},
 		{"check on write", true},
 	} {
-		m := pssp.NewMachine(pssp.WithSeed(cfg.Seed+7), pssp.WithScheme(core.SchemePSSPLV))
+		m := cfg.machine(pssp.WithSeed(cfg.Seed+7), pssp.WithScheme(core.SchemePSSPLV))
 		compileOpts := []pssp.CompileOption{}
 		if mode.onWrite {
 			compileOpts = append(compileOpts, pssp.CompileCheckOnWrite())

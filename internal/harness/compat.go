@@ -57,7 +57,7 @@ func Compatibility(cfg Config) (*Table, error) {
 	schemes := []core.Scheme{core.SchemeSSP, core.SchemePSSP}
 	for _, appS := range schemes {
 		for _, libcS := range schemes {
-			m := pssp.NewMachine(pssp.WithSeed(cfg.Seed + 3))
+			m := cfg.machine(pssp.WithSeed(cfg.Seed + 3))
 			libc, err := m.CompileLibc(libcS)
 			if err != nil {
 				return nil, err

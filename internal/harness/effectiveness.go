@@ -26,7 +26,7 @@ func Effectiveness(cfg Config) (*Table, error) {
 	}
 	for _, app := range apps.VulnServers() {
 		for _, scheme := range []core.Scheme{core.SchemeSSP, core.SchemePSSP} {
-			m := pssp.NewMachine(
+			m := cfg.machine(
 				pssp.WithSeed(cfg.Seed+uint64(len(t.Rows))),
 				pssp.WithScheme(scheme),
 				pssp.WithAttackBudget(cfg.AttackBudget),

@@ -38,6 +38,11 @@ type Config struct {
 	// SpecRuns averages each SPEC measurement over this many runs
 	// (default 1; measurements are deterministic per seed anyway).
 	SpecRuns int
+	// Engine selects the VM execution engine for every machine the drivers
+	// build. The zero value is the default decode-once engine
+	// (pssp.EnginePredecoded); the cross-engine golden tests run the full
+	// drivers under pssp.EngineInterpreter too and assert identical values.
+	Engine pssp.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +124,13 @@ func (t *Table) set(key string, v float64) {
 	t.Values[key] = v
 }
 
+// machine builds a Machine under the config's execution engine plus the
+// given options. Every driver constructs machines through it so one Config
+// knob switches the whole evaluation between engines.
+func (c Config) machine(opts ...pssp.Option) *pssp.Machine {
+	return pssp.NewMachine(append([]pssp.Option{pssp.WithEngine(c.Engine)}, opts...)...)
+}
+
 // compileStatic compiles an IR program as a statically linked image.
 func compileStatic(prog *cc.Program, scheme core.Scheme) (*pssp.Image, error) {
 	return pssp.NewMachine(pssp.WithScheme(scheme)).Compile(prog)
@@ -126,8 +138,8 @@ func compileStatic(prog *cc.Program, scheme core.Scheme) (*pssp.Image, error) {
 
 // runToExit runs the image to completion on a fresh machine, returning the
 // cycle count.
-func runToExit(ctx context.Context, seed uint64, img *pssp.Image) (uint64, error) {
-	res, err := pssp.NewMachine(pssp.WithSeed(seed)).Run(ctx, img)
+func runToExit(ctx context.Context, cfg Config, img *pssp.Image) (uint64, error) {
+	res, err := cfg.machine(pssp.WithSeed(cfg.Seed)).Run(ctx, img)
 	if err != nil {
 		return 0, fmt.Errorf("harness: %s: %w", img.Name(), err)
 	}
@@ -141,7 +153,9 @@ func specSuiteCycles(ctx context.Context, cfg Config, build func(m *pssp.Machine
 	suite := apps.Spec()
 	cycles := make([]uint64, len(suite))
 	err := pssp.RunSessions(ctx, len(suite),
-		func(int) []pssp.Option { return []pssp.Option{pssp.WithSeed(cfg.Seed)} },
+		func(int) []pssp.Option {
+			return []pssp.Option{pssp.WithSeed(cfg.Seed), pssp.WithEngine(cfg.Engine)}
+		},
 		func(ctx context.Context, s *pssp.Session) error {
 			app := suite[s.ID()]
 			img, err := build(s.Machine(), app)

@@ -148,7 +148,7 @@ func measureSecurityProfile(ctx context.Context, cfg Config, s core.Scheme) (bro
 
 	// Correctness: benign requests must survive the child's return through
 	// inherited frames.
-	m := pssp.NewMachine(pssp.WithSeed(cfg.Seed + 1))
+	m := cfg.machine(pssp.WithSeed(cfg.Seed + 1))
 	srv, err := m.Serve(ctx, img)
 	if err != nil {
 		return false, false, err
@@ -166,7 +166,7 @@ func measureSecurityProfile(ctx context.Context, cfg Config, s core.Scheme) (bro
 	}
 
 	// BROP prevention: fresh server, full byte-by-byte attack.
-	m2 := pssp.NewMachine(pssp.WithSeed(cfg.Seed+2), pssp.WithAttackBudget(cfg.AttackBudget))
+	m2 := cfg.machine(pssp.WithSeed(cfg.Seed+2), pssp.WithAttackBudget(cfg.AttackBudget))
 	srv2, err := m2.Serve(ctx, img)
 	if err != nil {
 		return false, false, err

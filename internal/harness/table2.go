@@ -18,7 +18,7 @@ import (
 //     Dyninst injects (paper: 2.78%).
 func Table2(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	m := pssp.NewMachine()
+	m := cfg.machine()
 	sspLibc, err := m.CompileLibc(core.SchemeSSP)
 	if err != nil {
 		return nil, err

@@ -34,7 +34,7 @@ func prologueEpilogueDelta(cfg Config, scheme core.Scheme, criticals int) (uint6
 	if err != nil {
 		return 0, err
 	}
-	base, err := runToExit(ctx, cfg.Seed, unprot)
+	base, err := runToExit(ctx, cfg, unprot)
 	if err != nil {
 		return 0, err
 	}
@@ -42,7 +42,7 @@ func prologueEpilogueDelta(cfg Config, scheme core.Scheme, criticals int) (uint6
 	if err != nil {
 		return 0, err
 	}
-	got, err := runToExit(ctx, cfg.Seed, prot)
+	got, err := runToExit(ctx, cfg, prot)
 	if err != nil {
 		return 0, err
 	}

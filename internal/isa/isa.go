@@ -153,8 +153,10 @@ const (
 	ShapeXM                 // xmm register + base register + 32-bit displacement
 )
 
-// payloadLen is the number of operand bytes following the opcode byte.
-var payloadLen = map[Shape]int{
+// payloadLen is the number of operand bytes following the opcode byte,
+// indexed by Shape. An array, not a map: EncodedLen sits on the decode and
+// execute hot paths.
+var payloadLen = [...]int{
 	ShapeNone:  0,
 	ShapeR:     1,
 	ShapeRR:    2,

@@ -123,5 +123,9 @@ func (s *ForkServer) HandleContext(ctx context.Context, req []byte) (Outcome, er
 	default:
 		return Outcome{}, fmt.Errorf("kernel: worker stuck in state %s", st)
 	}
+	// The single-shot worker is dead and the outcome fully copied out:
+	// recycle its materialized buffers so the next fork reuses them instead
+	// of allocating. Segments still shared with the parent are untouched.
+	child.Space.Release()
 	return out, nil
 }

@@ -63,8 +63,10 @@ var errAwaitAccept = errors.New("kernel: await accept")
 var ErrStackSmash = errors.New("kernel: stack smashing detected")
 
 // ErrBudget marks crashes caused by the instruction-budget watchdog, not by
-// guest misbehaviour.
-var ErrBudget = errors.New("kernel: instruction budget exhausted")
+// guest misbehaviour. It aliases vm.ErrBudget so errors.Is classifies budget
+// kills identically whether they surface from the raw VM loop or through the
+// kernel, under either execution engine.
+var ErrBudget = vm.ErrBudget
 
 // Process is one simulated process.
 type Process struct {
@@ -97,6 +99,7 @@ type Process struct {
 
 	rand *rng.Source
 	bin  *binfmt.Binary
+	sys  sysHandler // the process's syscall handler, embedded to avoid a per-fork allocation
 }
 
 // TLS returns the thread-local-storage view at the CPU's current FS base
@@ -134,6 +137,13 @@ type Kernel struct {
 	// budget fault (the analog of a watchdog kill).
 	MaxInsts uint64
 
+	// Engine selects the VM execution engine for every process the kernel
+	// spawns. The zero value is vm.EnginePredecoded; set
+	// vm.EngineInterpreter for the legacy decode-each-step path
+	// (differential testing). Forked children inherit the parent's engine
+	// with the rest of the CPU state.
+	Engine vm.Engine
+
 	// now is global machine time in cycles, advanced by every Run. New
 	// processes read the time-stamp counter relative to it, so TSC behaves
 	// like hardware: monotonic across the whole machine, never reset by
@@ -143,6 +153,10 @@ type Kernel struct {
 	// spawned collects children created by guest-initiated SysFork calls,
 	// ready to be scheduled by the host via TakeSpawned.
 	spawned []*Process
+
+	// pool recycles large copy-on-write materialization buffers between the
+	// machine's short-lived fork-per-request workers.
+	pool *mem.BufPool
 }
 
 // TakeSpawned returns and clears the children created by guest fork(2)
@@ -159,7 +173,7 @@ func (k *Kernel) Now() uint64 { return k.now }
 
 // New returns a kernel seeded with seed.
 func New(seed uint64) *Kernel {
-	return &Kernel{rand: rng.New(seed), nextPID: 1, MaxInsts: 4 << 20}
+	return &Kernel{rand: rng.New(seed), nextPID: 1, MaxInsts: 4 << 20, pool: &mem.BufPool{}}
 }
 
 // SpawnOpts configures process creation.
@@ -177,6 +191,7 @@ type SpawnOpts struct {
 // the new runnable process.
 func (k *Kernel) Spawn(app *binfmt.Binary, opts SpawnOpts) (*Process, error) {
 	sp := mem.NewSpace()
+	sp.SetPool(k.pool)
 	if err := binfmt.Load(app, sp); err != nil {
 		return nil, fmt.Errorf("kernel: spawn: %w", err)
 	}
@@ -215,11 +230,13 @@ func (k *Kernel) Spawn(app *binfmt.Binary, opts SpawnOpts) (*Process, error) {
 	k.nextPID++
 
 	cpu := vm.New(sp, p.rand)
+	cpu.Engine = k.Engine
 	cpu.RIP = app.Entry
 	cpu.TSCBase = k.now
 	cpu.FSBase = mem.TLSBase
 	cpu.GPR[isa.RSP] = mem.StackTop
-	cpu.Sys = &sysHandler{k: k, p: p}
+	p.sys = sysHandler{k: k, p: p}
+	cpu.Sys = &p.sys
 	p.CPU = cpu
 
 	if err := applyStartupHooks(p); err != nil {
@@ -228,21 +245,30 @@ func (k *Kernel) Spawn(app *binfmt.Binary, opts SpawnOpts) (*Process, error) {
 	return p, nil
 }
 
-// Fork clones a process: full address-space copy (TLS included, as fork(2)
-// semantics require), CPU state, and stdin. It then applies the scheme's
-// fork hooks to the child only — the paper's wrapped fork() — and returns
-// the runnable child.
+// Fork clones a process: copy-on-write address-space clone (TLS included,
+// as fork(2) semantics require), CPU state, and stdin. It then applies the
+// scheme's fork hooks to the child only — the paper's wrapped fork() — and
+// returns the runnable child.
+//
+// The clone is cheap by design: no segment bytes are copied until parent or
+// child writes to them, and the copied CPU state carries the parent's
+// decode-once code cache, so a child costs O(segments written), not
+// O(address-space size) — the fork-per-request oracle loop is the hottest
+// path of the byte-by-byte attack experiments.
 //
 // The child is marked single-shot: its first accept consumes the delivered
 // request, its second returns 0 (shutdown), matching a fork-per-connection
 // worker.
 func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	child := &Process{
-		ID:       k.nextPID,
-		Space:    parent.Space.Clone(),
-		State:    parent.State,
-		Scheme:   parent.Scheme,
-		stdin:    append([]byte(nil), parent.stdin...),
+		ID:     k.nextPID,
+		Space:  parent.Space.Clone(),
+		State:  parent.State,
+		Scheme: parent.Scheme,
+		// stdin contents are never mutated in place (delivery replaces the
+		// slice wholesale), so the child aliases the parent's buffer and
+		// tracks its own read offset — fork(2)'s shared file description.
+		stdin:    parent.stdin,
 		stdinOff: parent.stdinOff,
 		isChild:  true,
 		rand:     parent.rand.Fork(),
@@ -250,14 +276,15 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	}
 	k.nextPID++
 
-	cpu := vm.New(child.Space, child.rand)
-	*cpu = *parent.CPU
-	cpu.Mem = child.Space
+	cpu := new(vm.CPU)
+	*cpu = *parent.CPU // shares the code cache; engine and cost model carry over
+	cpu.SetMem(child.Space)
 	cpu.Rand = child.rand
 	// The child keeps reading machine time, not a replay of the parent's
 	// cycle count: TSC is global hardware state.
 	cpu.TSCBase = k.now - cpu.Cycles
-	cpu.Sys = &sysHandler{k: k, p: child}
+	child.sys = sysHandler{k: k, p: child}
+	cpu.Sys = &child.sys
 	child.CPU = cpu
 
 	if err := applyForkHooks(child); err != nil {
@@ -273,49 +300,36 @@ func (k *Kernel) Run(p *Process) State {
 	return st
 }
 
-// cancelCheckMask matches the VM's polling stride: the context is checked
-// every (mask+1) instructions.
-const cancelCheckMask = 1023
-
 // RunContext is Run with cancellation plumbed into the step loop. When ctx
 // is cancelled mid-execution the process is left in StateRunning exactly
 // where it stopped — a later RunContext call resumes it — and ctx.Err() is
 // returned. The error is nil whenever the process reached a terminal state
 // or blocked in accept.
+//
+// The kernel delegates the hot loop to vm.CPU.RunContext — one dispatch
+// loop for both execution engines — and classifies its outcome: halt means
+// exit(2) completed, errAwaitAccept (raised by the accept syscall) parks
+// the process, budget exhaustion crashes it with ErrBudget as the cause,
+// and everything else is an abnormal termination.
 func (k *Kernel) RunContext(ctx context.Context, p *Process) (State, error) {
 	if p.State != StateRunning {
 		return p.State, nil
 	}
 	startCycles := p.CPU.Cycles
 	defer func() { k.now += p.CPU.Cycles - startCycles }()
-	done := ctx.Done()
-	for i := uint64(0); i < k.MaxInsts; i++ {
-		if done != nil && i&cancelCheckMask == 0 {
-			select {
-			case <-done:
-				return p.State, ctx.Err()
-			default:
-			}
-		}
-		err := p.CPU.Step()
-		switch {
-		case err == nil:
-		case errors.Is(err, vm.ErrHalted):
-			p.State = StateExited
-			return p.State, nil
-		case errors.Is(err, errAwaitAccept):
-			p.State = StateWaiting
-			return p.State, nil
-		default:
-			p.State = StateCrashed
-			p.CrashReason = err.Error()
-			p.CrashErr = err
-			return p.State, nil
-		}
+	err := p.CPU.RunContext(ctx, k.MaxInsts)
+	switch {
+	case err == nil:
+		p.State = StateExited
+	case errors.Is(err, errAwaitAccept):
+		p.State = StateWaiting
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return p.State, err
+	default:
+		p.State = StateCrashed
+		p.CrashReason = err.Error()
+		p.CrashErr = err
 	}
-	p.State = StateCrashed
-	p.CrashReason = fmt.Sprintf("instruction budget %d exhausted", k.MaxInsts)
-	p.CrashErr = fmt.Errorf("%w (%d)", ErrBudget, k.MaxInsts)
 	return p.State, nil
 }
 

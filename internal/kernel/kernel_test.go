@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/binfmt"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/vm"
 )
 
 // buildStatic assembles src into a statically linked binary with a data
@@ -467,5 +469,168 @@ func TestStateString(t *testing.T) {
 		if s.String() == "" {
 			t.Fatal("empty state name")
 		}
+	}
+}
+
+// --- copy-on-write fork semantics ---
+
+// TestForkInheritsTLSByteIdentical pins the property the byte-by-byte
+// attack exploits: under COW fork the child's TLS canary C is byte-for-byte
+// the parent's, while the shadow pair was refreshed by the fork hook.
+func TestForkInheritsTLSByteIdentical(t *testing.T) {
+	k := New(21)
+	srv, err := NewForkServer(k, buildStatic(t, serverProg, "p-ssp"), SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := srv.Parent()
+	pc, err := parent.TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := parent.Space.Read(mem.TLSBase+core.TLSCanaryOff, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := k.Fork(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := child.TLS().Canary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc != pc {
+		t.Fatalf("child canary %x, want parent's %x", cc, pc)
+	}
+	cb, err := child.Space.Read(mem.TLSBase+core.TLSCanaryOff, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, pb) {
+		t.Fatalf("child canary bytes %x, want %x", cb, pb)
+	}
+	// The fork hook refreshed the child's shadow pair — and that refresh
+	// (a write to the COW-shared TLS segment) must not leak to the parent.
+	pc0, pc1, err := parent.TLS().Shadow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc0, cc1, err := child.TLS().Shadow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc0 == cc0 && pc1 == cc1 {
+		t.Fatal("child shadow pair not refreshed by fork hook")
+	}
+	if pc0^pc1 != pc || cc0^cc1 != cc {
+		t.Fatal("shadow invariant broken by COW fork")
+	}
+	if err := parent.TLS().Verify(); err != nil {
+		t.Fatalf("parent TLS corrupted by child's fork hook: %v", err)
+	}
+}
+
+// TestForkParentWriteInvisibleToChild is the other COW direction: the
+// parent's post-fork writes must not appear in an already-forked child.
+func TestForkParentWriteInvisibleToChild(t *testing.T) {
+	k := New(22)
+	srv, err := NewForkServer(k, buildStatic(t, serverProg, "ssp"), SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := k.Fork(srv.Parent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Parent().Space.WriteU64(mem.DataBase+abi.GlobalsOff, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := child.Space.ReadU64(mem.DataBase + abi.GlobalsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0xbeef {
+		t.Fatal("parent's post-fork write visible in child")
+	}
+}
+
+// TestForkFootprintConsistent keeps Table IV honest: a forked worker
+// reports the same mapped footprint as its parent regardless of how many
+// segments have been materialized.
+func TestForkFootprintConsistent(t *testing.T) {
+	k := New(23)
+	srv, err := NewForkServer(k, buildStatic(t, serverProg, "ssp"), SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := srv.Parent().Space.Footprint()
+	child, err := k.Fork(srv.Parent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := child.Space.Footprint(); got != want {
+		t.Fatalf("child footprint %d, want %d", got, want)
+	}
+	if err := child.Deliver([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(child); st != StateExited {
+		t.Fatalf("child state %s: %s", st, child.CrashReason)
+	}
+	if got := child.Space.Footprint(); got != want {
+		t.Fatalf("child footprint after request %d, want %d", got, want)
+	}
+}
+
+// TestForkServerManyRequestsSharedText asserts the COW payoff: across many
+// requests the parent's text segment backing is never copied — every worker
+// executes the same bytes the parent decoded once.
+func TestForkServerManyRequestsSharedText(t *testing.T) {
+	k := New(24)
+	srv, err := NewForkServer(k, buildStatic(t, serverProg, "ssp"), SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := srv.Parent().Space.Segment(".text")
+	if text == nil {
+		t.Fatal("no .text segment")
+	}
+	base := &text.Data[0]
+	for i := 0; i < 8; i++ {
+		out, err := srv.Handle([]byte("ping"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Crashed {
+			t.Fatalf("request %d crashed: %s", i, out.CrashReason)
+		}
+	}
+	if &text.Data[0] != base {
+		t.Fatal("parent text segment was copied despite being read-only")
+	}
+}
+
+// TestBudgetKillWrapsSharedSentinel pins the satellite fix: budget kills
+// surface as vm.ErrBudget (aliased by kernel.ErrBudget) from the kernel
+// loop, so facade classification is engine- and layer-independent.
+func TestBudgetKillWrapsSharedSentinel(t *testing.T) {
+	k := New(25)
+	k.MaxInsts = 10
+	p, err := k.Spawn(buildStatic(t, `
+spin:
+	jmp spin
+`, "none"), SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Run(p); st != StateCrashed {
+		t.Fatalf("state %s, want crashed", st)
+	}
+	if !errors.Is(p.CrashErr, ErrBudget) {
+		t.Fatalf("crash error %v does not wrap kernel.ErrBudget", p.CrashErr)
+	}
+	if !errors.Is(p.CrashErr, vm.ErrBudget) {
+		t.Fatalf("crash error %v does not wrap vm.ErrBudget", p.CrashErr)
 	}
 }

@@ -56,6 +56,7 @@ func (k *Kernel) SpawnThread(proc *Process, entry string, tid int) (*Process, er
 	k.nextPID++
 
 	cpu := vm.New(proc.Space, t.rand)
+	cpu.Engine = proc.CPU.Engine
 	cpu.RIP = sym.Addr
 	cpu.TSCBase = k.now
 	cpu.FSBase = tlsBase
@@ -63,7 +64,8 @@ func (k *Kernel) SpawnThread(proc *Process, entry string, tid int) (*Process, er
 	// Threads inherit the process-wide OWF key registers.
 	cpu.GPR[isa.R12] = proc.CPU.GPR[isa.R12]
 	cpu.GPR[isa.R13] = proc.CPU.GPR[isa.R13]
-	cpu.Sys = &sysHandler{p: t}
+	t.sys = sysHandler{k: k, p: t}
+	cpu.Sys = &t.sys
 	t.CPU = cpu
 
 	// The entry function returns into the pthread_exit analog.

@@ -1,11 +1,15 @@
 // Package mem implements the byte-addressed virtual memory of the simulated
 // machine: a set of non-overlapping segments with permissions, little-endian
-// word access, and cheap whole-space cloning for the fork model.
+// word access, and copy-on-write whole-space cloning for the fork model.
 //
 // The address-space layout mirrors a conventional Linux x86-64 process
 // closely enough for the paper's mechanics to carry over: code low, globals
 // above it, the thread-local storage block reachable through the FS base,
 // and a stack near the top of the space growing downward.
+//
+// A Space is not safe for concurrent use: even read paths update the
+// internal segment-lookup cache. Every simulated machine owns its spaces and
+// drives them from a single goroutine; distinct machines never share one.
 package mem
 
 import (
@@ -62,20 +66,146 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("mem: %s fault at 0x%x (size %d): %s", kind, f.Addr, f.Size, f.Why)
 }
 
+// cowChunk is the granularity of lazy copy-on-write materialization — the
+// simulated page size. Segments larger than maxChunks pages use
+// proportionally larger chunks so the bitmap stays a fixed-size inline
+// array (no allocation per materialization).
+const (
+	cowChunk  = 4096
+	maxChunks = 128
+)
+
+// cowLazyMin is the smallest segment that materializes lazily, chunk by
+// chunk. Smaller segments (TLS) are copied eagerly: the bookkeeping would
+// cost more than the copy.
+const cowLazyMin = 2 * cowChunk
+
 // Segment is one contiguous mapped region.
+//
+// Data may be shared copy-on-write with segments of forked spaces. All
+// guest-visible access must go through the Space methods or CopyIn, which
+// materialize private copies before writing (and, for lazily materialized
+// segments, fill chunks before reading); code that touches Data[i] directly
+// (test fixtures on freshly built spaces) must never do so after the space
+// has been cloned.
 type Segment struct {
 	Name string
 	Base uint64
 	Perm Perm
 	Data []byte
+
+	// cow marks Data as shared with at least one other Space after a Clone;
+	// the next write through prepareWrite materializes a private copy.
+	cow bool
+	// gen counts content changes to executable segments. Decoded-instruction
+	// caches record the generation they were built at and rebuild on
+	// mismatch, which is how self-modifying writes to exec pages invalidate
+	// stale decodes.
+	gen uint64
+
+	// shadow, when non-nil, is the shared backing a lazily materializing
+	// segment copies from: Data is a private buffer whose chunks are filled
+	// from shadow on first access. filled is the per-chunk bitmap (at most
+	// maxChunks chunks; chunk holds the per-segment chunk size); nfilled
+	// counts set bits so the shadow can be dropped once fully copied. A
+	// worker that touches two pages of a 256 KiB stack copies two chunks,
+	// not the mapping — fork costs O(pages written).
+	shadow  []byte
+	filled  [maxChunks / 64]uint64
+	chunk   int
+	nfilled int
 }
 
 // End returns the first address past the segment.
 func (s *Segment) End() uint64 { return s.Base + uint64(len(s.Data)) }
 
+// Gen returns the segment's content generation. It advances on every write
+// to an executable segment (via the Space write paths or CopyIn), never on
+// copy-on-write materialization alone.
+func (s *Segment) Gen() uint64 { return s.gen }
+
+// Shared reports whether the segment's backing bytes are copy-on-write
+// shared with another space (true between a Clone and the next write).
+func (s *Segment) Shared() bool { return s.cow }
+
 // Contains reports whether [addr, addr+size) lies inside the segment.
 func (s *Segment) Contains(addr uint64, size int) bool {
 	return addr >= s.Base && addr+uint64(size) <= s.End() && addr+uint64(size) >= addr
+}
+
+// ensure fills the chunks covering [off, off+size) from the shadow backing.
+// Callers check s.shadow != nil first; that nil test is the only cost lazy
+// materialization adds to the access fast paths.
+func (s *Segment) ensure(off uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	first := int(off) / s.chunk
+	last := int(off+uint64(size)-1) / s.chunk
+	for c := first; c <= last; c++ {
+		w, bit := c/64, uint64(1)<<(c%64)
+		if s.filled[w]&bit != 0 {
+			continue
+		}
+		lo := c * s.chunk
+		hi := lo + s.chunk
+		if hi > len(s.Data) {
+			hi = len(s.Data)
+		}
+		copy(s.Data[lo:hi], s.shadow[lo:hi])
+		s.filled[w] |= bit
+		s.nfilled++
+	}
+	if s.nfilled == (len(s.Data)+s.chunk-1)/s.chunk {
+		s.shadow = nil
+	}
+}
+
+// ensureAll finishes a lazy materialization, leaving Data fully private.
+func (s *Segment) ensureAll() {
+	if s.shadow != nil {
+		s.ensure(0, len(s.Data))
+	}
+}
+
+// prepareWrite readies [off, off+size) for mutation: a copy-on-write
+// backing is materialized into a private copy — eagerly for small or
+// executable segments, chunk by chunk for large ones — and content changes
+// to executable bytes bump the generation so decode caches resync. pool may
+// be nil; when set it supplies recycled buffers (contents irrelevant: the
+// eager path overwrites everything and the lazy path fills before any
+// read).
+func (s *Segment) prepareWrite(pool *BufPool, off uint64, size int) {
+	if s.cow {
+		if len(s.Data) >= cowLazyMin && s.Perm&PermExec == 0 {
+			// Large non-executable segment: take a private buffer but copy
+			// chunks only as they are touched. Unfilled chunks are never
+			// read (every access path fills first), so the buffer's initial
+			// contents are never observable.
+			s.shadow = s.Data
+			s.Data = pool.get(len(s.Data))
+			s.chunk = cowChunk
+			if len(s.Data) > maxChunks*cowChunk {
+				s.chunk = (len(s.Data) + maxChunks - 1) / maxChunks
+			}
+			s.filled = [maxChunks / 64]uint64{}
+			s.nfilled = 0
+		} else {
+			// Small or executable segment: the copy is cheaper than the
+			// bookkeeping, and exec segments must stay contiguous-valid for
+			// the decode caches (which read Data wholesale).
+			d := make([]byte, len(s.Data))
+			copy(d, s.Data)
+			s.Data = d
+		}
+		s.cow = false
+	}
+	if s.shadow != nil {
+		s.ensure(off, size)
+	}
+	if s.Perm&PermExec != 0 {
+		s.gen++
+	}
 }
 
 // CopyIn copies p into the segment starting at byte offset off, bypassing
@@ -86,14 +216,62 @@ func (s *Segment) CopyIn(off int, p []byte) error {
 		return fmt.Errorf("mem: CopyIn to %q at offset %d (%d bytes) out of range (segment size %d)",
 			s.Name, off, len(p), len(s.Data))
 	}
+	s.prepareWrite(nil, uint64(off), len(p))
 	copy(s.Data[off:], p)
 	return nil
+}
+
+// BufPool recycles large materialization buffers between short-lived forked
+// children of one simulated machine. It is deliberately not thread-safe:
+// a machine drives all of its spaces from one goroutine, and distinct
+// machines get distinct pools.
+type BufPool struct {
+	bufs [][]byte
+}
+
+// poolMax bounds the buffers a pool retains.
+const poolMax = 16
+
+// get returns a pooled buffer of length n, or a fresh one. Pooled buffers
+// come back dirty; callers must overwrite (eager copy) or fill-before-read
+// (lazy chunks) every byte they expose.
+func (p *BufPool) get(n int) []byte {
+	if p != nil {
+		for i, b := range p.bufs {
+			if cap(b) >= n {
+				p.bufs[i] = p.bufs[len(p.bufs)-1]
+				p.bufs = p.bufs[:len(p.bufs)-1]
+				return b[:n]
+			}
+		}
+	}
+	return make([]byte, n)
+}
+
+// put returns a buffer to the pool.
+func (p *BufPool) put(b []byte) {
+	if p == nil || len(p.bufs) >= poolMax {
+		return
+	}
+	p.bufs = append(p.bufs, b)
 }
 
 // Space is a full address space. The zero value is an empty space.
 type Space struct {
 	segs []*Segment // sorted by Base
+	// last caches the most recently accessed segment. Accesses cluster
+	// heavily (stack, then text, then data), so this single entry removes
+	// the binary search from almost every load/store/fetch.
+	last *Segment
+	// pool, when non-nil, supplies and reclaims large materialization
+	// buffers (see SetPool/Release). Clones inherit it.
+	pool *BufPool
 }
+
+// SetPool attaches a materialization buffer pool to the space. The kernel
+// gives every process space its machine-wide pool so fork-per-request
+// workers recycle their stack buffers instead of allocating fresh ones.
+func (sp *Space) SetPool(p *BufPool) { sp.pool = p }
 
 // NewSpace returns an empty address space.
 func NewSpace() *Space { return &Space{} }
@@ -129,22 +307,30 @@ func (sp *Space) Segment(name string) *Segment {
 	return nil
 }
 
-// Segments returns the mapped segments in address order. The slice is owned
-// by the Space; callers must not mutate it.
-func (sp *Space) Segments() []*Segment { return sp.segs }
+// Segments returns the mapped segments in address order. The returned slice
+// is the caller's to keep: appending to or reordering it never corrupts the
+// space (the pointed-to segments are still the live ones).
+func (sp *Space) Segments() []*Segment {
+	return append([]*Segment(nil), sp.segs...)
+}
 
 // find locates the segment containing [addr, addr+size).
 func (sp *Space) find(addr uint64, size int) *Segment {
+	if l := sp.last; l != nil && l.Contains(addr, size) {
+		return l
+	}
 	// Binary search on Base.
 	i := sort.Search(len(sp.segs), func(i int) bool { return sp.segs[i].End() > addr })
 	if i < len(sp.segs) && sp.segs[i].Contains(addr, size) {
+		sp.last = sp.segs[i]
 		return sp.segs[i]
 	}
 	return nil
 }
 
-// Read copies size bytes at addr into a fresh slice.
-func (sp *Space) Read(addr uint64, size int) ([]byte, error) {
+// readable locates the readable segment covering [addr, addr+size), or
+// returns a fault describing why there is none.
+func (sp *Space) readable(addr uint64, size int) (*Segment, error) {
 	seg := sp.find(addr, size)
 	if seg == nil {
 		return nil, &Fault{Addr: addr, Size: size, Why: "unmapped"}
@@ -152,67 +338,127 @@ func (sp *Space) Read(addr uint64, size int) ([]byte, error) {
 	if seg.Perm&PermRead == 0 {
 		return nil, &Fault{Addr: addr, Size: size, Why: "segment " + seg.Name + " not readable"}
 	}
+	if seg.shadow != nil {
+		seg.ensure(addr-seg.Base, size)
+	}
+	return seg, nil
+}
+
+// writable locates the writable segment covering [addr, addr+size) and
+// readies it for mutation (copy-on-write materialization, generation bump
+// for executable bytes).
+func (sp *Space) writable(addr uint64, size int) (*Segment, error) {
+	seg := sp.find(addr, size)
+	if seg == nil {
+		return nil, &Fault{Addr: addr, Size: size, Write: true, Why: "unmapped"}
+	}
+	if seg.Perm&PermWrite == 0 {
+		return nil, &Fault{Addr: addr, Size: size, Write: true, Why: "segment " + seg.Name + " not writable"}
+	}
+	seg.prepareWrite(sp.pool, addr-seg.Base, size)
+	return seg, nil
+}
+
+// Read copies size bytes at addr into a fresh slice. Word-sized accesses
+// should prefer ReadU64/ReadU32, and bulk accesses ReadInto: they do not
+// allocate.
+func (sp *Space) Read(addr uint64, size int) ([]byte, error) {
+	seg, err := sp.readable(addr, size)
+	if err != nil {
+		return nil, err
+	}
 	off := addr - seg.Base
 	out := make([]byte, size)
 	copy(out, seg.Data[off:off+uint64(size)])
 	return out, nil
 }
 
+// ReadInto copies len(dst) bytes at addr into dst without allocating.
+func (sp *Space) ReadInto(addr uint64, dst []byte) error {
+	seg, err := sp.readable(addr, len(dst))
+	if err != nil {
+		return err
+	}
+	off := addr - seg.Base
+	copy(dst, seg.Data[off:off+uint64(len(dst))])
+	return nil
+}
+
 // Write copies p into memory at addr.
 func (sp *Space) Write(addr uint64, p []byte) error {
-	seg := sp.find(addr, len(p))
-	if seg == nil {
-		return &Fault{Addr: addr, Size: len(p), Write: true, Why: "unmapped"}
-	}
-	if seg.Perm&PermWrite == 0 {
-		return &Fault{Addr: addr, Size: len(p), Write: true, Why: "segment " + seg.Name + " not writable"}
+	seg, err := sp.writable(addr, len(p))
+	if err != nil {
+		return err
 	}
 	copy(seg.Data[addr-seg.Base:], p)
 	return nil
 }
 
-// ReadU64 reads a little-endian 64-bit word.
+// ReadU64 reads a little-endian 64-bit word. It indexes the segment
+// directly — no allocation — as this is the VM's load path.
 func (sp *Space) ReadU64(addr uint64) (uint64, error) {
-	b, err := sp.Read(addr, 8)
+	seg, err := sp.readable(addr, 8)
 	if err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(b), nil
+	off := addr - seg.Base
+	return binary.LittleEndian.Uint64(seg.Data[off : off+8]), nil
 }
 
 // WriteU64 writes a little-endian 64-bit word.
 func (sp *Space) WriteU64(addr, v uint64) error {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	return sp.Write(addr, b[:])
+	seg, err := sp.writable(addr, 8)
+	if err != nil {
+		return err
+	}
+	off := addr - seg.Base
+	binary.LittleEndian.PutUint64(seg.Data[off:off+8], v)
+	return nil
 }
 
-// ReadU32 reads a little-endian 32-bit word.
+// ReadU32 reads a little-endian 32-bit word without allocating.
 func (sp *Space) ReadU32(addr uint64) (uint32, error) {
-	b, err := sp.Read(addr, 4)
+	seg, err := sp.readable(addr, 4)
 	if err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint32(b), nil
+	off := addr - seg.Base
+	return binary.LittleEndian.Uint32(seg.Data[off : off+4]), nil
 }
 
 // WriteU32 writes a little-endian 32-bit word.
 func (sp *Space) WriteU32(addr uint64, v uint32) error {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	return sp.Write(addr, b[:])
+	seg, err := sp.writable(addr, 4)
+	if err != nil {
+		return err
+	}
+	off := addr - seg.Base
+	binary.LittleEndian.PutUint32(seg.Data[off:off+4], v)
+	return nil
+}
+
+// ExecSegment returns the executable segment containing addr, for
+// instruction fetch and predecoding.
+func (sp *Space) ExecSegment(addr uint64) (*Segment, error) {
+	seg := sp.find(addr, 1)
+	if seg == nil {
+		return nil, &Fault{Addr: addr, Size: 1, Exec: true, Why: "unmapped"}
+	}
+	if seg.Perm&PermExec == 0 {
+		return nil, &Fault{Addr: addr, Size: 1, Exec: true, Why: "segment " + seg.Name + " not executable"}
+	}
+	return seg, nil
 }
 
 // Fetch returns up to size bytes of executable memory at addr for
 // instruction decoding. Unlike Read it tolerates a short result at the end
 // of the segment, since the decoder knows how many bytes it needs.
 func (sp *Space) Fetch(addr uint64, size int) ([]byte, error) {
-	seg := sp.find(addr, 1)
-	if seg == nil {
-		return nil, &Fault{Addr: addr, Size: size, Exec: true, Why: "unmapped"}
-	}
-	if seg.Perm&PermExec == 0 {
-		return nil, &Fault{Addr: addr, Size: size, Exec: true, Why: "segment " + seg.Name + " not executable"}
+	seg, err := sp.ExecSegment(addr)
+	if err != nil {
+		f := err.(*Fault)
+		f.Size = size
+		return nil, err
 	}
 	off := addr - seg.Base
 	end := off + uint64(size)
@@ -222,22 +468,68 @@ func (sp *Space) Fetch(addr uint64, size int) ([]byte, error) {
 	return seg.Data[off:end], nil
 }
 
-// Clone returns a deep copy of the space. This is the memory half of the
-// fork(2) model: the child gets an identical address space, including the
-// TLS segment — which is precisely the inheritance the byte-by-byte attack
-// exploits.
+// Clone returns a copy-on-write copy of the space — the memory half of the
+// fork(2) model. The child gets an identical address space, including the
+// TLS segment (precisely the inheritance the byte-by-byte attack exploits),
+// but no bytes are copied up front: parent and child share each segment's
+// backing array until one of them writes to it, at which point the writer
+// materializes a private copy. A fork therefore costs O(segments written),
+// not O(address-space size).
 func (sp *Space) Clone() *Space {
-	out := &Space{segs: make([]*Segment, len(sp.segs))}
+	out := &Space{segs: make([]*Segment, len(sp.segs)), pool: sp.pool}
+	// One backing array for all the child's segment headers: forks are the
+	// hot allocation site of the attack oracle loop.
+	headers := make([]Segment, len(sp.segs))
 	for i, s := range sp.segs {
-		d := make([]byte, len(s.Data))
-		copy(d, s.Data)
-		out.segs[i] = &Segment{Name: s.Name, Base: s.Base, Perm: s.Perm, Data: d}
+		// A half-materialized segment finishes its lazy fill first: the new
+		// sharing generation must start from one coherent backing array.
+		s.ensureAll()
+		s.cow = true
+		headers[i] = *s // shares Data, inherits cow=true and the generation
+		out.segs[i] = &headers[i]
 	}
 	return out
 }
 
+// CloneDeep returns an eager deep copy of the space — the pre-COW fork
+// behaviour. It exists for differential tests and benchmarks of the
+// copy-on-write path; the kernel forks with Clone.
+func (sp *Space) CloneDeep() *Space {
+	out := &Space{segs: make([]*Segment, len(sp.segs))}
+	for i, s := range sp.segs {
+		s.ensureAll()
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		out.segs[i] = &Segment{Name: s.Name, Base: s.Base, Perm: s.Perm, Data: d, gen: s.gen}
+	}
+	return out
+}
+
+// Release returns the space's large private buffers to its pool and
+// renders the space unusable (subsequent accesses fault as unmapped). It is
+// only safe on a dead space: no process may reference it again, and
+// segments still copy-on-write shared with a live space are skipped, as are
+// executable segments (decode caches key on their backing identity). The
+// fork server releases each single-shot worker after its request, which
+// makes the steady-state oracle loop allocation-free for stack-sized
+// buffers.
+func (sp *Space) Release() {
+	for _, s := range sp.segs {
+		if s.cow || s.Perm&PermExec != 0 || len(s.Data) < cowLazyMin {
+			continue
+		}
+		sp.pool.put(s.Data)
+		s.Data = nil
+		s.shadow = nil
+	}
+	sp.segs = nil
+	sp.last = nil
+}
+
 // Footprint returns the total mapped bytes — used by the Table IV memory
-// usage column.
+// usage column. Copy-on-write sharing does not change the figure: a forked
+// worker's footprint models its reserved address space, exactly as the
+// paper measures it, so Table IV stays comparable across fork models.
 func (sp *Space) Footprint() int {
 	total := 0
 	for _, s := range sp.segs {

@@ -238,3 +238,236 @@ func TestSegmentsSorted(t *testing.T) {
 		}
 	}
 }
+
+// --- copy-on-write fork semantics ---
+
+func TestCloneSharesBackingUntilWrite(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.WriteU64(0x4000, 0xabcd); err != nil {
+		t.Fatal(err)
+	}
+	cl := sp.Clone()
+	if !sp.Segment("data").Shared() || !cl.Segment("data").Shared() {
+		t.Fatal("segments not marked shared after Clone")
+	}
+	if &sp.Segment("data").Data[0] != &cl.Segment("data").Data[0] {
+		t.Fatal("Clone copied segment bytes eagerly")
+	}
+	// First child write materializes the child's copy only.
+	if err := cl.WriteU64(0x4000, 0x9999); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Segment("data").Shared() {
+		t.Error("child segment still marked shared after write")
+	}
+	if !sp.Segment("data").Shared() {
+		t.Error("parent segment lost its shared mark without writing")
+	}
+	if &sp.Segment("data").Data[0] == &cl.Segment("data").Data[0] {
+		t.Fatal("child write did not materialize a private copy")
+	}
+}
+
+func TestCloneParentWriteDoesNotLeakToChild(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.WriteU64(0x4000, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	cl := sp.Clone()
+	if err := sp.WriteU64(0x4000, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadU64(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x1111 {
+		t.Fatalf("child sees parent's post-fork write: 0x%x", got)
+	}
+}
+
+func TestCloneOfCloneIsolation(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.WriteU64(0x4000, 1); err != nil {
+		t.Fatal(err)
+	}
+	c1 := sp.Clone()
+	c2 := c1.Clone()
+	if err := c2.WriteU64(0x4000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.WriteU64(0x4000, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range map[*Space]uint64{sp: 1, c1: 2, c2: 3} {
+		got, err := i.ReadU64(0x4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("space sees 0x%x, want 0x%x", got, want)
+		}
+	}
+}
+
+func TestCopyInMaterializesSharedSegment(t *testing.T) {
+	sp := newTestSpace(t)
+	cl := sp.Clone()
+	if err := sp.Segment("text").CopyIn(0, []byte{0x42}); err != nil {
+		t.Fatal(err)
+	}
+	if b := cl.Segment("text").Data[0]; b != 0 {
+		t.Fatalf("CopyIn to parent leaked into child: 0x%x", b)
+	}
+}
+
+func TestCloneDeepMatchesClone(t *testing.T) {
+	sp := newTestSpace(t)
+	if err := sp.Write(0x4000, []byte("deep-vs-cow")); err != nil {
+		t.Fatal(err)
+	}
+	cow, deep := sp.Clone(), sp.CloneDeep()
+	for _, addr := range []uint64{0x4000, 0x4004} {
+		a, err := cow.ReadU64(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := deep.ReadU64(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("CloneDeep and Clone disagree at 0x%x: 0x%x vs 0x%x", addr, b, a)
+		}
+	}
+	if deep.Segment("data").Shared() {
+		t.Error("CloneDeep produced a shared segment")
+	}
+}
+
+func TestFootprintStableAcrossCloneAndWrite(t *testing.T) {
+	sp := newTestSpace(t)
+	want := sp.Footprint()
+	cl := sp.Clone()
+	if got := cl.Footprint(); got != want {
+		t.Fatalf("clone footprint %d, want %d", got, want)
+	}
+	if err := cl.WriteU64(0x4000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Footprint(); got != want {
+		t.Fatalf("footprint changed by COW materialization: %d, want %d", got, want)
+	}
+	if got := sp.Footprint(); got != want {
+		t.Fatalf("parent footprint changed: %d, want %d", got, want)
+	}
+}
+
+// --- generation counters ---
+
+func TestGenerationBumpsOnExecWrite(t *testing.T) {
+	sp := NewSpace()
+	seg, err := sp.Map("jit", 0x1000, 0x100, PermRead|PermWrite|PermExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := seg.Gen()
+	if err := sp.WriteU64(0x1000, 0x1); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Gen() == g0 {
+		t.Fatal("write to exec segment did not bump generation")
+	}
+	if err := seg.CopyIn(0, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Gen() == g0+1 {
+		t.Fatal("CopyIn to exec segment did not bump generation")
+	}
+}
+
+func TestGenerationStableOnDataWrite(t *testing.T) {
+	sp := newTestSpace(t)
+	seg := sp.Segment("data")
+	g0 := seg.Gen()
+	if err := sp.WriteU64(0x4000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Gen() != g0 {
+		t.Fatal("write to non-exec segment bumped generation")
+	}
+}
+
+// --- API contracts and fast paths ---
+
+func TestSegmentsReturnsDefensiveCopy(t *testing.T) {
+	sp := newTestSpace(t)
+	segs := sp.Segments()
+	segs[0] = nil
+	segs = segs[:0]
+	_ = segs
+	if sp.Segment("text") == nil || sp.Segment("data") == nil {
+		t.Fatal("mutating the Segments() result corrupted the space")
+	}
+	if got := len(sp.Segments()); got != 2 {
+		t.Fatalf("space has %d segments after caller mutation, want 2", got)
+	}
+}
+
+func TestReadInto(t *testing.T) {
+	sp := newTestSpace(t)
+	payload := []byte("0123456789abcdef")
+	if err := sp.Write(0x4020, payload); err != nil {
+		t.Fatal(err)
+	}
+	var buf [16]byte
+	if err := sp.ReadInto(0x4020, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:], payload) {
+		t.Fatalf("ReadInto got %q, want %q", buf, payload)
+	}
+	if err := sp.ReadInto(0x4ffc, buf[:]); err == nil {
+		t.Fatal("ReadInto straddling segment end succeeded")
+	}
+	if err := sp.ReadInto(0x9000, buf[:1]); err == nil {
+		t.Fatal("ReadInto of unmapped address succeeded")
+	}
+}
+
+func TestWordAccessDoesNotAllocate(t *testing.T) {
+	sp := newTestSpace(t)
+	var buf [16]byte
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := sp.WriteU64(0x4000, 0xfeed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sp.ReadU64(0x4000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sp.ReadU32(0x4004); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.ReadInto(0x4000, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("word access fast paths allocate %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestLookupCacheSurvivesUnmappedProbe(t *testing.T) {
+	sp := newTestSpace(t)
+	if _, err := sp.Read(0x9000, 1); err == nil {
+		t.Fatal("unmapped read succeeded")
+	}
+	v, err := sp.ReadU64(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v
+	if _, err := sp.ReadU64(0x1000); err != nil { // different segment than cached
+		t.Fatal(err)
+	}
+}

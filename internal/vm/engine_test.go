@@ -1,0 +1,282 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// buildEngineCPU is buildCPU with an explicit engine.
+func buildEngineCPU(t *testing.T, e Engine, prog []isa.Inst) *CPU {
+	t.Helper()
+	c := buildCPU(t, prog)
+	c.Engine = e
+	return c
+}
+
+// snapshot captures the architectural state the two engines must agree on.
+type snapshot struct {
+	GPR    [isa.NumGPR]uint64
+	X      [isa.NumXMM][2]uint64
+	RIP    uint64
+	ZF, CF bool
+	Cycles uint64
+	Insts  uint64
+}
+
+func snap(c *CPU) snapshot {
+	return snapshot{GPR: c.GPR, X: c.X, RIP: c.RIP, ZF: c.ZF, CF: c.CF, Cycles: c.Cycles, Insts: c.Insts}
+}
+
+// runBothEngines executes the program to completion (or error) under each
+// engine and asserts bit-identical final state and identical error shape.
+func runBothEngines(t *testing.T, prog []isa.Inst, maxInsts uint64) (snapshot, error) {
+	t.Helper()
+	pre := buildEngineCPU(t, EnginePredecoded, prog)
+	preErr := pre.Run(maxInsts)
+	itp := buildEngineCPU(t, EngineInterpreter, prog)
+	itpErr := itp.Run(maxInsts)
+
+	if a, b := snap(pre), snap(itp); a != b {
+		t.Fatalf("engines diverged:\npredecoded:  %+v\ninterpreter: %+v", a, b)
+	}
+	switch {
+	case preErr == nil && itpErr == nil:
+	case preErr == nil || itpErr == nil:
+		t.Fatalf("engines disagree on error: predecoded=%v interpreter=%v", preErr, itpErr)
+	default:
+		if preErr.Error() != itpErr.Error() {
+			t.Fatalf("engines disagree on error text:\npredecoded:  %v\ninterpreter: %v", preErr, itpErr)
+		}
+		// The unwrapped faults must be bit-identical too, not just the
+		// CrashError surface (which omits the cause).
+		var pf, mf *mem.Fault
+		if errors.As(preErr, &pf) != errors.As(itpErr, &mf) {
+			t.Fatalf("engines disagree on fault presence: predecoded=%v interpreter=%v", preErr, itpErr)
+		}
+		if pf != nil && *pf != *mf {
+			t.Fatalf("engines disagree on fault detail:\npredecoded:  %+v\ninterpreter: %+v", *pf, *mf)
+		}
+	}
+	return snap(pre), preErr
+}
+
+func TestEnginesAgreeOnStraightLineCode(t *testing.T) {
+	_, err := runBothEngines(t, []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 10},
+		{Op: isa.MOVRI, R1: isa.RBX, Imm: int64(mem.DataBase)},
+		{Op: isa.STORE, R1: isa.RAX, Base: isa.RBX, Disp: 8},
+		{Op: isa.LOAD, R1: isa.RCX, Base: isa.RBX, Disp: 8},
+		{Op: isa.ADDRR, R1: isa.RAX, R2: isa.RCX},
+		{Op: isa.PUSH, R1: isa.RAX},
+		{Op: isa.POP, R1: isa.RDX},
+		{Op: isa.HLT},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnginesAgreeOnBranchyLoop(t *testing.T) {
+	// Sum 1..100 with a backward JNE.
+	body := []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 0},
+		{Op: isa.MOVRI, R1: isa.RCX, Imm: 100},
+		{Op: isa.ADDRR, R1: isa.RAX, R2: isa.RCX}, // loop:
+		{Op: isa.SUBRI, R1: isa.RCX, Imm: 1},
+		{Op: isa.CMPRI, R1: isa.RCX, Imm: 0},
+	}
+	back := isa.Inst{Op: isa.JNE}
+	back.Disp = int32(-(body[2].Len() + body[3].Len() + body[4].Len() + back.Len()))
+	prog := append(body, back, isa.Inst{Op: isa.HLT})
+	st, err := runBothEngines(t, prog, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GPR[isa.RAX] != 5050 {
+		t.Fatalf("sum = %d, want 5050", st.GPR[isa.RAX])
+	}
+}
+
+func TestEnginesAgreeOnCrash(t *testing.T) {
+	_, err := runBothEngines(t, []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RBX, Imm: 0x100}, // unmapped
+		{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBX, Disp: 0},
+		{Op: isa.HLT},
+	}, 100)
+	var crash *CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("want CrashError from both engines, got %v", err)
+	}
+}
+
+func TestEnginesAgreeOnFetchFault(t *testing.T) {
+	// Jump into unmapped memory: both engines must raise the same
+	// instruction-fetch fault, including the fault's window size.
+	_, err := runBothEngines(t, []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 0x100},
+		{Op: isa.CALLR, R1: isa.RAX},
+	}, 100)
+	var fault *mem.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("want mem.Fault, got %v", err)
+	}
+	if !fault.Exec {
+		t.Fatalf("fault not marked exec: %+v", fault)
+	}
+}
+
+func TestEnginesAgreeOnIllegalInstruction(t *testing.T) {
+	for _, e := range []Engine{EnginePredecoded, EngineInterpreter} {
+		t.Run(e.String(), func(t *testing.T) {
+			sp := mem.NewSpace()
+			if _, err := sp.Map("text", mem.TextBase, 16, mem.PermRead|mem.PermExec); err != nil {
+				t.Fatal(err)
+			}
+			sp.Segment("text").Data[0] = 0xee
+			c := New(sp, rng.New(1))
+			c.Engine = e
+			c.RIP = mem.TextBase
+			var crash *CrashError
+			if err := c.Step(); !errors.As(err, &crash) {
+				t.Fatalf("expected crash on illegal opcode, got %v", err)
+			}
+		})
+	}
+}
+
+func TestEnginesAgreeOnBudgetExhaustion(t *testing.T) {
+	self := isa.Inst{Op: isa.JMP}
+	self.Disp = int32(-self.Len())
+	_, err := runBothEngines(t, []isa.Inst{self}, 50)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("budget kill does not wrap ErrBudget: %v", err)
+	}
+}
+
+func TestPredecodedMidInstructionJump(t *testing.T) {
+	// Jump into the immediate bytes of a MOVRI. The interpreter decodes
+	// whatever is there; the predecoded engine must fall back and agree.
+	// The immediate encodes a valid NOP+HLT stream when executed.
+	imm := int64(isa.NOP) | int64(isa.NOP)<<8 | int64(isa.HLT)<<16 | int64(isa.NOP)<<24 |
+		int64(isa.NOP)<<32 | int64(isa.NOP)<<40 | int64(isa.NOP)<<48 | int64(isa.NOP)<<56
+	mov := isa.Inst{Op: isa.MOVRI, R1: isa.RAX, Imm: imm}
+	// JMP back into mov's immediate field: opcode byte + reg byte = 2 bytes in.
+	back := isa.Inst{Op: isa.JMP}
+	back.Disp = int32(-(mov.Len() + back.Len()) + 2)
+	prog := []isa.Inst{mov, back}
+	st, err := runBothEngines(t, prog, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Insts == 0 {
+		t.Fatal("no instructions executed")
+	}
+}
+
+func TestPredecodedSelfModifyingCodeInvalidates(t *testing.T) {
+	// A writable+executable segment: the program is executed, then the host
+	// rewrites an instruction through the Space write path (bumping the
+	// generation) and re-executes. The stale decode must not be reused.
+	sp := mem.NewSpace()
+	if _, err := sp.Map("jit", mem.TextBase, 0x100, mem.PermRead|mem.PermWrite|mem.PermExec); err != nil {
+		t.Fatal(err)
+	}
+	prog := isa.EncodeAll([]isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 1},
+		{Op: isa.HLT},
+	})
+	if err := sp.Segment("jit").CopyIn(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	c := New(sp, rng.New(1))
+	c.RIP = mem.TextBase
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.GPR[isa.RAX] != 1 {
+		t.Fatalf("first run: rax = %d, want 1", c.GPR[isa.RAX])
+	}
+
+	// Rewrite the immediate via guest-visible stores: MOVRI imm starts 2
+	// bytes into the instruction.
+	if err := sp.WriteU64(mem.TextBase+2, 99); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(sp, rng.New(1))
+	c2.code = c.code // share the cache, as a forked child would
+	c2.RIP = mem.TextBase
+	if err := c2.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c2.GPR[isa.RAX] != 99 {
+		t.Fatalf("after self-modify: rax = %d, want 99 (stale decode reused?)", c2.GPR[isa.RAX])
+	}
+}
+
+func TestForkedCPUSharesCodeCache(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 7},
+		{Op: isa.HLT},
+	}
+	parent := buildEngineCPU(t, EnginePredecoded, prog)
+	if err := parent.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if parent.code == nil {
+		t.Fatal("predecoded run did not build a code cache")
+	}
+
+	// Model the kernel's fork: copy the CPU, rebind to the cloned space.
+	childSpace := parent.Mem.Clone()
+	child := new(CPU)
+	*child = *parent
+	child.SetMem(childSpace)
+	if child.code != parent.code {
+		t.Fatal("fork-style CPU copy did not share the code cache")
+	}
+	child.RIP = mem.TextBase
+	child.halted = false
+	if err := child.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if child.GPR[isa.RAX] != 7 {
+		t.Fatalf("child rax = %d, want 7", child.GPR[isa.RAX])
+	}
+	// The child's run must not have re-decoded: same backing, same gen.
+	if len(parent.code.segs) != 1 {
+		t.Fatalf("cache holds %d segments, want 1 (shared decode)", len(parent.code.segs))
+	}
+}
+
+func TestPredecodedStepLoopDoesNotAllocate(t *testing.T) {
+	// Steady-state stepping through cached code must be allocation-free —
+	// the property the BenchmarkStepLoop numbers in BENCH_engine.json track.
+	body := []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RBX, Imm: int64(mem.DataBase)},
+		{Op: isa.LOAD, R1: isa.RAX, Base: isa.RBX, Disp: 0}, // loop:
+		{Op: isa.STORE, R1: isa.RAX, Base: isa.RBX, Disp: 8},
+		{Op: isa.ADDRI, R1: isa.RAX, Imm: 1},
+	}
+	back := isa.Inst{Op: isa.JMP}
+	back.Disp = int32(-(body[1].Len() + body[2].Len() + body[3].Len() + back.Len()))
+	c := buildEngineCPU(t, EnginePredecoded, append(body, back))
+	if err := c.Run(64); err != nil { // warm the cache
+		if !errors.Is(err, ErrBudget) {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 100; i++ {
+			if err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("predecoded step loop allocates %.1f times per 100 steps, want 0", allocs)
+	}
+}

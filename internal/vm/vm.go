@@ -1,8 +1,8 @@
-// Package vm implements the CPU of the simulated machine: a fetch–decode–
-// execute loop over the ISA in internal/isa, with per-instruction cycle
-// accounting, a hardware random source behind RDRAND, a time-stamp counter
-// behind RDTSC, and an AES-128 block-encrypt primitive standing in for
-// AES-NI.
+// Package vm implements the CPU of the simulated machine: a decode-once
+// dispatch loop (or, selectably, a classic fetch–decode–execute interpreter)
+// over the ISA in internal/isa, with per-instruction cycle accounting, a
+// hardware random source behind RDRAND, a time-stamp counter behind RDTSC,
+// and an AES-128 block-encrypt primitive standing in for AES-NI.
 //
 // The CPU knows nothing about processes; the kernel (internal/kernel) owns
 // process state and receives SYSCALL traps through the Syscaller interface.
@@ -30,6 +30,12 @@ type Syscaller interface {
 // ErrHalted is returned by Step and Run when the CPU executed HLT or a
 // syscall handler requested an orderly stop.
 var ErrHalted = errors.New("vm: halted")
+
+// ErrBudget marks crashes raised by the instruction-budget watchdog: the
+// CPU was stopped for exceeding its step budget, not for guest misbehaviour.
+// kernel.ErrBudget aliases it, so budget kills classify identically whether
+// they surface from the raw VM loop or through the kernel.
+var ErrBudget = errors.New("vm: instruction budget exhausted")
 
 // CrashError reports an abnormal termination: a memory fault, an invalid
 // instruction, or an explicit abort (the __stack_chk_fail path). The
@@ -74,6 +80,11 @@ type CPU struct {
 	// Insts counts executed instructions.
 	Insts uint64
 
+	// Engine selects the execution engine. The zero value is
+	// EnginePredecoded; set EngineInterpreter for the legacy
+	// fetch-decode-each-step path. Fork clones it with the CPU.
+	Engine Engine
+
 	Mem  *mem.Space
 	Rand *rng.Source
 	Sys  Syscaller
@@ -85,9 +96,20 @@ type CPU struct {
 
 	tracer Tracer
 	halted bool
+
+	// code is the decode-once cache; forked children share it because fork
+	// copies the CPU struct wholesale. Lazily allocated on first predecoded
+	// fetch, so the interpreter engine pays nothing for it.
+	code *CodeCache
+	// curSeg/curGen/curCode short-circuit the per-step segment lookup while
+	// RIP stays in one segment. Keyed to Mem — SetMem resets them.
+	curSeg  *mem.Segment
+	curGen  uint64
+	curCode *segCode
 }
 
-// New returns a CPU bound to the given memory and entropy source.
+// New returns a CPU bound to the given memory and entropy source, running
+// the default (predecoded) engine.
 func New(m *mem.Space, r *rng.Source) *CPU {
 	return &CPU{Mem: m, Rand: r}
 }
@@ -126,13 +148,23 @@ func (c *CPU) Step() error {
 	if c.halted {
 		return ErrHalted
 	}
-	code, err := c.Mem.Fetch(c.RIP, 16)
-	if err != nil {
-		return c.crash("instruction fetch fault", err)
-	}
-	in, n, err := isa.Decode(code, 0)
-	if err != nil {
-		return c.crash("illegal instruction", err)
+	var in isa.Inst
+	var n int
+	if c.Engine == EnginePredecoded {
+		var err error
+		in, n, err = c.fetchPredecoded()
+		if err != nil {
+			return err
+		}
+	} else {
+		code, err := c.Mem.Fetch(c.RIP, 16)
+		if err != nil {
+			return c.crash("instruction fetch fault", err)
+		}
+		in, n, err = isa.Decode(code, 0)
+		if err != nil {
+			return c.crash("illegal instruction", err)
+		}
 	}
 	next := c.RIP + uint64(n)
 	if c.tracer != nil {
@@ -144,7 +176,14 @@ func (c *CPU) Step() error {
 		c.Cycles += in.Op.Cycles()
 	}
 	c.Insts++
+	return c.exec(in, next)
+}
 
+// exec dispatches one decoded instruction. next is the fall-through RIP;
+// branches adjust it. Both engines funnel here, so execution semantics —
+// including crash causes and flag effects — are engine-independent by
+// construction.
+func (c *CPU) exec(in isa.Inst, next uint64) error {
 	switch in.Op {
 	case isa.NOP:
 	case isa.HLT:
@@ -292,8 +331,8 @@ func (c *CPU) Step() error {
 		}
 	case isa.LDX:
 		addr := c.GPR[in.Base] + uint64(int64(in.Disp))
-		b, err := c.Mem.Read(addr, 16)
-		if err != nil {
+		var b [16]byte
+		if err := c.Mem.ReadInto(addr, b[:]); err != nil {
 			return c.crash("movdqu load fault", err)
 		}
 		c.X[in.X1][0] = binary.LittleEndian.Uint64(b[:8])
@@ -304,8 +343,8 @@ func (c *CPU) Step() error {
 		}
 	case isa.CMPX:
 		addr := c.GPR[in.Base] + uint64(int64(in.Disp))
-		b, err := c.Mem.Read(addr, 16)
-		if err != nil {
+		var b [16]byte
+		if err := c.Mem.ReadInto(addr, b[:]); err != nil {
 			return c.crash("cmpx fault", err)
 		}
 		lo := binary.LittleEndian.Uint64(b[:8])
@@ -372,6 +411,7 @@ const cancelCheckMask = 1023
 // RunContext executes until halt, crash, budget exhaustion, or ctx
 // cancellation. On cancellation the CPU is left exactly where it stopped —
 // resumable with another RunContext call — and ctx.Err() is returned.
+// Budget exhaustion returns a *CrashError wrapping ErrBudget.
 func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) error {
 	done := ctx.Done()
 	for i := uint64(0); i < maxInsts; i++ {
@@ -390,5 +430,5 @@ func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) error {
 			return err
 		}
 	}
-	return c.crash(fmt.Sprintf("instruction budget %d exhausted", maxInsts), nil)
+	return c.crash(fmt.Sprintf("instruction budget %d exhausted", maxInsts), ErrBudget)
 }

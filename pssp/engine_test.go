@@ -1,0 +1,148 @@
+package pssp_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/pssp"
+)
+
+var engines = []pssp.Engine{pssp.EnginePredecoded, pssp.EngineInterpreter}
+
+// TestEngineGoldenBatch runs the batch program under both engines for every
+// scheme and asserts bit-identical results: exit code, output bytes, and the
+// exact instruction and cycle counts.
+func TestEngineGoldenBatch(t *testing.T) {
+	ctx := context.Background()
+	for _, scheme := range pssp.Schemes() {
+		t.Run(scheme.String(), func(t *testing.T) {
+			type outcome struct {
+				exit          uint64
+				cycles, insts uint64
+				out           string
+			}
+			var got [2]outcome
+			for i, e := range engines {
+				m := pssp.NewMachine(pssp.WithSeed(7), pssp.WithEngine(e))
+				res, err := m.Pipeline().Compile(batchProg(), pssp.CompileScheme(scheme)).Run(ctx)
+				if err != nil {
+					t.Fatalf("%s: %v", e, err)
+				}
+				got[i] = outcome{res.ExitCode, res.Cycles, res.Insts, string(res.Output)}
+			}
+			if got[0] != got[1] {
+				t.Fatalf("engines diverged:\npredecoded:  %+v\ninterpreter: %+v", got[0], got[1])
+			}
+		})
+	}
+}
+
+// TestEngineGoldenAttack runs the byte-by-byte attack against an
+// SSP-compiled vulnerable server under both engines with the same seed and
+// asserts identical attack outcomes: success, trial count, recovered canary,
+// and the per-request crash tally.
+func TestEngineGoldenAttack(t *testing.T) {
+	ctx := context.Background()
+	for _, scheme := range []pssp.Scheme{pssp.SchemeSSP, pssp.SchemePSSP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			type outcome struct {
+				success   bool
+				trials    int
+				recovered uint64
+				failedAt  int
+				crashes   int
+				cycles    uint64
+			}
+			var got [2]outcome
+			for i, e := range engines {
+				m := pssp.NewMachine(
+					pssp.WithSeed(2018),
+					pssp.WithScheme(scheme),
+					pssp.WithEngine(e),
+					pssp.WithAttackBudget(3000),
+				)
+				srv, err := m.Pipeline().CompileApp("nginx-vuln").Serve(ctx)
+				if err != nil {
+					t.Fatalf("%s: %v", e, err)
+				}
+				res, err := srv.Attack(ctx, pssp.AttackConfig{})
+				if err != nil {
+					t.Fatalf("%s: %v", e, err)
+				}
+				got[i] = outcome{res.Success, res.Trials, res.RecoveredWord(), res.FailedAt,
+					srv.Crashes(), srv.TotalCycles()}
+			}
+			if got[0] != got[1] {
+				t.Fatalf("attack outcomes diverged:\npredecoded:  %+v\ninterpreter: %+v", got[0], got[1])
+			}
+		})
+	}
+}
+
+// TestEngineGoldenTables regenerates every paper table under both engines
+// with a scaled-down config and asserts the machine-readable values are
+// identical, key for key.
+func TestEngineGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-table golden comparison is not -short")
+	}
+	drivers := []struct {
+		name string
+		run  func(harness.Config) (*harness.Table, error)
+	}{
+		{"table1", harness.Table1},
+		{"table2", harness.Table2},
+		{"table3", harness.Table3},
+		{"table4", harness.Table4},
+		{"table5", func(c harness.Config) (*harness.Table, error) { return harness.Table5(c, false) }},
+	}
+	cfg := harness.Config{Seed: 2018, WebRequests: 4, DBQueries: 2, AttackBudget: 600}
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			var vals [2]map[string]float64
+			for i, e := range engines {
+				c := cfg
+				c.Engine = e
+				tab, err := d.run(c)
+				if err != nil {
+					t.Fatalf("%s: %v", e, err)
+				}
+				vals[i] = tab.Values
+			}
+			if len(vals[0]) != len(vals[1]) {
+				t.Fatalf("value sets differ in size: %d vs %d", len(vals[0]), len(vals[1]))
+			}
+			for k, v := range vals[0] {
+				w, ok := vals[1][k]
+				if !ok {
+					t.Errorf("interpreter run missing value %q", k)
+					continue
+				}
+				if v != w {
+					t.Errorf("%s: predecoded=%v interpreter=%v", k, v, w)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineBudgetClassification pins the satellite fix: a watchdog kill is
+// classified as ErrBudgetExhausted by errors.Is from both engines.
+func TestEngineBudgetClassification(t *testing.T) {
+	ctx := context.Background()
+	for _, e := range engines {
+		t.Run(fmt.Sprint(e), func(t *testing.T) {
+			m := pssp.NewMachine(pssp.WithEngine(e), pssp.WithMaxInstructions(2000))
+			_, err := m.Pipeline().Compile(spinProg()).Run(ctx)
+			if !errors.Is(err, pssp.ErrCrash) || !errors.Is(err, pssp.ErrBudgetExhausted) {
+				t.Fatalf("budget kill = %v, want ErrCrash and ErrBudgetExhausted", err)
+			}
+			if errors.Is(err, pssp.ErrCanaryDetected) {
+				t.Fatal("budget kill must not match ErrCanaryDetected")
+			}
+		})
+	}
+}

@@ -38,6 +38,21 @@ import (
 	"repro/internal/vm"
 )
 
+// Engine selects the machine's execution engine; see WithEngine.
+type Engine = vm.Engine
+
+// Execution engines.
+const (
+	// EnginePredecoded is the default decode-once engine: each executable
+	// segment is predecoded into a code cache that forked workers share
+	// read-only, and the step loop dispatches over predecoded instructions.
+	EnginePredecoded = vm.EnginePredecoded
+	// EngineInterpreter is the legacy fetch–decode–execute interpreter,
+	// kept selectable for differential testing: both engines produce
+	// bit-identical results, cycle counts, and attack outcomes.
+	EngineInterpreter = vm.EngineInterpreter
+)
+
 // CycleModel selects how the VM accounts cycles per instruction.
 type CycleModel uint8
 
@@ -62,6 +77,7 @@ func NewStats() *Stats { return &Stats{} }
 type config struct {
 	seed         uint64
 	scheme       Scheme
+	engine       Engine
 	maxInsts     uint64
 	attackBudget int
 	cycleModel   CycleModel
@@ -89,6 +105,12 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // WithScheme sets the default protection scheme used by Compile when no
 // per-call override is given. The default is SchemePSSP.
 func WithScheme(s Scheme) Option { return func(c *config) { c.scheme = s } }
+
+// WithEngine selects the execution engine for every process the machine
+// runs. The default is EnginePredecoded; EngineInterpreter keeps the legacy
+// path selectable for differential testing — for a fixed seed both engines
+// produce identical outputs, instruction/cycle counts, and attack outcomes.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 
 // WithMaxInstructions bounds a single Run/Handle call; a process exceeding
 // it is crashed with ErrBudgetExhausted (the watchdog analog). The default
@@ -129,8 +151,12 @@ func NewMachine(opts ...Option) *Machine {
 	}
 	k := kernel.New(cfg.seed)
 	k.MaxInsts = cfg.maxInsts
+	k.Engine = cfg.engine
 	return &Machine{cfg: cfg, k: k}
 }
+
+// Engine returns the machine's execution engine.
+func (m *Machine) Engine() Engine { return m.cfg.engine }
 
 // Scheme returns the machine's default protection scheme.
 func (m *Machine) Scheme() Scheme { return m.cfg.scheme }

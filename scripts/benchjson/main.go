@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the BENCH_engine.json record tracked across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | go run ./scripts/benchjson -label pr2 -in BENCH_engine.json
+//
+// The output document holds one entry per labelled run, newest last, so the
+// file accumulates the perf trajectory; re-using a label replaces that run.
+// With -in pointing at an existing document its runs are carried over.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's measurements.
+type Bench struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Run is one labelled benchmarking run.
+type Run struct {
+	Label      string           `json:"label"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// Doc is the whole BENCH_engine.json document.
+type Doc struct {
+	Comment string `json:"comment"`
+	Runs    []Run  `json:"runs"`
+}
+
+func main() {
+	label := flag.String("label", "current", "label for this run")
+	in := flag.String("in", "", "existing BENCH_engine.json to carry runs over from")
+	flag.Parse()
+
+	doc := Doc{Comment: "engine micro-benchmarks (scripts/bench_engine.sh); one entry per PR, newest last"}
+	if *in != "" {
+		if raw, err := os.ReadFile(*in); err == nil {
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v (starting fresh)\n", *in, err)
+			}
+		}
+	}
+
+	run := Run{Label: *label, Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		run.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Replace a same-labelled run, else append.
+	replaced := false
+	for i := range doc.Runs {
+		if doc.Runs[i].Label == *label {
+			doc.Runs[i] = run
+			replaced = true
+		}
+	}
+	if !replaced {
+		doc.Runs = append(doc.Runs, run)
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
