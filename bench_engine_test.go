@@ -1,9 +1,9 @@
 package repro
 
-// Micro-benchmarks of the execution engine introduced by the decode-once
-// refactor. Run them with
+// Micro-benchmarks of the execution engine (decode-once refactor) and the
+// Monte-Carlo campaign engine. Run them with
 //
-//	go test -run '^$' -bench 'ForkClone|StepLoop|ForkServerRequest' -benchmem .
+//	go test -run '^$' -bench 'ForkClone|StepLoop|ForkServerRequest|Campaign' -benchmem .
 //
 // or via scripts/bench_engine.sh, which records the results in
 // BENCH_engine.json so the perf trajectory is tracked across PRs. The
@@ -14,6 +14,7 @@ package repro
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/abi"
 	"repro/internal/apps"
@@ -132,6 +133,50 @@ func BenchmarkForkServerRequest(b *testing.B) {
 					b.Fatal(out.Err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkCampaign measures the Monte-Carlo campaign engine's trial
+// throughput at 1 vs N worker shards: one op is a full campaign of
+// byte-by-byte replications against P-SSP-compiled nginx victims (one
+// derived machine per replication). The trials/sec metric is the headline:
+// on multi-core hosts it scales with the worker count, and a fixed seed
+// keeps the aggregates bit-identical across all sub-benchmarks.
+func BenchmarkCampaign(b *testing.B) {
+	ctx := context.Background()
+	img, err := pssp.NewMachine(pssp.WithScheme(pssp.SchemePSSP)).CompileApp("nginx-vuln")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sub-benchmark names stay dash-free: benchjson strips a trailing
+	// -N as the GOMAXPROCS suffix.
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"workers4", 4}} {
+		workers := cfg.workers
+		b.Run(cfg.name, func(b *testing.B) {
+			m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemePSSP))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var trials int
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := m.Campaign(ctx, img, pssp.CampaignConfig{
+					Replications: 8,
+					Workers:      workers,
+					Attack:       pssp.AttackConfig{MaxTrials: 64},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != 8 {
+					b.Fatalf("completed %d/8", res.Completed)
+				}
+				trials += res.Trials
+			}
+			b.ReportMetric(float64(trials)/time.Since(start).Seconds(), "trials/sec")
 		})
 	}
 }

@@ -1,29 +1,89 @@
-// Command psspattack runs the byte-by-byte canary brute-force against one of
-// the vulnerable server analogs and reports the outcome — the CLI face of
-// the paper's §VI-C effectiveness experiment, built on the public pssp
-// facade.
+// Command psspattack runs attack campaigns against the vulnerable server
+// analogs and reports the outcome — the CLI face of the paper's §VI-C
+// effectiveness experiment, built on the public pssp facade.
+//
+// A campaign is -repeats independent replications of the selected adversary
+// strategy, each against a freshly derived victim machine, sharded over
+// -workers concurrent oracles. For a fixed -seed the aggregates are
+// bit-identical at any worker count.
 //
 // Usage:
 //
 //	psspattack -target nginx-vuln -scheme ssp
 //	psspattack -target ali-vuln -scheme p-ssp -budget 8192
+//	psspattack -scheme ssp -strategy chunk -repeats 16 -workers 8
+//	psspattack -scheme p-ssp -strategy adaptive -repeats 32 -json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/pssp"
 )
 
+func strategyHelp() string {
+	var b strings.Builder
+	b.WriteString("adversary strategy:")
+	for _, s := range pssp.AttackStrategies() {
+		fmt.Fprintf(&b, "\n    %-12s %s", s.Name, s.Description)
+	}
+	return b.String()
+}
+
+// jsonReport is the machine-readable campaign output (-json).
+type jsonReport struct {
+	Target          string  `json:"target"`
+	Scheme          string  `json:"scheme"`
+	Strategy        string  `json:"strategy"`
+	Seed            uint64  `json:"seed"`
+	Budget          int     `json:"budget"`
+	Replications    int     `json:"replications"`
+	Workers         int     `json:"workers"`
+	Completed       int     `json:"completed"`
+	Successes       int     `json:"successes"`
+	Verified        int     `json:"verified_successes"`
+	SuccessRate     float64 `json:"success_rate"`
+	Trials          int     `json:"trials"`
+	OracleCalls     int     `json:"oracle_calls"`
+	OracleErrors    int     `json:"oracle_errors"`
+	OracleError     string  `json:"oracle_error,omitempty"`
+	Detections      int     `json:"detections"`
+	DetectRate      float64 `json:"detection_rate"`
+	Cycles          uint64  `json:"victim_cycles"`
+	TrialsToSuccess struct {
+		N      int     `json:"n"`
+		Min    float64 `json:"min"`
+		Median float64 `json:"median"`
+		P95    float64 `json:"p95"`
+		Max    float64 `json:"max"`
+	} `json:"trials_to_success"`
+	Outcomes []jsonOutcome `json:"outcomes"`
+}
+
+type jsonOutcome struct {
+	Rep      int  `json:"rep"`
+	Success  bool `json:"success"`
+	Verified bool `json:"verified,omitempty"`
+	Trials   int  `json:"trials"`
+	FailedAt int  `json:"failed_at"`
+	Restarts int  `json:"restarts,omitempty"`
+}
+
 func main() {
 	var (
-		target = flag.String("target", "nginx-vuln", "nginx-vuln | ali-vuln")
-		scheme = flag.String("scheme", "ssp", "protection scheme of the victim")
-		budget = flag.Int("budget", 4096, "maximum trials")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
+		target   = flag.String("target", "nginx-vuln", "nginx-vuln | ali-vuln")
+		scheme   = flag.String("scheme", "ssp", "protection scheme of the victim")
+		strategy = flag.String("strategy", "byte-by-byte", strategyHelp())
+		budget   = flag.Int("budget", 4096, "maximum trials per replication")
+		repeats  = flag.Int("repeats", 1, "independent campaign replications")
+		workers  = flag.Int("workers", 0, "concurrent oracle shards (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -41,32 +101,89 @@ func main() {
 		pssp.WithAttackBudget(*budget),
 	)
 	ctx := context.Background()
-	srv, err := m.Pipeline().CompileApp(*target).Serve(ctx)
+	img, err := m.Pipeline().CompileApp(*target).Image()
 	if err != nil {
 		fail(err)
 	}
 
-	fmt.Printf("attacking %s (scheme %s), budget %d trials...\n", *target, s, *budget)
-	res, err := srv.Attack(ctx, pssp.AttackConfig{})
+	if !*jsonOut {
+		fmt.Printf("attacking %s (scheme %s) with %s: %d replication(s), budget %d trials each...\n",
+			*target, s, *strategy, *repeats, *budget)
+	}
+	res, err := m.Campaign(ctx, img, pssp.CampaignConfig{
+		Strategy:     *strategy,
+		Replications: *repeats,
+		Workers:      *workers,
+	})
 	if err != nil {
 		fail(err)
 	}
 
-	if res.Success {
-		real, err := srv.Canary()
-		if err != nil {
+	if *jsonOut {
+		rep := jsonReport{
+			Target: *target, Scheme: s.String(), Strategy: res.Label,
+			Seed: *seed, Budget: *budget,
+			Replications: *repeats, Workers: *workers,
+			Completed: res.Completed, Successes: res.Successes,
+			Verified:    res.VerifiedSuccesses,
+			SuccessRate: res.SuccessRate(),
+			Trials:      res.Trials, OracleCalls: res.OracleCalls,
+			OracleErrors: res.OracleErrors,
+			Detections:   res.Detections, DetectRate: res.DetectionRate(),
+			Cycles: res.Cycles,
+		}
+		if res.OracleErr != nil {
+			rep.OracleError = res.OracleErr.Error()
+		}
+		rep.TrialsToSuccess.N = res.TrialsToSuccess.N
+		rep.TrialsToSuccess.Min = res.TrialsToSuccess.Min
+		rep.TrialsToSuccess.Median = res.TrialsToSuccess.Median
+		rep.TrialsToSuccess.P95 = res.TrialsToSuccess.P95
+		rep.TrialsToSuccess.Max = res.TrialsToSuccess.Max
+		for _, out := range res.Outcomes {
+			rep.Outcomes = append(rep.Outcomes, jsonOutcome{
+				Rep: out.Rep, Success: out.Success, Verified: out.Verified, Trials: out.Trials,
+				FailedAt: out.FailedAt, Restarts: out.Restarts,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			fail(err)
 		}
-		fmt.Printf("SUCCESS in %d trials: canary 0x%016x (per-byte trials %v)\n",
-			res.Trials, res.RecoveredWord(), res.PerByte)
-		if res.RecoveredWord() == real {
-			fmt.Println("verified: recovered canary matches the victim's TLS canary")
-		} else {
-			fmt.Println("warning: recovered value does NOT match (lucky survivals)")
-		}
-	} else {
-		fmt.Printf("FAILED after %d trials (stalled at byte %d) — polymorphic canaries resisted\n",
-			res.Trials, res.FailedAt)
+		return
 	}
-	fmt.Printf("children crashed during attack: %d\n", srv.Crashes())
+
+	if res.Successes > 0 {
+		ts := res.TrialsToSuccess
+		fmt.Printf("SUCCESS in %d/%d replications (rate %.2f, %d verified against the real canary)\n",
+			res.Successes, res.Completed, res.SuccessRate(), res.VerifiedSuccesses)
+		fmt.Printf("trials to success: min %.0f / median %.0f / p95 %.0f\n",
+			ts.Min, ts.Median, ts.P95)
+	} else {
+		fmt.Printf("FAILED in all %d replications within the %d-trial budget\n", res.Completed, *budget)
+	}
+	fmt.Printf("oracle calls %d, detection rate %.3f, victim cycles %d\n",
+		res.OracleCalls, res.DetectionRate(), res.Cycles)
+	if res.OracleErrors > 0 {
+		fmt.Printf("WARNING: %d replication(s) lost to oracle failures (first: %v)\n",
+			res.OracleErrors, res.OracleErr)
+	}
+	for _, out := range res.Outcomes {
+		state := "failed"
+		switch {
+		case out.Success && out.Verified:
+			state = "success"
+		case out.Success:
+			state = "UNVERIFIED" // survived, but the recovered word is not the canary
+		}
+		fmt.Printf("  rep %2d: %-10s trials %-5d", out.Rep, state, out.Trials)
+		if out.Restarts > 0 {
+			fmt.Printf(" restarts %d", out.Restarts)
+		}
+		if !out.Success && out.FailedAt >= 0 {
+			fmt.Printf(" stalled at byte %d", out.FailedAt)
+		}
+		fmt.Println()
+	}
 }

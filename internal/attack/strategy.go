@@ -1,0 +1,210 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Strategy is a pluggable adversary model: one way of choosing payloads
+// against a crash oracle. Strategies are stateless values — all per-run
+// state lives in the Attack call — so one Strategy may drive any number of
+// concurrent campaign replications.
+type Strategy interface {
+	// Name is the registry key (the CLI's -strategy value).
+	Name() string
+	// Description is a one-line summary for CLI listings.
+	Description() string
+	// Attack runs one full attack replication against the oracle. r seeds
+	// the strategy's randomized choices; deterministic strategies ignore
+	// it, and a nil r behaves like rng.New(0). Cancellation of ctx is
+	// checked between trials and returned as ctx.Err().
+	Attack(ctx context.Context, o Oracle, cfg Config, r *rng.Source) (Result, error)
+}
+
+// src guards against nil randomness so deterministic callers can pass nil.
+func src(r *rng.Source) *rng.Source {
+	if r == nil {
+		return rng.New(0)
+	}
+	return r
+}
+
+// ByteByByteStrategy is the paper's §II-B adversary: recover the canary one
+// byte at a time, lowest address first, enumerating values 0..255.
+type ByteByByteStrategy struct{}
+
+// Name implements Strategy.
+func (ByteByByteStrategy) Name() string { return "byte-by-byte" }
+
+// Description implements Strategy.
+func (ByteByByteStrategy) Description() string {
+	return "§II-B BROP-style brute force: confirm one canary byte at a time"
+}
+
+// Attack implements Strategy.
+func (s ByteByByteStrategy) Attack(ctx context.Context, o Oracle, cfg Config, _ *rng.Source) (Result, error) {
+	res, err := positionalSearch(ctx, o, cfg, 1, nil, false)
+	res.Strategy = s.Name()
+	return res, err
+}
+
+// ChunkStrategy generalizes byte-by-byte to Size-byte chunks: each position
+// enumerates its 2^(8·Size) values in a cyclic stride from a random start,
+// so one confirmation reveals Size bytes at once at exponentially higher
+// per-position cost — the scenario-diversity point between byte-by-byte
+// (Size 1) and the full-word exhaustive search (Size 8).
+type ChunkStrategy struct {
+	// Size is the chunk width in bytes (default 2).
+	Size int
+}
+
+// Name implements Strategy.
+func (s ChunkStrategy) Name() string {
+	if s.Size > 0 && s.Size != 2 {
+		return fmt.Sprintf("chunk%d", s.Size)
+	}
+	return "chunk"
+}
+
+// Description implements Strategy.
+func (s ChunkStrategy) Description() string {
+	n := s.Size
+	if n == 0 {
+		n = 2
+	}
+	return fmt.Sprintf("chunk-wise guessing: confirm %d canary bytes per position, random stride", n)
+}
+
+// Attack implements Strategy.
+func (s ChunkStrategy) Attack(ctx context.Context, o Oracle, cfg Config, r *rng.Source) (Result, error) {
+	size := s.Size
+	if size == 0 {
+		size = 2
+	}
+	r = src(r)
+	res, err := positionalSearch(ctx, o, cfg, size, func(int) uint64 { return r.Uint64() }, false)
+	res.Strategy = s.Name()
+	return res, err
+}
+
+// AdaptiveStrategy is the restart-on-detection attacker: byte-by-byte
+// recovery that, on the polymorphic-canary signature (every value of a
+// position crashing), drops its accumulated knowledge and restarts from
+// byte zero instead of giving up. Against a static canary it is identical
+// to byte-by-byte; against polymorphic canaries it keeps burning budget in
+// restarts — quantifying that adaptivity buys the attacker nothing once
+// advantage cannot accumulate.
+type AdaptiveStrategy struct{}
+
+// Name implements Strategy.
+func (AdaptiveStrategy) Name() string { return "adaptive" }
+
+// Description implements Strategy.
+func (AdaptiveStrategy) Description() string {
+	return "byte-by-byte with full restart when a re-randomization is detected"
+}
+
+// Attack implements Strategy.
+func (s AdaptiveStrategy) Attack(ctx context.Context, o Oracle, cfg Config, _ *rng.Source) (Result, error) {
+	res, err := positionalSearch(ctx, o, cfg, 1, nil, true)
+	res.Strategy = s.Name()
+	return res, err
+}
+
+// ExhaustiveStrategy is the §III-C-1 word search: enumerate full canary
+// words sequentially from a random starting point.
+type ExhaustiveStrategy struct{}
+
+// Name implements Strategy.
+func (ExhaustiveStrategy) Name() string { return "exhaustive" }
+
+// Description implements Strategy.
+func (ExhaustiveStrategy) Description() string {
+	return "§III-C sequential full-word search from a random start"
+}
+
+// Attack implements Strategy.
+func (s ExhaustiveStrategy) Attack(ctx context.Context, o Oracle, cfg Config, r *rng.Source) (Result, error) {
+	next := src(r).Uint64()
+	res, err := wordSearch(ctx, o, cfg, func() uint64 {
+		v := next
+		next++
+		return v
+	})
+	res.Strategy = s.Name()
+	return res, err
+}
+
+// RandomStrategy guesses independent uniformly random full canary words —
+// the memoryless sampler whose cost against a w-bit canary is geometric
+// with mean 2^w, polymorphic or not.
+type RandomStrategy struct{}
+
+// Name implements Strategy.
+func (RandomStrategy) Name() string { return "random" }
+
+// Description implements Strategy.
+func (RandomStrategy) Description() string {
+	return "independent uniform random full-word guesses"
+}
+
+// Attack implements Strategy.
+func (s RandomStrategy) Attack(ctx context.Context, o Oracle, cfg Config, r *rng.Source) (Result, error) {
+	res, err := wordSearch(ctx, o, cfg, src(r).Uint64)
+	res.Strategy = s.Name()
+	return res, err
+}
+
+// Strategies returns every registered adversary model, ordered by name.
+func Strategies() []Strategy {
+	out := []Strategy{
+		AdaptiveStrategy{},
+		ByteByByteStrategy{},
+		ChunkStrategy{Size: 2},
+		ExhaustiveStrategy{},
+		RandomStrategy{},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// StrategyNames returns the registry keys, ordered.
+func StrategyNames() []string {
+	ss := Strategies()
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// StrategyByName resolves a registry key or alias ("bbb" for byte-by-byte,
+// "chunkN" for an N-byte ChunkStrategy). The empty name resolves to
+// byte-by-byte, the paper's default adversary.
+func StrategyByName(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "byte-by-byte", "bytebybyte", "bbb", "brop":
+		return ByteByByteStrategy{}, nil
+	case "chunk", "chunk2":
+		return ChunkStrategy{Size: 2}, nil
+	case "chunk1":
+		return ChunkStrategy{Size: 1}, nil
+	case "chunk3":
+		return ChunkStrategy{Size: 3}, nil
+	case "chunk4":
+		return ChunkStrategy{Size: 4}, nil
+	case "adaptive", "restart":
+		return AdaptiveStrategy{}, nil
+	case "exhaustive", "word":
+		return ExhaustiveStrategy{}, nil
+	case "random", "uniform":
+		return RandomStrategy{}, nil
+	default:
+		return nil, fmt.Errorf("attack: unknown strategy %q (have %s)",
+			name, strings.Join(StrategyNames(), ", "))
+	}
+}

@@ -1,0 +1,308 @@
+package attack
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// memOracle is a VM-free crash oracle over a fixed or polymorphic canary,
+// fast enough for millions of trials: a payload survives iff the bytes it
+// writes over the canary slot match the canary's prefix.
+type memOracle struct {
+	r      *rng.Source
+	poly   bool
+	bufLen int
+	canary uint64
+	calls  int
+}
+
+func newMemOracle(seed uint64, poly bool, bufLen int) *memOracle {
+	r := rng.New(seed)
+	return &memOracle{r: r, poly: poly, bufLen: bufLen, canary: r.Uint64()}
+}
+
+func (o *memOracle) Try(payload []byte) (bool, error) {
+	o.calls++
+	if o.poly {
+		o.canary = o.r.Uint64()
+	}
+	if len(payload) <= o.bufLen {
+		return true, nil
+	}
+	var slot [8]byte
+	binary.LittleEndian.PutUint64(slot[:], o.canary)
+	copy(slot[:], payload[o.bufLen:])
+	return binary.LittleEndian.Uint64(slot[:]) == o.canary, nil
+}
+
+func TestStrategyRegistry(t *testing.T) {
+	names := StrategyNames()
+	want := []string{"adaptive", "byte-by-byte", "chunk", "exhaustive", "random"}
+	if len(names) != len(want) {
+		t.Fatalf("registry %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registry %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		s, err := StrategyByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if s.Name() != n {
+			t.Fatalf("ByName(%q).Name() = %q", n, s.Name())
+		}
+		if s.Description() == "" {
+			t.Fatalf("%s has no description", n)
+		}
+	}
+	if _, err := StrategyByName("no-such"); err == nil {
+		t.Fatal("unknown strategy did not error")
+	}
+	if s, err := StrategyByName(""); err != nil || s.Name() != "byte-by-byte" {
+		t.Fatalf("empty name resolved to %v, %v", s, err)
+	}
+	if s, _ := StrategyByName("chunk4"); s.(ChunkStrategy).Size != 4 {
+		t.Fatal("chunk4 alias did not set size")
+	}
+}
+
+func TestChunkStrategyRecoversStaticCanary(t *testing.T) {
+	o := newMemOracle(11, false, 4)
+	res, err := ChunkStrategy{Size: 2}.Attack(context.Background(), o,
+		Config{BufLen: 4, MaxTrials: 1 << 20}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("chunk attack failed at byte %d after %d trials", res.FailedAt, res.Trials)
+	}
+	if res.RecoveredWord() != o.canary {
+		t.Fatalf("recovered %x, want %x", res.RecoveredWord(), o.canary)
+	}
+	if len(res.PerByte) != 4 {
+		t.Fatalf("expected 4 chunk positions, got %v", res.PerByte)
+	}
+	if res.Strategy != "chunk" {
+		t.Fatalf("strategy label %q", res.Strategy)
+	}
+}
+
+func TestChunkStrategyDeterministicPerSeed(t *testing.T) {
+	run := func() Result {
+		o := newMemOracle(12, false, 4)
+		res, err := ChunkStrategy{Size: 2}.Attack(context.Background(), o,
+			Config{BufLen: 4, MaxTrials: 1 << 20}, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Trials != b.Trials || a.RecoveredWord() != b.RecoveredWord() {
+		t.Fatalf("same seed diverged: %d/%x vs %d/%x",
+			a.Trials, a.RecoveredWord(), b.Trials, b.RecoveredWord())
+	}
+}
+
+func TestAdaptiveEqualsByteByByteOnStaticCanary(t *testing.T) {
+	oa := newMemOracle(13, false, 4)
+	ob := newMemOracle(13, false, 4)
+	ra, err := AdaptiveStrategy{}.Attack(context.Background(), oa, Config{BufLen: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ByteByByteStrategy{}.Attack(context.Background(), ob, Config{BufLen: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.Success || !rb.Success || ra.Trials != rb.Trials || ra.Restarts != 0 {
+		t.Fatalf("adaptive %+v vs byte-by-byte %+v", ra, rb)
+	}
+}
+
+func TestAdaptiveRestartsOnPolymorphicCanary(t *testing.T) {
+	o := newMemOracle(14, true, 4)
+	res, err := AdaptiveStrategy{}.Attack(context.Background(), o,
+		Config{BufLen: 4, MaxTrials: 3000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("adaptive attack succeeded against a 64-bit polymorphic canary")
+	}
+	if res.Restarts == 0 {
+		t.Fatal("adaptive attacker never restarted despite re-randomization")
+	}
+	if res.Trials > 3000 {
+		t.Fatalf("budget exceeded: %d", res.Trials)
+	}
+}
+
+func TestExhaustiveStrategySequentialFromStart(t *testing.T) {
+	// An oracle whose canary is start+3 must fall on exactly the 4th trial.
+	r := rng.New(21)
+	start := r.Uint64()
+	o := newMemOracle(0, false, 4)
+	o.canary = start + 3
+	res, err := ExhaustiveStrategy{}.Attack(context.Background(), o,
+		Config{BufLen: 4, MaxTrials: 10}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Trials != 4 {
+		t.Fatalf("success=%v trials=%d, want success in exactly 4", res.Success, res.Trials)
+	}
+}
+
+func TestRandomStrategyFailsWithinBudget(t *testing.T) {
+	o := newMemOracle(15, true, 4)
+	res, err := RandomStrategy{}.Attack(context.Background(), o,
+		Config{BufLen: 4, MaxTrials: 500}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("random 64-bit guess succeeded in 500 trials (astronomically unlikely)")
+	}
+	if res.Trials != 500 {
+		t.Fatalf("trials %d, want 500", res.Trials)
+	}
+}
+
+func TestStrategyCancellation(t *testing.T) {
+	for _, s := range Strategies() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		o := newMemOracle(16, true, 4)
+		res, err := s.Attack(ctx, o, Config{BufLen: 4, MaxTrials: 1 << 20}, rng.New(1))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: cancelled attack returned %v", s.Name(), err)
+		}
+		if res.Trials != 0 {
+			t.Errorf("%s: %d trials ran after cancellation", s.Name(), res.Trials)
+		}
+	}
+}
+
+// failingOracle always reports an infrastructure failure.
+type failingOracle struct{ err error }
+
+func (o *failingOracle) Try([]byte) (bool, error) { return false, WrapOracleErr(o.err) }
+
+func TestOracleErrClassification(t *testing.T) {
+	base := errors.New("fork bomb")
+	wrapped := WrapOracleErr(base)
+	if !IsOracleErr(wrapped) {
+		t.Fatal("wrapped infra error not classified as oracle error")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("wrapping lost the underlying error")
+	}
+	if WrapOracleErr(wrapped) != wrapped {
+		t.Fatal("double wrap")
+	}
+	// Cancellation passes through untouched.
+	if IsOracleErr(WrapOracleErr(context.Canceled)) {
+		t.Fatal("cancellation misclassified as oracle failure")
+	}
+	if WrapOracleErr(nil) != nil {
+		t.Fatal("nil wrapped")
+	}
+	// Strategies propagate the classification through their own wrapping.
+	_, err := ByteByByteStrategy{}.Attack(context.Background(),
+		&failingOracle{err: base}, Config{BufLen: 4}, nil)
+	if !IsOracleErr(err) {
+		t.Fatalf("strategy lost oracle classification: %v", err)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("strategy lost the cause: %v", err)
+	}
+}
+
+func TestChunkStrategyFullWordNoPanic(t *testing.T) {
+	// Size 8 makes the chunk's value space the full 2^64, which must be
+	// handled as uint64 wraparound, not a divide-by-zero. Plant the canary
+	// three guesses past the strategy's random starting point so the run
+	// also terminates quickly.
+	r := rng.New(33)
+	start := r.Uint64()
+	o := newMemOracle(0, false, 4)
+	o.canary = start + 2
+	res, err := ChunkStrategy{Size: 8}.Attack(context.Background(), o,
+		Config{BufLen: 4, MaxTrials: 100}, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Trials != 3 {
+		t.Fatalf("success=%v trials=%d, want success on trial 3", res.Success, res.Trials)
+	}
+	// And a miss within budget terminates at MaxTrials instead of looping.
+	miss := newMemOracle(44, false, 4)
+	res, err = ChunkStrategy{Size: 8}.Attack(context.Background(), miss,
+		Config{BufLen: 4, MaxTrials: 50}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success || res.Trials != 50 {
+		t.Fatalf("success=%v trials=%d, want budget-bounded failure", res.Success, res.Trials)
+	}
+}
+
+func TestWordStrategiesReportNoBytePosition(t *testing.T) {
+	for _, name := range []string{"random", "exhaustive"} {
+		s, err := StrategyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newMemOracle(17, true, 4)
+		res, err := s.Attack(context.Background(), o, Config{BufLen: 4, MaxTrials: 20}, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Success {
+			t.Fatalf("%s: 64-bit guess succeeded in 20 trials", name)
+		}
+		if res.FailedAt != -1 {
+			t.Errorf("%s: FailedAt = %d, want -1 (no byte position applies)", name, res.FailedAt)
+		}
+	}
+}
+
+func TestWordStrategiesNarrowCanary(t *testing.T) {
+	// CanaryLen below a word must search the narrow space, not panic on an
+	// 8-byte write into a short payload. Plant the canary's low 4 bytes
+	// two guesses past the exhaustive start so the run succeeds quickly.
+	r := rng.New(51)
+	start := r.Uint64()
+	o := newMemOracle(52, false, 4)
+	o.canary = o.canary&^0xffffffff | uint64(uint32(start+2))
+	res, err := ExhaustiveStrategy{}.Attack(context.Background(), o,
+		Config{BufLen: 4, CanaryLen: 4, MaxTrials: 100}, rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Trials != 3 {
+		t.Fatalf("success=%v trials=%d, want success on trial 3", res.Success, res.Trials)
+	}
+	if len(res.Canary) != 4 {
+		t.Fatalf("recovered %d canary bytes, want 4", len(res.Canary))
+	}
+	// And a canary wider than a word is guessed on its low word only — a
+	// shorter physical overflow — still without panicking.
+	wide := newMemOracle(53, false, 4)
+	res, err = RandomStrategy{}.Attack(context.Background(), wide,
+		Config{BufLen: 4, CanaryLen: 16, MaxTrials: 10}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 10 {
+		t.Fatalf("trials %d, want 10", res.Trials)
+	}
+}

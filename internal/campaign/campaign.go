@@ -1,0 +1,289 @@
+// Package campaign is the Monte-Carlo replication engine behind the paper's
+// evaluation: it runs N independent replications of a trial — typically one
+// full attack.Strategy run against a fresh fork-server oracle — sharded
+// across a pool of workers, and folds the outcomes into deterministic
+// aggregates (success rate, trials-to-success quantiles, detection rate,
+// total oracle calls).
+//
+// Determinism is the design center. Each replication is a self-contained
+// work unit: replication i always draws from rng.NewStream(seed, i) and
+// builds its own oracle, no matter which worker executes it, so a fixed
+// seed yields bit-identical aggregates at any worker count. Workers are
+// pure concurrency — they never own state a replication depends on.
+//
+// Infrastructure failures of the oracle (attack.OracleError) are surfaced
+// separately from trial statistics: a replication that never reached its
+// victim is counted in OracleErrors, not folded into the aggregates.
+// Cancellation returns the partial, well-formed aggregate of the
+// replications that completed, alongside ctx.Err().
+package campaign
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/rng"
+)
+
+// Config sizes a campaign.
+type Config struct {
+	// Label names the campaign in its Aggregate (e.g. the strategy name).
+	Label string
+	// Replications is the number of independent trial replications
+	// (default 1).
+	Replications int
+	// Workers bounds the number of replications in flight (default
+	// GOMAXPROCS, clamped to Replications). Workers affects wall-clock
+	// time only, never results.
+	Workers int
+	// Seed drives all randomness: replication i draws from
+	// rng.NewStream(Seed, i).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replications <= 0 {
+		c.Replications = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Replications {
+		c.Workers = c.Replications
+	}
+	return c
+}
+
+// Runner executes one replication. rep is the replication index and r its
+// private derived randomness; the Runner must take all replication-varying
+// state (oracle, victim machine, guesses) from these two values so the
+// outcome is independent of scheduling. Infrastructure failures must be
+// classified per attack.WrapOracleErr.
+type Runner func(ctx context.Context, rep int, r *rng.Source) (Outcome, error)
+
+// Outcome reports one completed replication.
+type Outcome struct {
+	// Rep is the replication index (set by the engine).
+	Rep int
+	// Success reports whether the replication's trial succeeded.
+	Success bool
+	// Verified reports that the success was confirmed against ground truth
+	// (e.g. the recovered canary matches the victim's TLS canary, ruling
+	// out a lucky-survival false success). Always false when !Success.
+	Verified bool
+	// Trials is the number of attack trials the replication spent.
+	Trials int
+	// FailedAt is the byte position a positional attack gave up on
+	// (-1 when not applicable: success, or a non-positional trial).
+	FailedAt int
+	// Restarts counts adaptive from-scratch restarts.
+	Restarts int
+	// Detections counts trials the defence detected (worker crashes).
+	Detections int
+	// OracleCalls is the number of oracle requests issued (>= Trials when
+	// the runner issues extra non-trial requests).
+	OracleCalls int
+	// Cycles and Insts are the victim-side execution cost.
+	Cycles, Insts uint64
+	// Mem is the victim's memory footprint in bytes (0 if not measured).
+	Mem int
+}
+
+// Summary is an order-statistics digest of one per-replication metric.
+type Summary struct {
+	// N is the number of samples folded in.
+	N int
+	// Min, Median, P95 and Max are the usual order statistics (nearest-rank
+	// P95; mean-of-middles median).
+	Min, Median, P95, Max float64
+}
+
+// summarize digests vals (consumed: sorted in place).
+func summarize(vals []float64) Summary {
+	n := len(vals)
+	if n == 0 {
+		return Summary{}
+	}
+	sort.Float64s(vals)
+	med := vals[n/2]
+	if n%2 == 0 {
+		med = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	rank := (95*n + 99) / 100 // ceil(0.95n), nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	return Summary{N: n, Min: vals[0], Median: med, P95: vals[rank-1], Max: vals[n-1]}
+}
+
+// Aggregate folds a campaign's outcomes. All fields are deterministic
+// functions of (seed, replication set): they are computed in replication
+// order after the workers drain, so scheduling cannot leak in.
+type Aggregate struct {
+	// Label echoes Config.Label.
+	Label string
+	// Requested and Completed count replications asked for and finished.
+	Requested, Completed int
+	// Successes counts successful replications; VerifiedSuccesses counts
+	// those additionally confirmed against ground truth (see
+	// Outcome.Verified) — a gap between the two flags lucky-survival
+	// false successes.
+	Successes         int
+	VerifiedSuccesses int
+	// Trials, Detections and OracleCalls are totals across replications.
+	Trials, Detections, OracleCalls int
+	// Cycles and Insts total the victim-side execution cost.
+	Cycles, Insts uint64
+	// MaxMem is the largest per-replication memory footprint seen.
+	MaxMem int
+	// TrialsToSuccess digests the trial counts of successful replications.
+	TrialsToSuccess Summary
+	// OracleErrors counts replications lost to oracle infrastructure
+	// failures (not folded into any other statistic); OracleErr is the
+	// first such error by replication order.
+	OracleErrors int
+	OracleErr    error
+	// Outcomes holds every completed replication, ascending by Rep.
+	Outcomes []Outcome
+}
+
+// SuccessRate is Successes/Completed (0 when nothing completed).
+func (a *Aggregate) SuccessRate() float64 {
+	if a.Completed == 0 {
+		return 0
+	}
+	return float64(a.Successes) / float64(a.Completed)
+}
+
+// DetectionRate is Detections/OracleCalls — the fraction of oracle requests
+// the defence converted into a worker crash.
+func (a *Aggregate) DetectionRate() float64 {
+	if a.OracleCalls == 0 {
+		return 0
+	}
+	return float64(a.Detections) / float64(a.OracleCalls)
+}
+
+// AvgCycles is the mean victim-side cost per oracle call.
+func (a *Aggregate) AvgCycles() float64 {
+	if a.OracleCalls == 0 {
+		return 0
+	}
+	return float64(a.Cycles) / float64(a.OracleCalls)
+}
+
+// Run executes the campaign: cfg.Replications runs of run sharded over
+// cfg.Workers goroutines. The returned aggregate is bit-identical for a
+// fixed seed at any worker count.
+//
+// On cancellation Run returns the partial aggregate of the completed
+// replications together with ctx.Err(). A runner error that is neither a
+// cancellation nor an oracle infrastructure failure aborts the campaign
+// and is returned with the partial aggregate.
+func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
+	cfg = cfg.withDefaults()
+
+	outcomes := make([]*Outcome, cfg.Replications)
+	infra := make([]error, cfg.Replications)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		fatalErr error
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				out, err := run(ctx, rep, rng.NewStream(cfg.Seed, uint64(rep)))
+				switch {
+				case err == nil:
+					out.Rep = rep
+					outcomes[rep] = &out
+				case ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+					// Cancellation of the campaign itself: stop claiming
+					// work. A cancellation-class error while ctx is still
+					// live is NOT this case — it is a runner-internal
+					// timeout and falls through to the fatal branch below,
+					// so it can never silently drop a replication or
+					// starve the feed loop.
+					return
+				case attack.IsOracleErr(err):
+					infra[rep] = err
+				default:
+					mu.Lock()
+					if fatalErr == nil {
+						fatalErr = err
+						cancel()
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for rep := 0; rep < cfg.Replications; rep++ {
+		select {
+		case jobs <- rep:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	agg := &Aggregate{Label: cfg.Label, Requested: cfg.Replications}
+	var toSuccess []float64
+	for rep := 0; rep < cfg.Replications; rep++ {
+		if err := infra[rep]; err != nil {
+			agg.OracleErrors++
+			if agg.OracleErr == nil {
+				agg.OracleErr = err
+			}
+			continue
+		}
+		out := outcomes[rep]
+		if out == nil {
+			continue
+		}
+		agg.Completed++
+		agg.Trials += out.Trials
+		agg.Detections += out.Detections
+		agg.OracleCalls += out.OracleCalls
+		agg.Cycles += out.Cycles
+		agg.Insts += out.Insts
+		if out.Mem > agg.MaxMem {
+			agg.MaxMem = out.Mem
+		}
+		if out.Success {
+			agg.Successes++
+			toSuccess = append(toSuccess, float64(out.Trials))
+			if out.Verified {
+				agg.VerifiedSuccesses++
+			}
+		}
+		agg.Outcomes = append(agg.Outcomes, *out)
+	}
+	agg.TrialsToSuccess = summarize(toSuccess)
+
+	if fatalErr != nil {
+		return agg, fatalErr
+	}
+	if err := ctx.Err(); err != nil {
+		return agg, err
+	}
+	return agg, nil
+}

@@ -1,0 +1,211 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/rng"
+)
+
+// statRunner is a deterministic synthetic replication: every field of the
+// outcome derives from the replication's private rng stream only.
+func statRunner(_ context.Context, _ int, r *rng.Source) (Outcome, error) {
+	trials := 1 + int(r.Uint64()%200)
+	success := r.Uint64()%4 == 0
+	out := Outcome{
+		Success:     success,
+		Trials:      trials,
+		FailedAt:    -1,
+		Detections:  trials - 1,
+		OracleCalls: trials,
+		Cycles:      uint64(trials) * 17,
+		Insts:       uint64(trials) * 5,
+		Mem:         int(r.Uint64()%1000) + 100,
+	}
+	if !success {
+		out.FailedAt = int(r.Uint64() % 8)
+	}
+	return out, nil
+}
+
+func TestAggregatesBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	var aggs []*Aggregate
+	for _, workers := range []int{1, 4, 16} {
+		agg, err := Run(context.Background(), Config{
+			Label:        "det",
+			Replications: 64,
+			Workers:      workers,
+			Seed:         2018,
+		}, statRunner)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if agg.Completed != 64 || agg.Requested != 64 {
+			t.Fatalf("workers=%d: completed %d/%d", workers, agg.Completed, agg.Requested)
+		}
+		aggs = append(aggs, agg)
+	}
+	for i := 1; i < len(aggs); i++ {
+		if !reflect.DeepEqual(aggs[0], aggs[i]) {
+			t.Fatalf("aggregates diverged between worker counts:\n%+v\nvs\n%+v", aggs[0], aggs[i])
+		}
+	}
+	// Sanity on the folded statistics themselves.
+	a := aggs[0]
+	if a.Successes == 0 || a.Successes == a.Completed {
+		t.Fatalf("degenerate success count %d/%d", a.Successes, a.Completed)
+	}
+	if a.TrialsToSuccess.N != a.Successes {
+		t.Fatalf("summary over %d samples, want %d", a.TrialsToSuccess.N, a.Successes)
+	}
+	s := a.TrialsToSuccess
+	if !(s.Min <= s.Median && s.Median <= s.P95 && s.P95 <= s.Max) {
+		t.Fatalf("order statistics out of order: %+v", s)
+	}
+	if rate := a.SuccessRate(); rate <= 0 || rate >= 1 {
+		t.Fatalf("success rate %f", rate)
+	}
+	if dr := a.DetectionRate(); dr <= 0 || dr >= 1 {
+		t.Fatalf("detection rate %f", dr)
+	}
+	if len(a.Outcomes) != 64 {
+		t.Fatalf("%d outcomes", len(a.Outcomes))
+	}
+	for i, out := range a.Outcomes {
+		if out.Rep != i {
+			t.Fatalf("outcome %d carries rep %d — not in replication order", i, out.Rep)
+		}
+	}
+}
+
+func TestCancellationReturnsPartialAggregates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed int32
+	agg, err := Run(ctx, Config{Replications: 8, Workers: 4, Seed: 7},
+		func(ctx context.Context, rep int, r *rng.Source) (Outcome, error) {
+			if rep < 3 {
+				out, _ := statRunner(ctx, rep, r)
+				if atomic.AddInt32(&completed, 1) == 3 {
+					cancel()
+				}
+				return out, nil
+			}
+			<-ctx.Done()
+			return Outcome{}, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if agg == nil {
+		t.Fatal("cancellation returned no aggregate")
+	}
+	if agg.Completed != 3 || agg.Requested != 8 {
+		t.Fatalf("partial aggregate %d/%d, want 3/8", agg.Completed, agg.Requested)
+	}
+	if len(agg.Outcomes) != 3 {
+		t.Fatalf("%d outcomes", len(agg.Outcomes))
+	}
+	if agg.Trials == 0 || agg.OracleCalls == 0 {
+		t.Fatal("partial aggregate lost its totals")
+	}
+}
+
+func TestOracleErrorsSurfacedNotCounted(t *testing.T) {
+	boom := errors.New("transport down")
+	agg, err := Run(context.Background(), Config{Replications: 6, Workers: 3, Seed: 5},
+		func(ctx context.Context, rep int, r *rng.Source) (Outcome, error) {
+			if rep == 2 || rep == 4 {
+				return Outcome{}, attack.WrapOracleErr(boom)
+			}
+			return statRunner(ctx, rep, r)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.OracleErrors != 2 {
+		t.Fatalf("OracleErrors = %d, want 2", agg.OracleErrors)
+	}
+	if !errors.Is(agg.OracleErr, boom) {
+		t.Fatalf("OracleErr = %v", agg.OracleErr)
+	}
+	if agg.Completed != 4 {
+		t.Fatalf("completed %d, want 4 (infra losses must not count)", agg.Completed)
+	}
+	for _, out := range agg.Outcomes {
+		if out.Rep == 2 || out.Rep == 4 {
+			t.Fatal("failed replication leaked into outcomes")
+		}
+	}
+}
+
+func TestFatalRunnerErrorAbortsCampaign(t *testing.T) {
+	boom := errors.New("logic bug")
+	agg, err := Run(context.Background(), Config{Replications: 32, Workers: 4, Seed: 3},
+		func(ctx context.Context, rep int, r *rng.Source) (Outcome, error) {
+			if rep == 1 {
+				return Outcome{}, boom
+			}
+			return statRunner(ctx, rep, r)
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fatal runner error", err)
+	}
+	if agg == nil || agg.Completed >= 32 {
+		t.Fatal("fatal error did not abort the campaign")
+	}
+}
+
+func TestConfigDefaultsAndSummaryEdge(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Replications != 1 || c.Workers != 1 {
+		t.Fatalf("defaults %+v", c)
+	}
+	if s := summarize(nil); s.N != 0 || s.Max != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := summarize([]float64{5})
+	if s.N != 1 || s.Min != 5 || s.Median != 5 || s.P95 != 5 || s.Max != 5 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+	s = summarize([]float64{4, 1, 3, 2})
+	if s.Min != 1 || s.Median != 2.5 || s.Max != 4 || s.P95 != 4 {
+		t.Fatalf("even summary %+v", s)
+	}
+}
+
+func TestRunnerInternalTimeoutDoesNotDeadlock(t *testing.T) {
+	// A runner leaking its own per-trial deadline while the campaign
+	// context is live must abort the campaign as a fatal error — not be
+	// mistaken for campaign cancellation (which would silently drop the
+	// replication and starve the feed loop).
+	done := make(chan struct{})
+	var agg *Aggregate
+	var err error
+	go func() {
+		defer close(done)
+		agg, err = Run(context.Background(), Config{Replications: 8, Workers: 2, Seed: 1},
+			func(ctx context.Context, rep int, r *rng.Source) (Outcome, error) {
+				if rep == 0 {
+					return Outcome{}, context.DeadlineExceeded
+				}
+				return statRunner(ctx, rep, r)
+			})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("campaign deadlocked on a runner-internal timeout")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the runner's leaked deadline surfaced as fatal", err)
+	}
+	if agg == nil || agg.Completed >= 8 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+}

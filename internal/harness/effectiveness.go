@@ -3,25 +3,39 @@ package harness
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/pssp"
 )
 
-// Effectiveness reproduces the paper's §VI-C attack experiment: run the
-// byte-by-byte attack against the Nginx and Ali server analogs compiled with
-// SSP and with P-SSP. The paper reports the attack succeeds on the SSP
-// builds and fails on the P-SSP builds.
+// Effectiveness reproduces the paper's §VI-C attack experiment as a
+// Monte-Carlo campaign: cfg.AttackReps independent replications of the
+// byte-by-byte attack against the Nginx and Ali server analogs compiled
+// with SSP and with P-SSP, each replication on a freshly derived victim
+// machine, sharded across cfg.Workers concurrent oracles. The paper reports
+// the attack succeeds on the SSP builds and fails on the P-SSP builds; the
+// campaign turns that into measured rates with trials-to-success order
+// statistics.
 func Effectiveness(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	ctx := context.Background()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	t := &Table{
-		Title:  "§VI-C: Byte-by-byte attack effectiveness (measured)",
-		Header: []string{"server", "scheme", "attack result", "trials", "failed at byte"},
+		Title: "§VI-C: Byte-by-byte attack-campaign effectiveness (measured)",
+		Header: []string{
+			"server", "scheme", "success rate", "verified", "trials-to-success (med)",
+			"detection rate", "replications",
+		},
 		Notes: []string{
 			"paper: attacks succeed on SSP-compiled Nginx/Ali, fail on P-SSP builds",
-			fmt.Sprintf("trial budget %d; SSP expectation ~1024 trials", cfg.AttackBudget),
+			fmt.Sprintf("trial budget %d per replication; SSP expectation ~1024 trials", cfg.AttackBudget),
+			fmt.Sprintf("%d replications per cell sharded over %d workers; aggregates are seed-deterministic at any worker count", cfg.AttackReps, workers),
+			"verified = recovered canary matches the victim's TLS canary (rules out lucky-survival false successes)",
 		},
 	}
 	for _, app := range apps.VulnServers() {
@@ -31,37 +45,45 @@ func Effectiveness(cfg Config) (*Table, error) {
 				pssp.WithScheme(scheme),
 				pssp.WithAttackBudget(cfg.AttackBudget),
 			)
-			srv, err := m.Pipeline().Compile(app.Prog).Serve(ctx)
+			img, err := m.Compile(app.Prog)
 			if err != nil {
 				return nil, err
 			}
-			res, err := srv.Attack(ctx, pssp.AttackConfig{BufLen: apps.VulnServerBufSize})
+			res, err := m.Campaign(ctx, img, pssp.CampaignConfig{
+				Replications: cfg.AttackReps,
+				Workers:      cfg.Workers,
+				Attack:       pssp.AttackConfig{BufLen: apps.VulnServerBufSize},
+			})
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("effectiveness: %s/%v: %w", app.Name, scheme, err)
 			}
-			verdict := "failed"
-			if res.Success {
-				// Verify the recovery is genuine, not a fluke of survival.
-				real, err := srv.Canary()
-				if err != nil {
-					return nil, err
-				}
-				if res.RecoveredWord() == real {
-					verdict = "canary recovered"
-				} else {
-					verdict = "false success"
-				}
+
+			// Trials cell: median trials-to-success where the attack won,
+			// mean trials spent per failed replication otherwise.
+			trialsVal := float64(res.Trials) / float64(res.Completed)
+			trialsCell := fmt.Sprintf("- (%.0f spent)", trialsVal)
+			if res.Successes > 0 {
+				trialsVal = res.TrialsToSuccess.Median
+				trialsCell = fmt.Sprintf("%.0f", trialsVal)
 			}
-			failedAt := "-"
-			if res.FailedAt >= 0 {
-				failedAt = fmt.Sprintf("%d", res.FailedAt)
+			verifiedCell := "-"
+			if res.Successes > 0 {
+				verifiedCell = fmt.Sprintf("%d/%d", res.VerifiedSuccesses, res.Successes)
 			}
 			t.Rows = append(t.Rows, []string{
-				app.Name, scheme.String(), verdict, fmt.Sprintf("%d", res.Trials), failedAt,
+				app.Name, scheme.String(),
+				fmt.Sprintf("%d/%d", res.Successes, res.Completed),
+				verifiedCell,
+				trialsCell,
+				fmt.Sprintf("%.3f", res.DetectionRate()),
+				fmt.Sprintf("%d", res.Completed),
 			})
 			key := app.Name + "/" + scheme.String()
-			t.set(key+"/success", boolToF(res.Success))
-			t.set(key+"/trials", float64(res.Trials))
+			t.set(key+"/success", res.SuccessRate())
+			t.set(key+"/verified", float64(res.VerifiedSuccesses))
+			t.set(key+"/trials", trialsVal)
+			t.set(key+"/detection", res.DetectionRate())
+			t.set(key+"/replications", float64(res.Completed))
 		}
 	}
 	return t, nil

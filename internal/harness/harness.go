@@ -15,8 +15,10 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/pssp"
 )
 
@@ -35,6 +37,14 @@ type Config struct {
 	DBQueries int
 	// AttackBudget bounds brute-force trials (default 4096).
 	AttackBudget int
+	// AttackReps is the number of independent attack-campaign replications
+	// behind each security cell (default 2). Every replication attacks a
+	// freshly derived victim machine; aggregates are seed-deterministic at
+	// any worker count.
+	AttackReps int
+	// Workers bounds campaign concurrency (default: GOMAXPROCS). It scales
+	// wall-clock time only, never results.
+	Workers int
 	// SpecRuns averages each SPEC measurement over this many runs
 	// (default 1; measurements are deterministic per seed anyway).
 	SpecRuns int
@@ -57,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AttackBudget == 0 {
 		c.AttackBudget = 4096
+	}
+	if c.AttackReps == 0 {
+		c.AttackReps = 2
 	}
 	if c.SpecRuns == 0 {
 		c.SpecRuns = 1
@@ -208,22 +221,39 @@ func overheadVs(got, base uint64) float64 {
 	return float64(got)/float64(base) - 1
 }
 
-// serverStats runs n requests against the server image on machine m and
-// returns average request cycles and the worker memory footprint in bytes.
+// serverStats measures the benign-load campaign of the paper's performance
+// tables: n replications of one request against the server image on machine
+// m, folded by the campaign engine into average request cycles plus the
+// worker memory footprint in bytes. The server is shared state, so the
+// campaign runs on a single worker — the request sequence (and therefore
+// every golden cycle count) is identical to the historical sequential loop.
 func serverStats(ctx context.Context, m *pssp.Machine, img *pssp.Image, request []byte, n int) (float64, int, error) {
 	srv, err := m.Serve(ctx, img)
 	if err != nil {
 		return 0, 0, err
 	}
 	footprint := srv.Footprint()
-	for i := 0; i < n; i++ {
+	agg, err := campaign.Run(ctx, campaign.Config{
+		Label:        "benign-load",
+		Replications: n,
+		Workers:      1, // shared fork server: replications must serialize
+	}, func(ctx context.Context, rep int, _ *rng.Source) (campaign.Outcome, error) {
 		resp, err := srv.Handle(ctx, request)
 		if err != nil {
-			return 0, 0, err
+			return campaign.Outcome{}, err
 		}
 		if resp.Crashed() {
-			return 0, 0, fmt.Errorf("harness: benign request crashed: %w", resp.Err)
+			return campaign.Outcome{}, fmt.Errorf("harness: benign request crashed: %w", resp.Err)
 		}
+		return campaign.Outcome{
+			Success: true, FailedAt: -1,
+			OracleCalls: 1,
+			Cycles:      resp.Cycles, Insts: resp.Insts,
+			Mem: footprint,
+		}, nil
+	})
+	if err != nil {
+		return 0, 0, err
 	}
-	return srv.AvgCycles(), footprint, nil
+	return agg.AvgCycles(), footprint, nil
 }

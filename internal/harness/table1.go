@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/pssp"
 )
 
@@ -138,7 +140,10 @@ func Table1(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// measureSecurityProfile runs the two security experiments for one scheme.
+// measureSecurityProfile runs the two security experiments for one scheme,
+// both as campaigns: a benign-load campaign on a shared server for the
+// correctness cell, and a replicated byte-by-byte attack campaign for the
+// BROP cell ("prevented" means no replication recovered a canary).
 func measureSecurityProfile(ctx context.Context, cfg Config, s core.Scheme) (bropPrevented, correct bool, err error) {
 	target := apps.VulnServers()[0] // nginx-vuln
 	img, err := compileStatic(target.Prog, s)
@@ -147,35 +152,40 @@ func measureSecurityProfile(ctx context.Context, cfg Config, s core.Scheme) (bro
 	}
 
 	// Correctness: benign requests must survive the child's return through
-	// inherited frames.
+	// inherited frames. The server is shared, so the campaign serializes.
 	m := cfg.machine(pssp.WithSeed(cfg.Seed + 1))
 	srv, err := m.Serve(ctx, img)
 	if err != nil {
 		return false, false, err
 	}
-	correct = true
-	for i := 0; i < 5; i++ {
+	benign, err := campaign.Run(ctx, campaign.Config{
+		Label:        "correctness",
+		Replications: 5,
+		Workers:      1,
+	}, func(ctx context.Context, rep int, _ *rng.Source) (campaign.Outcome, error) {
 		resp, err := srv.Handle(ctx, target.Request)
 		if err != nil {
-			return false, false, err
+			return campaign.Outcome{}, err
 		}
-		if resp.Crashed() {
-			correct = false
-			break
-		}
+		return campaign.Outcome{Success: !resp.Crashed(), OracleCalls: 1, Cycles: resp.Cycles}, nil
+	})
+	if err != nil {
+		return false, false, err
 	}
+	correct = benign.Successes == benign.Completed
 
-	// BROP prevention: fresh server, full byte-by-byte attack.
+	// BROP prevention: replicated byte-by-byte campaign against fresh
+	// victims derived from the attack machine's seed.
 	m2 := cfg.machine(pssp.WithSeed(cfg.Seed+2), pssp.WithAttackBudget(cfg.AttackBudget))
-	srv2, err := m2.Serve(ctx, img)
+	res, err := m2.Campaign(ctx, img, pssp.CampaignConfig{
+		Replications: cfg.AttackReps,
+		Workers:      cfg.Workers,
+		Attack:       pssp.AttackConfig{BufLen: apps.VulnServerBufSize},
+	})
 	if err != nil {
 		return false, false, err
 	}
-	res, err := srv2.Attack(ctx, pssp.AttackConfig{BufLen: apps.VulnServerBufSize})
-	if err != nil {
-		return false, false, err
-	}
-	return !res.Success, correct, nil
+	return res.Successes == 0, correct, nil
 }
 
 func yesNo(b bool) string {

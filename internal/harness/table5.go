@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/rng"
 )
 
 // probeProgram builds a minimal program whose main calls one protected
@@ -71,46 +73,51 @@ func Table5(cfg Config, sweep bool) (*Table, error) {
 			"deltas vs the unprotected build of the same single-call program",
 		},
 	}
-	add := func(label string, scheme core.Scheme, criticals int) error {
-		d, err := prologueEpilogueDelta(cfg, scheme, criticals)
-		if err != nil {
-			return err
-		}
-		t.Rows = append(t.Rows, []string{label, fmt.Sprintf("%d", d)})
-		t.set(label, float64(d))
-		return nil
+	type probe struct {
+		label     string
+		scheme    core.Scheme
+		criticals int
 	}
-	if err := add("p-ssp", core.SchemePSSP, 0); err != nil {
-		return nil, err
-	}
-	if err := add("p-ssp-nt", core.SchemePSSPNT, 0); err != nil {
-		return nil, err
-	}
-	if err := add("p-ssp-lv (2 vars)", core.SchemePSSPLV, 1); err != nil {
-		return nil, err
-	}
-	if err := add("p-ssp-lv (4 vars)", core.SchemePSSPLV, 3); err != nil {
-		return nil, err
-	}
-	if err := add("p-ssp-owf", core.SchemePSSPOWF, 0); err != nil {
-		return nil, err
-	}
-	// Context rows: the baselines' per-call cost under the same probe.
-	if err := add("ssp (context)", core.SchemeSSP, 0); err != nil {
-		return nil, err
-	}
-	if err := add("dynaguard (context)", core.SchemeDynaGuard, 0); err != nil {
-		return nil, err
-	}
-	if err := add("dcr (context)", core.SchemeDCR, 0); err != nil {
-		return nil, err
+	probes := []probe{
+		{"p-ssp", core.SchemePSSP, 0},
+		{"p-ssp-nt", core.SchemePSSPNT, 0},
+		{"p-ssp-lv (2 vars)", core.SchemePSSPLV, 1},
+		{"p-ssp-lv (4 vars)", core.SchemePSSPLV, 3},
+		{"p-ssp-owf", core.SchemePSSPOWF, 0},
+		// Context rows: the baselines' per-call cost under the same probe.
+		{"ssp (context)", core.SchemeSSP, 0},
+		{"dynaguard (context)", core.SchemeDynaGuard, 0},
+		{"dcr (context)", core.SchemeDCR, 0},
 	}
 	if sweep {
 		for v := 1; v <= 8; v++ {
-			if err := add(fmt.Sprintf("p-ssp-lv sweep %d criticals", v), core.SchemePSSPLV, v); err != nil {
-				return nil, err
-			}
+			probes = append(probes, probe{fmt.Sprintf("p-ssp-lv sweep %d criticals", v), core.SchemePSSPLV, v})
 		}
+	}
+
+	// The probes are independent measurements on private machines, so the
+	// campaign engine runs them as one sharded map: replication i measures
+	// probe i, and the outcomes come back in probe order at any worker
+	// count.
+	agg, err := campaign.Run(context.Background(), campaign.Config{
+		Label:        "table5-probes",
+		Replications: len(probes),
+		Workers:      cfg.Workers,
+		Seed:         cfg.Seed,
+	}, func(ctx context.Context, rep int, _ *rng.Source) (campaign.Outcome, error) {
+		d, err := prologueEpilogueDelta(cfg, probes[rep].scheme, probes[rep].criticals)
+		if err != nil {
+			return campaign.Outcome{}, err
+		}
+		return campaign.Outcome{Success: true, FailedAt: -1, Cycles: d}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range agg.Outcomes {
+		label := probes[out.Rep].label
+		t.Rows = append(t.Rows, []string{label, fmt.Sprintf("%d", out.Cycles)})
+		t.set(label, float64(out.Cycles))
 	}
 	return t, nil
 }

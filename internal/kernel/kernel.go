@@ -176,6 +176,22 @@ func New(seed uint64) *Kernel {
 	return &Kernel{rand: rng.New(seed), nextPID: 1, MaxInsts: 4 << 20, pool: &mem.BufPool{}}
 }
 
+// ReplicaSeeded returns a fresh kernel configured like k (engine,
+// instruction budget) running on its own entropy stream from the given
+// derived seed (callers mix (seed, stream) pairs with rng.Mix). This is
+// the multi-worker oracle path: a kernel is single-threaded by design (one
+// clock, one PID space, one buffer pool), so concurrent trial shards each
+// get their own replica instead of locking a shared machine. ReplicaSeeded
+// consumes none of k's entropy — the same seed always yields the same
+// replica, no matter when, or on how many workers, the replicas are
+// created.
+func (k *Kernel) ReplicaSeeded(seed uint64) *Kernel {
+	nk := New(seed)
+	nk.MaxInsts = k.MaxInsts
+	nk.Engine = k.Engine
+	return nk
+}
+
 // SpawnOpts configures process creation.
 type SpawnOpts struct {
 	// Libc is the shared C-library image for dynamically linked apps.

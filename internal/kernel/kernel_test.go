@@ -11,6 +11,7 @@ import (
 	"repro/internal/binfmt"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/rng"
 	"repro/internal/vm"
 )
 
@@ -632,5 +633,37 @@ spin:
 	}
 	if !errors.Is(p.CrashErr, vm.ErrBudget) {
 		t.Fatalf("crash error %v does not wrap vm.ErrBudget", p.CrashErr)
+	}
+}
+
+func TestReplicaDeterministicDerivedKernels(t *testing.T) {
+	k := New(77)
+	k.MaxInsts = 1 << 20
+	k.Engine = vm.EngineInterpreter
+	// Draw from the base kernel first: ReplicaSeeded must not depend on
+	// (or consume) the parent's entropy stream.
+	_ = k.rand.Uint64()
+
+	spawn := func(kk *Kernel) uint64 {
+		p, err := kk.Spawn(buildStatic(t, exitProg, "ssp"), SpawnOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := p.TLS().Canary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	a, b := k.ReplicaSeeded(rng.Mix(77, 3)), k.ReplicaSeeded(rng.Mix(77, 3))
+	if a.MaxInsts != k.MaxInsts || a.Engine != k.Engine {
+		t.Fatalf("replica dropped configuration: %+v", a)
+	}
+	if ca, cb := spawn(a), spawn(b); ca != cb {
+		t.Fatalf("same stream produced different canaries: %x vs %x", ca, cb)
+	}
+	if c0, c1 := spawn(k.ReplicaSeeded(rng.Mix(77, 0))), spawn(k.ReplicaSeeded(rng.Mix(77, 1))); c0 == c1 {
+		t.Fatal("distinct streams produced the same canary")
 	}
 }

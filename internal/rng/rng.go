@@ -21,6 +21,26 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Mix collapses a (seed, stream) pair into a single derived seed. It is a
+// pure function — no Source state is consumed — so any party that knows the
+// pair can re-derive the same seed, which is what makes sharded experiments
+// reproducible at any worker count: work unit i always draws from
+// NewStream(seed, i) no matter which worker runs it.
+func Mix(seed, stream uint64) uint64 {
+	// Two finalization rounds of splitmix64 over the pair; the golden-ratio
+	// multiplier separates stream indices that differ in low bits only.
+	z := seed ^ (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewStream returns the stream'th derived Source of seed: a deterministic
+// function of the pair, statistically independent across stream indices.
+func NewStream(seed, stream uint64) *Source {
+	return New(Mix(seed, stream))
+}
+
 // Uint64 returns the next value in the splitmix64 stream.
 //
 // splitmix64 is the generator recommended for seeding xoshiro-family PRNGs;

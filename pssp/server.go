@@ -7,6 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/rng"
 )
 
 // Server is a fork-per-request server: a parent process parked in accept(2)
@@ -109,9 +110,13 @@ const BackdoorMarker byte = apps.BackdoorMarker
 // saved-RBP in hijack payloads.
 const ScratchAddr uint64 = mem.DataBase + 0x2000
 
-// AttackConfig parameterizes Server.Attack. The zero value attacks the
-// built-in vulnerable servers under the machine's attack budget.
+// AttackConfig parameterizes Server.Attack. The zero value runs the
+// byte-by-byte attack against the built-in vulnerable servers under the
+// machine's attack budget.
 type AttackConfig struct {
+	// Strategy selects the adversary model by registry name (see
+	// AttackStrategies); empty means byte-by-byte.
+	Strategy string
 	// BufLen is the distance in bytes from the buffer start to the canary
 	// (default VulnServerBufSize).
 	BufLen int
@@ -131,33 +136,62 @@ type ctxOracle struct {
 	s   *Server
 }
 
-// Try implements attack.Oracle.
+// Try implements attack.Oracle. Transport failures are classified per
+// attack.WrapOracleErr so attack and campaign layers can tell
+// infrastructure errors from trial outcomes; cancellation passes through.
 func (o *ctxOracle) Try(payload []byte) (bool, error) {
 	out, err := o.s.srv.HandleContext(o.ctx, payload)
 	if err != nil {
-		return false, err
+		return false, attack.WrapOracleErr(err)
 	}
 	return !out.Crashed, nil
 }
 
-// Attack runs the paper's byte-by-byte canary brute-force (§II-B) against
-// this server, using worker survival as the oracle. On a static canary the
-// attacker's knowledge accumulates (~1024 expected trials); against
-// polymorphic canaries every fork refreshes the secret and the attack
-// stalls.
+// Attack runs one adversary replication against this server, using worker
+// survival as the oracle. The default strategy is the paper's byte-by-byte
+// canary brute-force (§II-B): on a static canary the attacker's knowledge
+// accumulates (~1024 expected trials); against polymorphic canaries every
+// fork refreshes the secret and the attack stalls. cfg.Strategy selects any
+// other registered adversary; randomized strategies draw their guesses
+// deterministically from the machine's seed. For replicated, parallel
+// attacks see Machine.Campaign.
 func (s *Server) Attack(ctx context.Context, cfg AttackConfig) (AttackResult, error) {
-	if cfg.BufLen == 0 {
-		cfg.BufLen = VulnServerBufSize
+	strat, acfg, err := s.m.resolveAttack(cfg)
+	if err != nil {
+		return AttackResult{}, err
 	}
-	if cfg.MaxTrials == 0 {
-		cfg.MaxTrials = s.m.cfg.attackBudget
+	return strat.Attack(ctx, &ctxOracle{ctx: ctx, s: s}, acfg,
+		rng.NewStream(s.m.cfg.seed, attackStream))
+}
+
+// resolveAttack resolves an AttackConfig against the machine's defaults —
+// the single defaulting point shared by Server.Attack and Machine.Campaign
+// so the two paths cannot drift: strategy by registry name (empty =
+// byte-by-byte), BufLen defaulting to VulnServerBufSize, MaxTrials to the
+// machine's attack budget.
+func (m *Machine) resolveAttack(cfg AttackConfig) (attack.Strategy, attack.Config, error) {
+	strat, err := attack.StrategyByName(cfg.Strategy)
+	if err != nil {
+		return nil, attack.Config{}, err
 	}
-	return attack.ByteByByte(&ctxOracle{ctx: ctx, s: s}, attack.Config{
+	acfg := attack.Config{
 		BufLen:    cfg.BufLen,
 		CanaryLen: cfg.CanaryLen,
 		MaxTrials: cfg.MaxTrials,
-	})
+	}
+	if acfg.BufLen == 0 {
+		acfg.BufLen = VulnServerBufSize
+	}
+	if acfg.MaxTrials == 0 {
+		acfg.MaxTrials = m.cfg.attackBudget
+	}
+	return strat, acfg, nil
 }
+
+// attackStream is the reserved entropy stream index for Server.Attack's
+// guess randomness, separated from process seeds so randomized strategies
+// never share a splitmix state with the victim.
+const attackStream = 0xa77ac4
 
 // HijackPayload builds the post-recovery exploitation payload: fill the
 // buffer, restore the recovered canary, plant a benign saved-RBP (use
