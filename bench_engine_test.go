@@ -137,6 +137,52 @@ func BenchmarkForkServerRequest(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadgen measures the virtual-time load-generation engine's
+// request throughput at 1 vs 4 shard executors: one op is a full open-loop
+// Poisson workload of 64 benign requests against P-SSP-compiled nginx
+// replicas (4 shards; compile hoisted out). The requests/sec metric is the
+// headline, and a fixed seed keeps the reports bit-identical across both
+// sub-benchmarks.
+func BenchmarkLoadgen(b *testing.B) {
+	ctx := context.Background()
+	img, err := pssp.NewMachine(pssp.WithScheme(pssp.SchemePSSP)).CompileApp("nginx")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sub-benchmark names stay dash-free: benchjson strips a trailing
+	// -N as the GOMAXPROCS suffix.
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"workers4", 4}} {
+		workers := cfg.workers
+		b.Run(cfg.name, func(b *testing.B) {
+			m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemePSSP))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var requests int
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				rep, err := m.LoadTest(ctx, img, pssp.WorkloadConfig{
+					Arrivals:      pssp.ArrivalsOpenPoisson,
+					RatePerMcycle: 100,
+					Requests:      64,
+					Shards:        4,
+					Workers:       workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Requests != 64 {
+					b.Fatalf("served %d/64", rep.Requests)
+				}
+				requests += rep.Requests
+			}
+			b.ReportMetric(float64(requests)/time.Since(start).Seconds(), "requests/sec")
+		})
+	}
+}
+
 // BenchmarkCampaign measures the Monte-Carlo campaign engine's trial
 // throughput at 1 vs N worker shards: one op is a full campaign of
 // byte-by-byte replications against P-SSP-compiled nginx victims (one

@@ -17,12 +17,12 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/pssp"
 )
 
@@ -86,10 +86,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "psspattack: %v\n", err)
-		os.Exit(1)
-	}
+	fail := func(err error) { cliutil.Fail("psspattack", err) }
 
 	s, err := pssp.ParseScheme(*scheme)
 	if err != nil {
@@ -146,9 +143,7 @@ func main() {
 				FailedAt: out.FailedAt, Restarts: out.Restarts,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := cliutil.EmitJSON(os.Stdout, rep); err != nil {
 			fail(err)
 		}
 		return

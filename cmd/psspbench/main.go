@@ -9,11 +9,14 @@
 //	psspbench -experiment effectiveness  # §VI-C attack experiment
 //	psspbench -experiment compat         # §VI-C compatibility experiment
 //	psspbench -experiment globalbuffer   # Figure 6 discussion variant
+//	psspbench -experiment underload      # tail latency under closed-loop load
+//	psspbench -all -json                 # machine-readable: JSON array of tables
 //
 // Scaling flags: -seed, -requests (web), -queries (db), -budget (attack
 // trials per replication), -attack-reps (campaign replications per security
 // cell), -workers (campaign shards; wall-clock only, results are
-// worker-count invariant).
+// worker-count invariant), -load-requests/-load-clients (under-load
+// experiment).
 package main
 
 import (
@@ -21,22 +24,26 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		table      = flag.Int("table", 0, "regenerate Table N (1-5)")
-		figure     = flag.Int("figure", 0, "regenerate Figure N (5)")
-		experiment = flag.String("experiment", "", "effectiveness | compat | globalbuffer | entropy | latency")
-		all        = flag.Bool("all", false, "run every experiment")
-		sweep      = flag.Bool("sweep", false, "with -table 5: sweep P-SSP-LV over 1..8 criticals")
-		seed       = flag.Uint64("seed", 2018, "experiment seed")
-		requests   = flag.Int("requests", 64, "web-server requests (Table III)")
-		queries    = flag.Int("queries", 16, "database queries (Table IV)")
-		budget     = flag.Int("budget", 4096, "attack trial budget per replication")
-		reps       = flag.Int("attack-reps", 2, "attack-campaign replications per security cell")
-		workers    = flag.Int("workers", 0, "campaign worker shards (0 = GOMAXPROCS; results are worker-count invariant)")
+		table        = flag.Int("table", 0, "regenerate Table N (1-5)")
+		figure       = flag.Int("figure", 0, "regenerate Figure N (5)")
+		experiment   = flag.String("experiment", "", "effectiveness | compat | globalbuffer | entropy | latency | underload")
+		all          = flag.Bool("all", false, "run every experiment")
+		sweep        = flag.Bool("sweep", false, "with -table 5: sweep P-SSP-LV over 1..8 criticals")
+		jsonOut      = flag.Bool("json", false, "emit the selected experiments as one JSON array")
+		seed         = flag.Uint64("seed", 2018, "experiment seed")
+		requests     = flag.Int("requests", 64, "web-server requests (Table III)")
+		queries      = flag.Int("queries", 16, "database queries (Table IV)")
+		budget       = flag.Int("budget", 4096, "attack trial budget per replication")
+		reps         = flag.Int("attack-reps", 2, "attack-campaign replications per security cell")
+		workers      = flag.Int("workers", 0, "campaign worker shards (0 = GOMAXPROCS; results are worker-count invariant)")
+		loadRequests = flag.Int("load-requests", 96, "under-load experiment request budget")
+		loadClients  = flag.Int("load-clients", 8, "under-load experiment closed-loop clients")
 	)
 	flag.Parse()
 
@@ -47,6 +54,8 @@ func main() {
 		AttackBudget: *budget,
 		AttackReps:   *reps,
 		Workers:      *workers,
+		LoadRequests: *loadRequests,
+		LoadClients:  *loadClients,
 	}
 
 	type driver struct {
@@ -65,6 +74,7 @@ func main() {
 		"globalbuffer":  {"Global buffer", harness.GlobalBuffer},
 		"entropy":       {"Entropy ablation", harness.EntropyAblation},
 		"latency":       {"Detection latency", harness.DetectionLatency},
+		"underload":     {"Overhead under load", harness.UnderLoad},
 	}
 
 	var selected []string
@@ -73,7 +83,7 @@ func main() {
 		selected = []string{
 			"table1", "table2", "table3", "table4", "table5",
 			"figure5", "effectiveness", "compat", "globalbuffer",
-			"entropy", "latency",
+			"entropy", "latency", "underload",
 		}
 	case *table >= 1 && *table <= 5:
 		selected = []string{fmt.Sprintf("table%d", *table)}
@@ -90,13 +100,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tables []*harness.Table
 	for _, name := range selected {
 		d := drivers[name]
 		t, err := d.run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "psspbench: %s: %v\n", d.name, err)
-			os.Exit(1)
+			cliutil.Fail("psspbench", fmt.Errorf("%s: %w", d.name, err))
+		}
+		if *jsonOut {
+			tables = append(tables, t)
+			continue
 		}
 		fmt.Println(t.Render())
+	}
+	if *jsonOut {
+		if err := cliutil.EmitJSON(os.Stdout, tables); err != nil {
+			cliutil.Fail("psspbench", err)
+		}
 	}
 }

@@ -1,0 +1,216 @@
+// Command psspload drives the virtual-time load-generation subsystem: it
+// boots replica fork-servers for a built-in app and pushes a traffic mix —
+// benign request classes, optionally interleaved with live attack-strategy
+// probes — through an open- or closed-loop arrival model, reporting
+// tail-latency histograms, offered-vs-achieved throughput, and per-class
+// crash/detection counters. All in victim cycles: for a fixed -seed the
+// report is bit-identical at any -workers count.
+//
+// Usage:
+//
+//	psspload -app nginx -arrivals poisson -rate 20 -requests 512
+//	psspload -app mysql -arrivals closed -clients 16 -think 5000
+//	psspload -app nginx-vuln -scheme p-ssp -mix 'benign:3,probe=adaptive:1'
+//	psspload -app nginx -arrivals uniform -rate 10 -sweep 0.5,1,2,4,8 -json
+//
+// The -mix grammar is comma-separated class:weight items, where a class is
+// either "benign" (the app's built-in request payload) or "probe=NAME" with
+// NAME a registered attack strategy (see psspattack's -strategy help).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/pssp"
+)
+
+// parseMix parses the -mix grammar into facade request classes.
+func parseMix(spec string) ([]pssp.RequestClass, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var mix []pssp.RequestClass
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(item, ":")
+		weight := 1
+		if hasWeight {
+			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("mix item %q: weight must be a positive integer", item)
+			}
+			weight = w
+		}
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "benign":
+			mix = append(mix, pssp.RequestClass{Name: "benign", Weight: weight})
+		case strings.HasPrefix(name, "probe="):
+			strat := strings.TrimPrefix(name, "probe=")
+			if strat == "" {
+				return nil, fmt.Errorf("mix item %q: empty probe strategy", item)
+			}
+			mix = append(mix, pssp.RequestClass{Weight: weight, Probe: strat})
+		default:
+			return nil, fmt.Errorf("mix item %q: class must be \"benign\" or \"probe=STRATEGY\"", item)
+		}
+	}
+	return mix, nil
+}
+
+// parseSweep parses the -sweep multiplier list.
+func parseSweep(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(spec, ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || !(m > 0) {
+			return nil, fmt.Errorf("sweep multiplier %q: want a positive number", s)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func us(cycles uint64) string {
+	return fmt.Sprintf("%.3f", float64(cycles)/pssp.CyclesPerMicrosecond)
+}
+
+func printReport(rep *pssp.LoadReport) {
+	fmt.Printf("%s: %s over %d shard(s)\n", rep.Label, rep.Arrivals, rep.Shards)
+	fmt.Printf("  requests %d (ok %d, crashes %d, detections %d), virtual duration %d cycles\n",
+		rep.Requests, rep.OK, rep.Crashes, rep.Detections, rep.DurationCycles)
+	fmt.Printf("  throughput: offered %.3f/Mcycle, achieved %.3f/Mcycle (efficiency %.3f), goodput %.3f/Mcycle\n",
+		rep.OfferedPerMcycle, rep.AchievedPerMcycle, rep.Efficiency(), rep.GoodputPerMcycle)
+	l := rep.Latency
+	fmt.Printf("  latency µs @3.5GHz: mean %.3f  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+		l.MeanCycles/pssp.CyclesPerMicrosecond, us(l.P50), us(l.P90), us(l.P99), us(l.P999), us(l.Max))
+	if rep.ProbeReplications > 0 {
+		fmt.Printf("  probes: %d attack replications completed, %d recovered the canary\n",
+			rep.ProbeReplications, rep.ProbeSuccesses)
+	}
+	for _, c := range rep.Classes {
+		fmt.Printf("  class %-12s %5d req, %4d crashes, %4d detections, p50 %s µs, p99 %s µs\n",
+			c.Name, c.Requests, c.Crashes, c.Detections, us(c.Latency.P50), us(c.Latency.P99))
+	}
+}
+
+func main() {
+	var (
+		app      = flag.String("app", "nginx", "built-in server app to load (see pssp.Apps)")
+		scheme   = flag.String("scheme", "p-ssp", "protection scheme of the servers")
+		mixSpec  = flag.String("mix", "benign:1", "traffic mix, e.g. 'benign:3,probe=adaptive:1'")
+		arrivals = flag.String("arrivals", "poisson", "arrival model: poisson | uniform | closed")
+		rate     = flag.Float64("rate", 10, "open-loop offered rate (requests per million victim cycles)")
+		clients  = flag.Int("clients", 8, "closed-loop client population")
+		think    = flag.Float64("think", 0, "closed-loop mean think time (cycles)")
+		requests = flag.Int("requests", 256, "total request budget (0 = duration-bounded)")
+		duration = flag.Uint64("duration", 0, "virtual-time horizon in cycles (0 = request-bounded)")
+		shards   = flag.Int("shards", 4, "replica servers the clients shard over (part of the scenario)")
+		workers  = flag.Int("workers", 0, "concurrent shard executors (0 = GOMAXPROCS; wall-clock only)")
+		budget   = flag.Int("budget", 64, "probe trials per attack replication")
+		sweep    = flag.String("sweep", "", "offered-load multipliers, e.g. '0.5,1,2,4' (locates the saturation knee)")
+		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	fail := func(err error) { cliutil.Fail("psspload", err) }
+
+	s, err := pssp.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fail(err)
+	}
+	var kind pssp.ArrivalKind
+	switch *arrivals {
+	case "poisson":
+		kind = pssp.ArrivalsOpenPoisson
+	case "uniform":
+		kind = pssp.ArrivalsOpenUniform
+	case "closed":
+		kind = pssp.ArrivalsClosedLoop
+	default:
+		fail(fmt.Errorf("unknown arrival model %q (want poisson, uniform or closed)", *arrivals))
+	}
+	multipliers, err := parseSweep(*sweep)
+	if err != nil {
+		fail(err)
+	}
+
+	m := pssp.NewMachine(
+		pssp.WithSeed(*seed),
+		pssp.WithScheme(s),
+		pssp.WithAttackBudget(*budget),
+	)
+	ctx := context.Background()
+	img, err := m.Pipeline().CompileApp(*app).Image()
+	if err != nil {
+		fail(err)
+	}
+	cfg := pssp.WorkloadConfig{
+		Label:          *app,
+		Mix:            mix,
+		Arrivals:       kind,
+		RatePerMcycle:  *rate,
+		Clients:        *clients,
+		ThinkCycles:    *think,
+		Requests:       *requests,
+		DurationCycles: *duration,
+		Shards:         *shards,
+		Workers:        *workers,
+		Seed:           *seed,
+	}
+
+	if len(multipliers) > 0 {
+		sw, err := m.LoadSweep(ctx, img, cfg, multipliers)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			if err := cliutil.EmitJSON(os.Stdout, sw); err != nil {
+				fail(err)
+			}
+			return
+		}
+		fmt.Printf("sweep %s (%s, scheme %s): %d points\n", *app, *arrivals, s, len(sw.Points))
+		for _, pt := range sw.Points {
+			rep := pt.Report
+			fmt.Printf("  x%-5g offered %8.3f/Mcycle  achieved %8.3f/Mcycle  eff %.3f  p99 %s µs\n",
+				pt.Multiplier, rep.OfferedPerMcycle, rep.AchievedPerMcycle,
+				rep.Efficiency(), us(rep.Latency.P99))
+		}
+		if sw.KneeMultiplier > 0 {
+			fmt.Printf("saturation knee: x%g (largest multiplier with efficiency >= %.2f)\n",
+				sw.KneeMultiplier, pssp.KneeEfficiency)
+		} else {
+			fmt.Println("saturation knee: not located (closed loop, or all points past the knee)")
+		}
+		return
+	}
+
+	rep, err := m.LoadTest(ctx, img, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		if err := cliutil.EmitJSON(os.Stdout, rep); err != nil {
+			fail(err)
+		}
+		return
+	}
+	printReport(rep)
+}

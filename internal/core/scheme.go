@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -92,7 +93,9 @@ func (s Scheme) Valid() bool {
 // ParseScheme resolves a name to a Scheme. Matching is case-insensitive,
 // ignores surrounding whitespace, and accepts the paper's undashed aliases
 // ("pssp" for "p-ssp", "psspowf" for "p-ssp-owf", ...). Candidates are
-// checked in declaration order, so resolution is deterministic.
+// checked in declaration order, so resolution is deterministic. The error
+// for an unknown name enumerates every accepted spelling, so a CLI typo is
+// self-correcting instead of a dead end.
 func ParseScheme(name string) (Scheme, error) {
 	n := strings.ToLower(strings.TrimSpace(name))
 	if canon, ok := schemeAliases[n]; ok {
@@ -103,7 +106,28 @@ func ParseScheme(name string) (Scheme, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown scheme %q", name)
+	return 0, fmt.Errorf("core: unknown scheme %q (schemes: %s; aliases: %s)",
+		name, strings.Join(SchemeNames(), ", "), strings.Join(schemeAliasNames(), ", "))
+}
+
+// SchemeNames returns the canonical scheme names in declaration order.
+func SchemeNames() []string {
+	ss := Schemes()
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = schemeNames[s]
+	}
+	return names
+}
+
+// schemeAliasNames returns the accepted alias spellings, sorted.
+func schemeAliasNames() []string {
+	names := make([]string, 0, len(schemeAliases))
+	for a := range schemeAliases {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Schemes returns all defined schemes in declaration order.

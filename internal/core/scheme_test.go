@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSchemeNamesRoundTrip(t *testing.T) {
 	for _, s := range Schemes() {
@@ -21,6 +24,32 @@ func TestParseSchemeUnknown(t *testing.T) {
 	}
 	if _, err := ParseScheme(""); err == nil {
 		t.Fatal("empty scheme parsed")
+	}
+}
+
+func TestParseSchemeErrorEnumeratesCandidates(t *testing.T) {
+	_, err := ParseScheme("stackguard-9000")
+	if err == nil {
+		t.Fatal("unknown scheme parsed")
+	}
+	msg := err.Error()
+	for _, want := range append(SchemeNames(), "pssp", "rafssp", "unprotected") {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not name candidate %q", msg, want)
+		}
+	}
+}
+
+func TestSchemeNamesMatchDeclarationOrder(t *testing.T) {
+	names := SchemeNames()
+	schemes := Schemes()
+	if len(names) != len(schemes) {
+		t.Fatalf("got %d names for %d schemes", len(names), len(schemes))
+	}
+	for i, s := range schemes {
+		if names[i] != s.String() {
+			t.Errorf("name %d = %q, want %q", i, names[i], s.String())
+		}
 	}
 }
 

@@ -23,8 +23,8 @@ import (
 )
 
 // CyclesPerMicrosecond converts simulated cycles to microseconds at the
-// paper's 3.5 GHz testbed clock.
-const CyclesPerMicrosecond = 3500.0
+// paper's 3.5 GHz testbed clock (the facade's canonical constant).
+const CyclesPerMicrosecond = pssp.CyclesPerMicrosecond
 
 // Config scales the experiments. The zero value gives fast defaults suitable
 // for `go test`; the psspbench CLI exposes flags to scale up.
@@ -48,6 +48,11 @@ type Config struct {
 	// SpecRuns averages each SPEC measurement over this many runs
 	// (default 1; measurements are deterministic per seed anyway).
 	SpecRuns int
+	// LoadRequests is the request budget of the under-load experiment
+	// (default 96); LoadClients its closed-loop client population
+	// (default 8). See UnderLoad.
+	LoadRequests int
+	LoadClients  int
 	// Engine selects the VM execution engine for every machine the drivers
 	// build. The zero value is the default decode-once engine
 	// (pssp.EnginePredecoded); the cross-engine golden tests run the full
@@ -74,18 +79,25 @@ func (c Config) withDefaults() Config {
 	if c.SpecRuns == 0 {
 		c.SpecRuns = 1
 	}
+	if c.LoadRequests == 0 {
+		c.LoadRequests = 96
+	}
+	if c.LoadClients == 0 {
+		c.LoadClients = 8
+	}
 	return c
 }
 
-// Table is a renderable experiment result.
+// Table is a renderable experiment result. The JSON tags are the CLIs'
+// machine-readable shape (psspbench -json).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 	// Values carries machine-readable results keyed by "row/column"-style
 	// paths, for tests and benchmarks.
-	Values map[string]float64
+	Values map[string]float64 `json:"values,omitempty"`
 }
 
 // Render formats the table as aligned text.

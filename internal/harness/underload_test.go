@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUnderLoadDeterministicAndSane(t *testing.T) {
+	cfg := Config{LoadRequests: 24, LoadClients: 4}
+	a, err := UnderLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnderLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("UnderLoad is not deterministic for a fixed config")
+	}
+	if len(a.Rows) != 6 { // 2 apps x 3 settings
+		t.Fatalf("rows %d, want 6", len(a.Rows))
+	}
+	for _, app := range []string{"nginx", "mysql"} {
+		for _, setting := range []string{"native", "compiler", "instrumented"} {
+			for _, metric := range []string{"p50", "p99", "p999", "goodput"} {
+				key := app + "/" + setting + "/" + metric
+				v, ok := a.Values[key]
+				if !ok || v <= 0 {
+					t.Errorf("value %q missing or non-positive (%v)", key, v)
+				}
+			}
+		}
+		// Think-time jitter varies the queue depth, so the tail must
+		// strictly exceed the median — if latency ever stopped including
+		// queueing delay, p99 would collapse onto p50.
+		if a.Values[app+"/native/p99"] <= a.Values[app+"/native/p50"] {
+			t.Errorf("%s: p99 (%v) not above p50 (%v): no queueing in the tail",
+				app, a.Values[app+"/native/p99"], a.Values[app+"/native/p50"])
+		}
+	}
+}

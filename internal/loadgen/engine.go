@@ -1,0 +1,486 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Outcome reports one served request from the engine's point of view.
+type Outcome struct {
+	// Cycles is the worker's service time in victim cycles.
+	Cycles uint64
+	// Crashed reports a dead worker; Detected the subset killed by a canary
+	// check (the defence observing the probe).
+	Crashed  bool
+	Detected bool
+}
+
+// Server is one shard's request sink: a booted fork-per-request server. The
+// engine calls Handle from a single goroutine per shard; the returned error
+// covers transport failures only (a crashed worker is an Outcome, not an
+// error), mirroring the facade's Server.Handle contract.
+type Server interface {
+	Handle(ctx context.Context, req []byte) (Outcome, error)
+}
+
+// Boot builds shard's private replica server. Like a campaign Runner it must
+// derive all shard-varying state from the shard index so the shard's
+// behaviour is independent of which worker executes it.
+type Boot func(ctx context.Context, shard int) (Server, error)
+
+// classTally accumulates one class's per-shard statistics.
+type classTally struct {
+	requests, crashes, detections int
+	probeReps, probeSuccesses     int
+	lat                           Hist
+}
+
+// shardStats is one shard's complete result.
+type shardStats struct {
+	requests, ok, crashes, detections int
+	makespan                          uint64
+	lat                               Hist
+	classes                           []classTally
+}
+
+// shardShare splits an aggregate count across shards: shard i of n gets the
+// i'th near-equal part of total.
+func shardShare(total, i, n int) int {
+	share := total / n
+	if i < total%n {
+		share++
+	}
+	return share
+}
+
+// expDraw samples an exponential with the given mean from r, as virtual
+// cycles (floored; a zero draw is allowed — coincident arrivals are ordered
+// by client index).
+func expDraw(r *rng.Source, mean float64) uint64 {
+	u := (float64(r.Uint64()>>11) + 0.5) / (1 << 53) // (0, 1)
+	return uint64(-mean * math.Log(u))
+}
+
+// runShard simulates one shard's clients in virtual time against srv.
+// The returned stats are valid even on error (partial, up to the failure).
+func runShard(ctx context.Context, cfg Config, shard int, srv Server) (st *shardStats, err error) {
+	r := rng.NewStream(cfg.Seed, uint64(shard))
+	st = &shardStats{classes: make([]classTally, len(cfg.Mix))}
+
+	// Weighted class picker.
+	totalWeight := 0
+	for _, cl := range cfg.Mix {
+		totalWeight += cl.Weight
+	}
+	pick := func() int {
+		n := r.Intn(totalWeight)
+		for i, cl := range cfg.Mix {
+			n -= cl.Weight
+			if n < 0 {
+				return i
+			}
+		}
+		return len(cfg.Mix) - 1 // unreachable
+	}
+
+	// Adversarial classes get a live strategy loop each; its probe/verdict
+	// handoff is synchronous with this goroutine, so the shard stays
+	// deterministic. The deferred stop also folds the replication counters
+	// in on early error returns.
+	probes := make([]*probeSource, len(cfg.Mix))
+	for i, cl := range cfg.Mix {
+		if cl.Probe != nil {
+			probes[i] = newProbeSource(ctx, cl.Probe, cl.ProbeCfg,
+				rng.Mix(rng.Mix(cfg.Seed, uint64(shard)), probeClassStream+uint64(i)))
+		}
+	}
+	defer func() {
+		for i, ps := range probes {
+			if ps != nil {
+				reps, succ := ps.stop()
+				st.classes[i].probeReps += reps
+				st.classes[i].probeSuccesses += succ
+			}
+		}
+	}()
+
+	budget := 0
+	if cfg.Requests > 0 {
+		budget = shardShare(cfg.Requests, shard, cfg.Shards)
+		if budget == 0 {
+			return st, nil
+		}
+	}
+
+	// free is the virtual time the shard's server next idles: fork-per-
+	// request workers of one simulated machine serialize, so a request
+	// arriving before free queues behind the one in flight.
+	var free uint64
+
+	serve := func(arrival uint64) error {
+		ci := pick()
+		payload := cfg.Mix[ci].Payload
+		if ps := probes[ci]; ps != nil {
+			p, err := ps.next(ctx)
+			if err != nil {
+				return err
+			}
+			payload = p
+		}
+		out, err := srv.Handle(ctx, payload)
+		if err != nil {
+			return err
+		}
+		if ps := probes[ci]; ps != nil {
+			if err := ps.observe(ctx, !out.Crashed); err != nil {
+				return err
+			}
+		}
+		start := arrival
+		if free > start {
+			start = free
+		}
+		completion := start + out.Cycles
+		free = completion
+		if completion > st.makespan {
+			st.makespan = completion
+		}
+		latency := completion - arrival
+
+		st.requests++
+		cl := &st.classes[ci]
+		cl.requests++
+		st.lat.Record(latency)
+		cl.lat.Record(latency)
+		if out.Crashed {
+			st.crashes++
+			cl.crashes++
+			if out.Detected {
+				st.detections++
+				cl.detections++
+			}
+		} else {
+			st.ok++
+		}
+		return nil
+	}
+
+	switch cfg.Arrivals.Kind {
+	case OpenPoisson, OpenUniform:
+		// Per-shard slice of the aggregate offered rate.
+		mean := 1e6 * float64(cfg.Shards) / cfg.Arrivals.RatePerMcycle
+		var clock uint64
+		for n := 0; budget == 0 || n < budget; n++ {
+			step := uint64(mean)
+			if cfg.Arrivals.Kind == OpenPoisson {
+				step = expDraw(r, mean)
+			}
+			clock += step
+			if cfg.DurationCycles > 0 && clock > cfg.DurationCycles {
+				break
+			}
+			if err := serve(clock); err != nil {
+				return st, err
+			}
+		}
+
+	case ClosedLoop:
+		clients := shardShare(cfg.Arrivals.Clients, shard, cfg.Shards)
+		if clients == 0 {
+			return st, nil
+		}
+		think := func() uint64 {
+			if cfg.Arrivals.ThinkCycles <= 0 {
+				return 0
+			}
+			return expDraw(r, cfg.Arrivals.ThinkCycles)
+		}
+		// Pending next-arrival events, earliest (time, client) first.
+		events := make(eventHeap, 0, clients)
+		for c := 0; c < clients; c++ {
+			events.push(clientEvent{at: think(), client: c})
+		}
+		for n := 0; budget == 0 || n < budget; n++ {
+			ev := events.pop()
+			if cfg.DurationCycles > 0 && ev.at > cfg.DurationCycles {
+				break
+			}
+			if err := serve(ev.at); err != nil {
+				return st, err
+			}
+			// The client thinks after its response completes (free is that
+			// completion: the serve it just triggered ran last).
+			events.push(clientEvent{at: free + think(), client: ev.client})
+		}
+	}
+	return st, nil
+}
+
+// probeClassStream offsets the entropy streams of per-class probe sources
+// from the shard's own arrival/mix stream.
+const probeClassStream = 0x10ad
+
+// clientEvent schedules client's next request at virtual time at.
+type clientEvent struct {
+	at     uint64
+	client int
+}
+
+// eventHeap is a binary min-heap of client events ordered by (at, client) —
+// the client-index tie-break keeps coincident arrivals deterministic.
+type eventHeap []clientEvent
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].client < h[j].client
+}
+
+func (h *eventHeap) push(ev clientEvent) {
+	*h = append(*h, ev)
+	for i := len(*h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() clientEvent {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Run executes the workload: cfg.Shards self-contained client shards, each
+// against its own boot'ed replica server, executed by cfg.Workers
+// goroutines and merged in shard order. For a fixed seed the Report is
+// bit-identical at any worker count.
+//
+// On cancellation Run returns the partial report of the work done so far
+// together with ctx.Err(). Any transport/boot error aborts the run and is
+// returned with the partial report.
+func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	stats := make([]*shardStats, cfg.Shards)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		fatalErr error
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				srv, err := boot(ctx, shard)
+				if err == nil {
+					var st *shardStats
+					st, err = runShard(ctx, cfg, shard, srv)
+					stats[shard] = st // partial shard results still merge
+				} else {
+					err = fmt.Errorf("loadgen: boot shard %d: %w", shard, err)
+				}
+				if err == nil {
+					continue
+				}
+				if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+					// The run itself was cancelled; stop claiming work. A
+					// cancellation-class error on a live ctx is a shard-
+					// internal failure and aborts the run below instead.
+					return
+				}
+				mu.Lock()
+				if fatalErr == nil {
+					fatalErr = err
+					cancel()
+				}
+				mu.Unlock()
+				return
+			}
+		}()
+	}
+feed:
+	for shard := 0; shard < cfg.Shards; shard++ {
+		select {
+		case jobs <- shard:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := merge(cfg, stats)
+	if fatalErr != nil {
+		return rep, fatalErr
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// merge folds per-shard stats (in shard order) into the final report.
+func merge(cfg Config, stats []*shardStats) *Report {
+	rep := &Report{
+		Label:    cfg.Label,
+		Arrivals: cfg.Arrivals.String(),
+		Shards:   cfg.Shards,
+	}
+	var all Hist
+	classes := make([]classTally, len(cfg.Mix))
+	for _, st := range stats {
+		if st == nil {
+			continue
+		}
+		rep.Requests += st.requests
+		rep.OK += st.ok
+		rep.Crashes += st.crashes
+		rep.Detections += st.detections
+		if st.makespan > rep.DurationCycles {
+			rep.DurationCycles = st.makespan
+		}
+		all.Merge(&st.lat)
+		for i := range classes {
+			c, s := &classes[i], &st.classes[i]
+			c.requests += s.requests
+			c.crashes += s.crashes
+			c.detections += s.detections
+			c.probeReps += s.probeReps
+			c.probeSuccesses += s.probeSuccesses
+			c.lat.Merge(&s.lat)
+		}
+	}
+	rep.Latency = all.Summary()
+	for i, cl := range cfg.Mix {
+		c := &classes[i]
+		rep.ProbeReplications += c.probeReps
+		rep.ProbeSuccesses += c.probeSuccesses
+		rep.Classes = append(rep.Classes, ClassStats{
+			Name:              cl.Name,
+			Requests:          c.requests,
+			Crashes:           c.crashes,
+			Detections:        c.detections,
+			ProbeReplications: c.probeReps,
+			ProbeSuccesses:    c.probeSuccesses,
+			Latency:           c.lat.Summary(),
+		})
+	}
+	// Throughput sums per-shard rates (shards are independent replica
+	// servers): this keeps an unloaded Poisson run's efficiency near 1,
+	// where dividing the total count by the slowest shard's makespan would
+	// systematically understate it.
+	for _, st := range stats {
+		if st == nil || st.makespan == 0 {
+			continue
+		}
+		scale := 1e6 / float64(st.makespan)
+		rep.AchievedPerMcycle += float64(st.requests) * scale
+		rep.GoodputPerMcycle += float64(st.ok) * scale
+	}
+	if cfg.Arrivals.Kind == ClosedLoop {
+		rep.OfferedPerMcycle = rep.AchievedPerMcycle
+	} else {
+		rep.OfferedPerMcycle = cfg.Arrivals.RatePerMcycle
+	}
+	return rep
+}
+
+// KneeEfficiency is the achieved/offered fraction below which a sweep point
+// counts as past the saturation knee.
+const KneeEfficiency = 0.95
+
+// SweepPoint is one offered-load step of a sweep.
+type SweepPoint struct {
+	// Multiplier scales the base scenario's load (open loop: the offered
+	// rate; closed loop: the client population).
+	Multiplier float64 `json:"multiplier"`
+	// Report is the point's full workload report.
+	Report *Report `json:"report"`
+}
+
+// SweepReport is an offered-load sweep: the same scenario run at each
+// multiplier, plus the located saturation knee.
+type SweepReport struct {
+	Label  string       `json:"label"`
+	Points []SweepPoint `json:"points"`
+	// KneeMultiplier is the largest multiplier whose achieved throughput
+	// kept up with offered load (efficiency >= KneeEfficiency). Open-loop
+	// scenarios only — a closed loop cannot overrun its servers, so there
+	// it stays 0.
+	KneeMultiplier float64 `json:"knee_multiplier"`
+}
+
+// RunSweep steps the scenario's offered load through the multipliers
+// (ascending; each point re-boots fresh shard servers via boot) and locates
+// the saturation knee. On error the points completed so far are returned
+// with it.
+func RunSweep(ctx context.Context, cfg Config, multipliers []float64, boot Boot) (*SweepReport, error) {
+	if len(multipliers) == 0 {
+		return nil, errors.New("loadgen: sweep needs at least one multiplier")
+	}
+	sw := &SweepReport{Label: cfg.Label}
+	for _, m := range multipliers {
+		if !(m > 0) {
+			return sw, fmt.Errorf("loadgen: non-positive sweep multiplier %g", m)
+		}
+		c := cfg
+		c.Label = fmt.Sprintf("%s x%g", cfg.Label, m)
+		if c.Arrivals.Kind == ClosedLoop {
+			c.Arrivals.Clients = int(math.Round(float64(cfg.Arrivals.Clients) * m))
+			if c.Arrivals.Clients < 1 {
+				c.Arrivals.Clients = 1
+			}
+		} else {
+			c.Arrivals.RatePerMcycle = cfg.Arrivals.RatePerMcycle * m
+		}
+		rep, err := Run(ctx, c, boot)
+		if err != nil {
+			return sw, err
+		}
+		sw.Points = append(sw.Points, SweepPoint{Multiplier: m, Report: rep})
+		if cfg.Arrivals.Kind != ClosedLoop &&
+			rep.Efficiency() >= KneeEfficiency && m > sw.KneeMultiplier {
+			sw.KneeMultiplier = m
+		}
+	}
+	return sw, nil
+}

@@ -1,0 +1,178 @@
+package loadgen
+
+import "math/bits"
+
+// Hist is a log-bucketed latency histogram in the HDR style: exact width-1
+// buckets for small values, then every power-of-two octave split into 32
+// linear sub-buckets, so any recorded value lands in a bucket whose upper
+// bound overstates it by at most 1/32 (~3.1%). Buckets are a fixed-size
+// array, so Record never allocates and Merge is a plain element-wise sum —
+// which is what makes sharded aggregation deterministic: merging per-shard
+// histograms in shard order yields bit-identical counts at any worker count.
+//
+// The zero value is an empty histogram ready for use. Hist is not safe for
+// concurrent use; each shard owns its own and the engine merges after the
+// workers drain.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+const (
+	// histExactMax is the first value that leaves the width-1 buckets:
+	// values below it are recorded exactly.
+	histExactMax = 64
+	// histSubBits gives 2^histSubBits linear sub-buckets per octave.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histBuckets covers the full uint64 range: 64 exact buckets plus 32
+	// sub-buckets for each octave [2^6, 2^64).
+	histBuckets = histExactMax + (64-6)*histSub
+)
+
+// bucketIdx maps a value to its bucket.
+func bucketIdx(v uint64) int {
+	if v < histExactMax {
+		return int(v)
+	}
+	k := bits.Len64(v) // v in [2^(k-1), 2^k), k >= 7
+	return histExactMax + (k-7)*histSub + int((v-1<<(k-1))>>(k-1-histSubBits))
+}
+
+// bucketMax returns the bucket's inclusive upper bound — the value quantiles
+// report for every sample in the bucket.
+func bucketMax(i int) uint64 {
+	if i < histExactMax {
+		return uint64(i)
+	}
+	oct := (i - histExactMax) / histSub
+	off := (i - histExactMax) % histSub
+	k := oct + 7
+	lower := uint64(1) << (k - 1)
+	width := uint64(1) << (k - 1 - histSubBits)
+	return lower + uint64(off+1)*width - 1
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v uint64) {
+	h.counts[bucketIdx(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of the recorded samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound of the
+// bucket holding the nearest-rank sample, clamped to the exact observed
+// min/max. Quantile(0) is the minimum, Quantile(1) the maximum.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(h.count) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketMax(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket: Count samples with values at
+// most Max (and above the previous bucket's Max).
+type Bucket struct {
+	Max   uint64 `json:"max"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Hist) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c != 0 {
+			out = append(out, Bucket{Max: bucketMax(i), Count: c})
+		}
+	}
+	return out
+}
+
+// LatencySummary is a histogram rendered for a report: sample count, exact
+// mean/min/max, the paper-style tail quantiles, and the non-empty buckets so
+// consumers can recompute any other quantile.
+type LatencySummary struct {
+	Count      uint64   `json:"count"`
+	MeanCycles float64  `json:"mean_cycles"`
+	Min        uint64   `json:"min_cycles"`
+	P50        uint64   `json:"p50_cycles"`
+	P90        uint64   `json:"p90_cycles"`
+	P99        uint64   `json:"p99_cycles"`
+	P999       uint64   `json:"p999_cycles"`
+	Max        uint64   `json:"max_cycles"`
+	Buckets    []Bucket `json:"buckets,omitempty"`
+}
+
+// Summary renders the histogram.
+func (h *Hist) Summary() LatencySummary {
+	return LatencySummary{
+		Count:      h.count,
+		MeanCycles: h.Mean(),
+		Min:        h.min,
+		P50:        h.Quantile(0.50),
+		P90:        h.Quantile(0.90),
+		P99:        h.Quantile(0.99),
+		P999:       h.Quantile(0.999),
+		Max:        h.max,
+		Buckets:    h.Buckets(),
+	}
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBucketRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	check := func(v uint64) {
+		i := bucketIdx(v)
+		hi := bucketMax(i)
+		if v > hi {
+			t.Fatalf("value %d above its bucket upper bound %d (bucket %d)", v, hi, i)
+		}
+		if i > 0 && bucketMax(i-1) >= v {
+			t.Fatalf("value %d not above previous bucket bound %d (bucket %d)", v, bucketMax(i-1), i)
+		}
+		// Relative error of the reported bound is at most one sub-bucket.
+		if v >= histExactMax && float64(hi-v) > float64(v)/float64(histSub)+1 {
+			t.Fatalf("value %d: bound %d overstates by %d (> %d)", v, hi, hi-v, v/histSub+1)
+		}
+	}
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+	}
+	for i := 0; i < 100000; i++ {
+		check(r.Uint64() >> uint(r.Intn(64)))
+	}
+	check(^uint64(0))
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+	// Log-bucketed: quantiles may overstate by at most one sub-bucket.
+	for _, q := range []struct {
+		q    float64
+		want uint64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {0.999, 999}} {
+		got := h.Quantile(q.q)
+		if got < q.want || float64(got-q.want) > float64(q.want)/histSub+1 {
+			t.Errorf("p%g = %d, want within one sub-bucket above %d", q.q*100, got, q.want)
+		}
+	}
+	if m := h.Mean(); m != 500.5 {
+		t.Errorf("mean = %g, want 500.5 (sum is exact)", m)
+	}
+}
+
+func TestHistMergeMatchesRecord(t *testing.T) {
+	var whole, a, b Hist
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		v := uint64(r.Intn(1 << 20))
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatal("merged histogram differs from direct recording")
+	}
+	var empty Hist
+	a.Merge(&empty)
+	if a != whole {
+		t.Fatal("merging an empty histogram changed the result")
+	}
+	empty.Merge(&whole)
+	if empty != whole {
+		t.Fatal("merging into an empty histogram lost samples")
+	}
+}
+
+func TestHistSummaryEmpty(t *testing.T) {
+	var h Hist
+	s := h.Summary()
+	if s.Count != 0 || s.P99 != 0 || s.Buckets != nil {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}

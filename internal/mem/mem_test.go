@@ -2,6 +2,7 @@ package mem
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -469,5 +470,198 @@ func TestLookupCacheSurvivesUnmappedProbe(t *testing.T) {
 	_ = v
 	if _, err := sp.ReadU64(0x1000); err != nil { // different segment than cached
 		t.Fatal(err)
+	}
+}
+
+// largeCOWSpace maps a lazily-materializing RW segment (4 chunks) filled
+// with a position-dependent pattern — the shape of the fork-server stacks
+// the loadgen path hammers.
+func largeCOWSpace(t *testing.T, pool *BufPool) (*Space, uint64, int) {
+	t.Helper()
+	sp := NewSpace()
+	if pool != nil {
+		sp.SetPool(pool)
+	}
+	const base, size = 0x100000, 4 * cowChunk
+	if _, err := sp.Map("stack", base, size, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	pattern := make([]byte, size)
+	for i := range pattern {
+		pattern[i] = byte(i * 31)
+	}
+	if err := sp.Write(base, pattern); err != nil {
+		t.Fatal(err)
+	}
+	return sp, base, size
+}
+
+func patternByte(i int) byte { return byte(i * 31) }
+
+// TestCOWWriteStraddlesChunkBoundary exercises the lazy-materialization
+// write path across a 4 KiB chunk boundary: the write must fill both
+// touched chunks from the shadow before mutating, leave every other chunk
+// lazily intact, and never leak into the parent.
+func TestCOWWriteStraddlesChunkBoundary(t *testing.T) {
+	sp, base, size := largeCOWSpace(t, nil)
+	child := sp.Clone()
+
+	// An 8-byte word straddling the chunk 0 / chunk 1 boundary.
+	straddle := base + cowChunk - 4
+	if err := child.WriteU64(straddle, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	got, err := child.ReadU64(straddle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x1122334455667788 {
+		t.Fatalf("straddling word read back %#x", got)
+	}
+	// A bulk write straddling the chunk 2 / chunk 3 boundary.
+	blob := []byte("straddling-bulk-write")
+	blobAddr := base + 3*cowChunk - 7
+	if err := child.Write(blobAddr, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every byte of the child outside the two writes must still match the
+	// parent pattern — including chunks never touched by a write, which
+	// materialize on this read.
+	for _, off := range []int{
+		0, 1, cowChunk - 5, cowChunk + 4, cowChunk + 100, // around the word
+		2*cowChunk - 1, 2 * cowChunk, // untouched middle chunk
+		3*cowChunk - 8, 3*cowChunk + len(blob) - 7, size - 1, // around the blob
+	} {
+		b, err := child.Read(base+uint64(off), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != patternByte(off) {
+			t.Fatalf("child byte %d = %#x, want pattern %#x", off, b[0], patternByte(off))
+		}
+	}
+	// The parent never sees either write.
+	pw, err := sp.ReadU64(straddle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [8]byte
+	for i := range want {
+		want[i] = patternByte(int(straddle-base) + i)
+	}
+	if pw != binary.LittleEndian.Uint64(want[:]) {
+		t.Fatalf("parent word at straddle = %#x, want pattern %#x", pw, binary.LittleEndian.Uint64(want[:]))
+	}
+	pb, err := sp.Read(blobAddr, len(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range pb {
+		if b != patternByte(int(blobAddr-base)+i) {
+			t.Fatalf("parent byte %d corrupted by child bulk write", int(blobAddr-base)+i)
+		}
+	}
+}
+
+// TestChunkBoundaryWriteInParentDoesNotLeakToChild is the mirror image:
+// after a clone, a parent-side straddling write must not become visible
+// through the child's lazily-filled chunks.
+func TestChunkBoundaryWriteInParentDoesNotLeakToChild(t *testing.T) {
+	sp, base, _ := largeCOWSpace(t, nil)
+	child := sp.Clone()
+	straddle := base + 2*cowChunk - 4
+	if err := sp.WriteU64(straddle, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := child.ReadU64(straddle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [8]byte
+	for i := range want {
+		want[i] = patternByte(int(straddle-base) + i)
+	}
+	if got != binary.LittleEndian.Uint64(want[:]) {
+		t.Fatalf("parent write leaked into child: %#x", got)
+	}
+}
+
+// TestReleaseRecyclesBuffersWithoutLeak is the fork-server worker loop in
+// miniature: worker 1 materializes its stack via the pool, scribbles over
+// all of it, and dies (Release); worker 2 then forks from the same parent
+// and must see the parent's bytes — never worker 1's — even though its
+// materialization buffer is worker 1's recycled, dirty one.
+func TestReleaseRecyclesBuffersWithoutLeak(t *testing.T) {
+	pool := &BufPool{}
+	sp, base, size := largeCOWSpace(t, pool)
+
+	w1 := sp.Clone()
+	junk := make([]byte, size)
+	for i := range junk {
+		junk[i] = 0xEE
+	}
+	if err := w1.Write(base, junk); err != nil {
+		t.Fatal(err)
+	}
+	w1.Release()
+	if len(pool.bufs) != 1 {
+		t.Fatalf("pool holds %d buffers after Release, want 1", len(pool.bufs))
+	}
+
+	w2 := sp.Clone()
+	// One-byte write forces materialization — taking worker 1's dirty
+	// buffer from the pool — and fills only that chunk.
+	if err := w2.Write(base+10, []byte{0x5A}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.bufs) != 0 {
+		t.Fatalf("pool holds %d buffers after reuse, want 0", len(pool.bufs))
+	}
+	// Every byte of worker 2 — written chunk and lazily-filled ones alike —
+	// must be the parent pattern (or the fresh write), never 0xEE.
+	got, err := w2.Read(base, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := patternByte(i)
+		if i == 10 {
+			want = 0x5A
+		}
+		if b != want {
+			t.Fatalf("worker 2 byte %d = %#x, want %#x (dirty pooled buffer leaked)", i, b, want)
+		}
+	}
+	// The parent still has its pattern at the probed offsets.
+	pb, err := sp.Read(base+10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb[0] != patternByte(10) {
+		t.Fatalf("parent corrupted: byte 10 = %#x", pb[0])
+	}
+}
+
+// TestReleaseSkipsSharedSegments: a worker that dies without writing still
+// shares every backing with its parent; Release must neither pool those
+// shared buffers nor disturb the parent.
+func TestReleaseSkipsSharedSegments(t *testing.T) {
+	pool := &BufPool{}
+	sp, base, _ := largeCOWSpace(t, pool)
+	w := sp.Clone()
+	w.Release()
+	if len(pool.bufs) != 0 {
+		t.Fatalf("pool holds %d buffers from a write-free worker, want 0", len(pool.bufs))
+	}
+	b, err := sp.Read(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != patternByte(0) {
+		t.Fatalf("parent byte 0 = %#x after releasing a shared child", b[0])
+	}
+	if _, err := w.Read(base, 1); err == nil {
+		t.Fatal("released space still readable")
 	}
 }

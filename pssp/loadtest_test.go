@@ -1,0 +1,221 @@
+package pssp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// loadWorkloads are the acceptance scenarios: an open-loop benign mix and a
+// mixed benign+adaptive-probe workload, both small enough for `go test`.
+func loadWorkloads() map[string]struct {
+	app string
+	cfg WorkloadConfig
+} {
+	return map[string]struct {
+		app string
+		cfg WorkloadConfig
+	}{
+		"open-benign": {
+			app: "nginx",
+			cfg: WorkloadConfig{
+				Arrivals:      ArrivalsOpenPoisson,
+				RatePerMcycle: 20,
+				Requests:      32,
+				Shards:        4,
+				Seed:          2018,
+			},
+		},
+		"mixed-attack-under-load": {
+			app: "nginx-vuln",
+			cfg: WorkloadConfig{
+				Mix: []RequestClass{
+					{Name: "benign", Weight: 3, Payload: []byte("GET /")},
+					{Name: "probe", Weight: 1, Probe: "adaptive"},
+				},
+				Arrivals:    ArrivalsClosedLoop,
+				Clients:     4,
+				ThinkCycles: 2000,
+				Requests:    32,
+				Shards:      4,
+				Seed:        2018,
+				Attack:      AttackConfig{MaxTrials: 16},
+			},
+		},
+	}
+}
+
+// TestLoadTestDeterministicAcrossWorkerCounts is the tentpole acceptance
+// check: same seed, bit-identical LoadReport (histogram buckets, throughput,
+// per-class counters) at worker counts 1, 4 and 16, for both an open-loop
+// benign mix and a mixed benign+adaptive scenario on real VM servers.
+func TestLoadTestDeterministicAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	for name, sc := range loadWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := NewMachine(WithSeed(2018), WithScheme(SchemePSSP))
+			img, err := m.CompileApp(sc.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var reports []*LoadReport
+			for _, workers := range []int{1, 4, 16} {
+				cfg := sc.cfg
+				cfg.Workers = workers
+				rep, err := m.LoadTest(ctx, img, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if rep.Requests != cfg.Requests {
+					t.Fatalf("workers=%d: served %d, want %d", workers, rep.Requests, cfg.Requests)
+				}
+				reports = append(reports, rep)
+			}
+			for i := 1; i < len(reports); i++ {
+				if !reflect.DeepEqual(reports[0], reports[i]) {
+					t.Errorf("report at workers=%d differs from workers=1:\n%+v\nvs\n%+v",
+						[]int{1, 4, 16}[i], reports[i], reports[0])
+				}
+			}
+		})
+	}
+}
+
+func TestLoadTestDefaultsToAppRequest(t *testing.T) {
+	ctx := context.Background()
+	m := NewMachine(WithSeed(7))
+	img, err := m.CompileApp("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.LoadTest(ctx, img, WorkloadConfig{
+		Arrivals: ArrivalsClosedLoop,
+		Requests: 8,
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 1 || rep.Classes[0].Name != "benign" {
+		t.Fatalf("default mix classes: %+v", rep.Classes)
+	}
+	if rep.Crashes != 0 || rep.OK != 8 {
+		t.Fatalf("benign load crashed: %+v", rep)
+	}
+	if rep.Latency.Count != 8 || rep.Latency.P50 == 0 {
+		t.Fatalf("latency summary empty: %+v", rep.Latency)
+	}
+	if rep.GoodputPerMcycle <= 0 || rep.DurationCycles == 0 {
+		t.Fatalf("throughput not computed: %+v", rep)
+	}
+}
+
+func TestLoadTestAttackUnderLoadCounters(t *testing.T) {
+	ctx := context.Background()
+	m := NewMachine(WithSeed(2018), WithScheme(SchemePSSP))
+	img, err := m.CompileApp("nginx-vuln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.LoadTest(ctx, img, WorkloadConfig{
+		Mix: []RequestClass{
+			{Name: "benign", Weight: 1, Payload: []byte("GET /")},
+			{Weight: 2, Probe: "byte-by-byte"},
+		},
+		Arrivals:      ArrivalsOpenUniform,
+		RatePerMcycle: 50,
+		Requests:      36,
+		Shards:        3,
+		Attack:        AttackConfig{MaxTrials: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benign, probe *LoadReportClass
+	for i := range rep.Classes {
+		switch rep.Classes[i].Name {
+		case "benign":
+			benign = &rep.Classes[i]
+		case "byte-by-byte": // name defaulted from the strategy
+			probe = &rep.Classes[i]
+		}
+	}
+	if benign == nil || probe == nil {
+		t.Fatalf("class breakdown missing entries: %+v", rep.Classes)
+	}
+	if benign.Crashes != 0 {
+		t.Errorf("benign traffic crashed %d times under P-SSP", benign.Crashes)
+	}
+	// P-SSP re-randomizes per fork: essentially every probe must crash and
+	// be classified as a canary detection.
+	if probe.Crashes == 0 {
+		t.Error("no probe crashed against the polymorphic canary")
+	}
+	if probe.Detections == 0 {
+		t.Error("probe crashes not classified as canary detections")
+	}
+	if rep.Crashes != probe.Crashes+benign.Crashes {
+		t.Errorf("total crashes %d != class sum %d", rep.Crashes, probe.Crashes+benign.Crashes)
+	}
+	// 8-trial replications complete constantly; none can recover an 8-byte
+	// polymorphic canary.
+	if rep.ProbeReplications == 0 {
+		t.Error("no probe replication completed")
+	}
+	if rep.ProbeSuccesses != 0 {
+		t.Errorf("%d probe successes against P-SSP within 8 trials", rep.ProbeSuccesses)
+	}
+}
+
+func TestLoadSweepOnRealServers(t *testing.T) {
+	ctx := context.Background()
+	m := NewMachine(WithSeed(11), WithScheme(SchemePSSP))
+	img, err := m.CompileApp("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := m.LoadSweep(ctx, img, WorkloadConfig{
+		Arrivals:      ArrivalsOpenUniform,
+		RatePerMcycle: 0.05, // far under capacity at 1x
+		Requests:      12,
+		Shards:        2,
+	}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("points %d, want 2", len(sw.Points))
+	}
+	if sw.KneeMultiplier < 1 {
+		t.Errorf("knee %g, want >= 1 for an underloaded sweep", sw.KneeMultiplier)
+	}
+}
+
+func TestWorkloadConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	m := NewMachine()
+	img, err := m.CompileApp("nginx-vuln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []WorkloadConfig{
+		{Mix: []RequestClass{{Name: "x", Payload: []byte("p"), Probe: "adaptive"}}, Requests: 1}, // both payload and probe
+		{Mix: []RequestClass{{Name: "x", Probe: "no-such-strategy"}}, Requests: 1},               // unknown strategy
+		{Attack: AttackConfig{Strategy: "adaptive"}, Requests: 1},                                // strategy on the frame config
+		{Arrivals: ArrivalsOpenPoisson, Requests: 1},                                             // open loop without rate
+	}
+	for i, cfg := range cases {
+		if _, err := m.LoadTest(ctx, img, cfg); err == nil {
+			t.Errorf("case %d: invalid workload accepted", i)
+		}
+	}
+	// Batch apps have no benign request to default to.
+	batch, err := m.CompileApp("403.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadTest(ctx, batch, WorkloadConfig{Requests: 1}); err == nil {
+		t.Error("defaulted a mix for a batch app with no request payload")
+	}
+}

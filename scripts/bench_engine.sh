@@ -1,19 +1,24 @@
 #!/usr/bin/env sh
 # Regenerates BENCH_engine.json: runs the execution-engine micro-benchmarks
-# (fork clone, step loop, fork-server request, campaign throughput) with
-# -benchmem and appends a labelled run to the document, preserving earlier
-# PRs' entries so the perf trajectory stays visible in one file.
+# (fork clone, step loop, fork-server request, campaign and loadgen
+# throughput) with -benchmem and appends a labelled run to the document,
+# preserving earlier PRs' entries so the perf trajectory stays visible in
+# one file.
 #
 #   scripts/bench_engine.sh [label]
 #
 # BENCHTIME overrides the fixed iteration count (default 400x).
 set -e
 cd "$(dirname "$0")/.."
+if [ "$#" -ge 1 ] && [ -z "$1" ]; then
+	echo "bench_engine.sh: empty label argument (omit it for \"current\", or pass a real label)" >&2
+	exit 2
+fi
 label="${1:-current}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 go test -run '^$' \
-	-bench 'BenchmarkForkClone|BenchmarkStepLoop|BenchmarkForkServerRequest|BenchmarkCampaign' \
+	-bench 'BenchmarkForkClone|BenchmarkStepLoop|BenchmarkForkServerRequest|BenchmarkCampaign|BenchmarkLoadgen' \
 	-benchmem -benchtime "${BENCHTIME:-400x}" . | tee /dev/stderr |
 	go run ./scripts/benchjson -label "$label" -in BENCH_engine.json >"$tmp"
 mv "$tmp" BENCH_engine.json
