@@ -1,9 +1,10 @@
 package repro
 
-// Micro-benchmarks of the execution engine (decode-once refactor) and the
-// Monte-Carlo campaign engine. Run them with
+// Micro-benchmarks of the execution engine (decode-once refactor), the
+// Monte-Carlo campaign engine, the load generator and the fuzzer. Run them
+// with
 //
-//	go test -run '^$' -bench 'ForkClone|StepLoop|ForkServerRequest|Campaign' -benchmem .
+//	go test -run '^$' -bench 'ForkClone|StepLoop|ForkServerRequest|Campaign|Loadgen|Fuzz' -benchmem .
 //
 // or via scripts/bench_engine.sh, which records the results in
 // BENCH_engine.json so the perf trajectory is tracked across PRs. The
@@ -179,6 +180,50 @@ func BenchmarkLoadgen(b *testing.B) {
 				requests += rep.Requests
 			}
 			b.ReportMetric(float64(requests)/time.Since(start).Seconds(), "requests/sec")
+		})
+	}
+}
+
+// BenchmarkFuzz measures the coverage-guided fuzzer's execution throughput
+// at 1 vs 4 shard executors: one op is a full fuzzing run of 256 mutations
+// against SSP-compiled nginx-vuln victims (4 shards, compile hoisted out) —
+// fork, coverage-instrumented request, per-request map scan, triage. The
+// execs/sec metric is the headline, and a fixed seed keeps the reports
+// bit-identical across both sub-benchmarks.
+func BenchmarkFuzz(b *testing.B) {
+	ctx := context.Background()
+	img, err := pssp.NewMachine(pssp.WithScheme(pssp.SchemeSSP)).CompileApp("nginx-vuln")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sub-benchmark names stay dash-free: benchjson strips a trailing
+	// -N as the GOMAXPROCS suffix.
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"workers4", 4}} {
+		workers := cfg.workers
+		b.Run(cfg.name, func(b *testing.B) {
+			m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemeSSP))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var execs int
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				rep, err := m.Fuzz(ctx, img, pssp.FuzzConfig{
+					Execs:   256,
+					Shards:  4,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Findings) == 0 {
+					b.Fatal("fuzzer found nothing")
+				}
+				execs += rep.Execs
+			}
+			b.ReportMetric(float64(execs)/time.Since(start).Seconds(), "execs/sec")
 		})
 	}
 }

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/harness"
@@ -32,7 +34,7 @@ func main() {
 	var (
 		table        = flag.Int("table", 0, "regenerate Table N (1-5)")
 		figure       = flag.Int("figure", 0, "regenerate Figure N (5)")
-		experiment   = flag.String("experiment", "", "effectiveness | compat | globalbuffer | entropy | latency | underload")
+		experiment   = flag.String("experiment", "", "effectiveness | compat | globalbuffer | entropy | latency | underload | fuzzdiscovery")
 		all          = flag.Bool("all", false, "run every experiment")
 		sweep        = flag.Bool("sweep", false, "with -table 5: sweep P-SSP-LV over 1..8 criticals")
 		jsonOut      = flag.Bool("json", false, "emit the selected experiments as one JSON array")
@@ -75,6 +77,7 @@ func main() {
 		"entropy":       {"Entropy ablation", harness.EntropyAblation},
 		"latency":       {"Detection latency", harness.DetectionLatency},
 		"underload":     {"Overhead under load", harness.UnderLoad},
+		"fuzzdiscovery": {"Fuzz discovery", harness.FuzzDiscovery},
 	}
 
 	var selected []string
@@ -83,7 +86,7 @@ func main() {
 		selected = []string{
 			"table1", "table2", "table3", "table4", "table5",
 			"figure5", "effectiveness", "compat", "globalbuffer",
-			"entropy", "latency", "underload",
+			"entropy", "latency", "underload", "fuzzdiscovery",
 		}
 	case *table >= 1 && *table <= 5:
 		selected = []string{fmt.Sprintf("table%d", *table)}
@@ -91,7 +94,15 @@ func main() {
 		selected = []string{"figure5"}
 	case *experiment != "":
 		if _, ok := drivers[*experiment]; !ok {
-			fmt.Fprintf(os.Stderr, "psspbench: unknown experiment %q\n", *experiment)
+			// List every valid name so the fix is discoverable from the
+			// message alone, mirroring core.ParseScheme's error.
+			names := make([]string, 0, len(drivers))
+			for name := range drivers {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "psspbench: unknown experiment %q (have %s)\n",
+				*experiment, strings.Join(names, ", "))
 			os.Exit(2)
 		}
 		selected = []string{*experiment}

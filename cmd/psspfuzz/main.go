@@ -1,0 +1,131 @@
+// Command psspfuzz drives the coverage-guided fuzzing subsystem: it boots
+// replica fork-servers for a built-in app with the VM's edge-coverage map
+// enabled, mutates a seed corpus over sharded deterministic streams, and
+// reports the coverage frontier, the admitted corpus, and the deduplicated,
+// minimized crash findings — including the buffer length each overflow
+// finding hands to the attack layer (psspattack/Machine.Campaign).
+//
+// Usage:
+//
+//	psspfuzz -app nginx-vuln -scheme ssp -execs 4096
+//	psspfuzz -app ali-vuln -scheme ssp -seed 7 -workers 8 -json
+//	psspfuzz -app nginx-vuln -corpus 'GET /:2,PING' -dict 'Host:,HTTP/1.1'
+//	psspfuzz -app nginx-vuln -duration 10s
+//
+// -corpus and -dict use the shared weighted-spec grammar of psspload's -mix
+// ("item" or "item:weight" entries, comma-separated); a corpus/dict weight
+// replicates the entry, biasing uniform draws toward it. For a fixed -seed
+// an exec-bounded run's report is bit-identical at any -workers count;
+// -duration time-boxes the run in wall-clock time instead, trading that
+// determinism for a budget in seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/pssp"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "nginx-vuln", "built-in server app to fuzz (see pssp.Apps)")
+		scheme   = flag.String("scheme", "ssp", "protection scheme of the victim servers")
+		corpus   = flag.String("corpus", "", "seed corpus spec, e.g. 'GET /:2,PING' (empty = the app's built-in request)")
+		dict     = flag.String("dict", "", "mutation dictionary spec, e.g. 'Host:,HTTP/1.1:2'")
+		execs    = flag.Int("execs", 4096, "total mutation budget across shards")
+		duration = flag.Duration("duration", 0, "wall-clock time box (0 = exec-bounded only; a timed run's report is partial, not worker-invariant)")
+		shards   = flag.Int("shards", 4, "self-contained fuzzing shards, one replica victim each (part of the scenario)")
+		workers  = flag.Int("workers", 0, "concurrent shard executors (0 = GOMAXPROCS; wall-clock only)")
+		maxIn    = flag.Int("max-input", 1024, "generated input length cap in bytes")
+		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	fail := func(err error) { cliutil.Fail("psspfuzz", err) }
+
+	s, err := pssp.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
+	seeds, err := cliutil.ParseByteItems(*corpus)
+	if err != nil {
+		fail(fmt.Errorf("corpus %w", err))
+	}
+	tokens, err := cliutil.ParseByteItems(*dict)
+	if err != nil {
+		fail(fmt.Errorf("dict %w", err))
+	}
+
+	m := pssp.NewMachine(pssp.WithSeed(*seed), pssp.WithScheme(s))
+	ctx := context.Background()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	img, err := m.Pipeline().CompileApp(*app).Image()
+	if err != nil {
+		fail(err)
+	}
+	rep, err := m.Fuzz(ctx, img, pssp.FuzzConfig{
+		Seeds:    seeds,
+		Dict:     tokens,
+		Execs:    *execs,
+		Shards:   *shards,
+		Workers:  *workers,
+		Seed:     *seed,
+		MaxInput: *maxIn,
+	})
+	timedOut := false
+	if err != nil {
+		// A -duration deadline is the requested time box, not a failure:
+		// report the partial result like a stopped fuzzing session. The
+		// check is on the returned error, not ctx.Err() — a genuine fatal
+		// error that lands after the deadline must still fail loudly.
+		if *duration > 0 && errors.Is(err, context.DeadlineExceeded) && rep != nil {
+			timedOut = true
+		} else {
+			fail(err)
+		}
+	}
+
+	if *jsonOut {
+		// A completed run keeps the bare FuzzReport shape; a time-boxed
+		// partial adds "timed_out": true so scripts cannot mistake a
+		// truncated frontier for a full one.
+		out := struct {
+			*pssp.FuzzReport
+			TimedOut bool `json:"timed_out,omitempty"`
+		}{rep, timedOut}
+		if err := cliutil.EmitJSON(os.Stdout, out); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Printf("%s (scheme %s): %d execs over %d shard(s)", rep.Label, s, rep.Execs, rep.Shards)
+	if timedOut {
+		fmt.Printf(" [time box %v hit]", *duration)
+	}
+	fmt.Println()
+	fmt.Printf("  coverage: %d edges (frontier %016x), corpus %d entries\n",
+		rep.Edges, rep.CoverageHash, rep.CorpusSize)
+	fmt.Printf("  crashes: %d executions, %d unique site(s)", rep.Crashes, len(rep.Findings))
+	if rep.ExecsToFirstCrash > 0 {
+		fmt.Printf(", first at exec %d", rep.ExecsToFirstCrash)
+	}
+	fmt.Println()
+	for i, f := range rep.Findings {
+		kind := f.Kind
+		if f.Detected {
+			kind = "canary-detected: " + kind
+		}
+		fmt.Printf("  finding %d: rip=0x%x %s\n", i, f.CrashPC, kind)
+		fmt.Printf("    shard %d exec %d, input %d bytes, minimized %d bytes -> overflow after %d bytes\n",
+			f.Shard, f.Exec, len(f.Input), len(f.Minimized), f.OverflowLen())
+	}
+}

@@ -15,7 +15,9 @@
 //
 // The -mix grammar is comma-separated class:weight items, where a class is
 // either "benign" (the app's built-in request payload) or "probe=NAME" with
-// NAME a registered attack strategy (see psspattack's -strategy help).
+// NAME a registered attack strategy (see psspattack's -strategy help). It is
+// parsed by the shared cliutil.ParseMix, the same weighted-spec grammar
+// psspfuzz's -corpus/-dict flags use.
 package main
 
 import (
@@ -29,43 +31,6 @@ import (
 	"repro/internal/cliutil"
 	"repro/pssp"
 )
-
-// parseMix parses the -mix grammar into facade request classes.
-func parseMix(spec string) ([]pssp.RequestClass, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	var mix []pssp.RequestClass
-	for _, item := range strings.Split(spec, ",") {
-		item = strings.TrimSpace(item)
-		if item == "" {
-			continue
-		}
-		name, weightStr, hasWeight := strings.Cut(item, ":")
-		weight := 1
-		if hasWeight {
-			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
-			if err != nil || w <= 0 {
-				return nil, fmt.Errorf("mix item %q: weight must be a positive integer", item)
-			}
-			weight = w
-		}
-		name = strings.TrimSpace(name)
-		switch {
-		case name == "benign":
-			mix = append(mix, pssp.RequestClass{Name: "benign", Weight: weight})
-		case strings.HasPrefix(name, "probe="):
-			strat := strings.TrimPrefix(name, "probe=")
-			if strat == "" {
-				return nil, fmt.Errorf("mix item %q: empty probe strategy", item)
-			}
-			mix = append(mix, pssp.RequestClass{Weight: weight, Probe: strat})
-		default:
-			return nil, fmt.Errorf("mix item %q: class must be \"benign\" or \"probe=STRATEGY\"", item)
-		}
-	}
-	return mix, nil
-}
 
 // parseSweep parses the -sweep multiplier list.
 func parseSweep(spec string) ([]float64, error) {
@@ -131,7 +96,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	mix, err := parseMix(*mixSpec)
+	mix, err := cliutil.ParseMix(*mixSpec)
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,96 @@
+// Fuzz: the closed loop from discovery to attack, driven entirely through
+// the public pssp facade.
+//
+// Phase 1 fuzzes the nginx-vuln server (compiled with classic SSP so the
+// canary classifies crashes): sharded deterministic mutation of the benign
+// "GET /" request, edge coverage recorded by the VM, crashes deduplicated
+// and minimized. The fuzzer discovers the read(fd, buf, attacker_len)
+// overflow and recovers the buffer-to-canary distance from the minimized
+// crashing input — knowledge every other experiment in this repo assumes a
+// priori.
+//
+// Phase 2 hands the finding to the attack layer: the same discovered frame
+// is campaigned byte-by-byte against the server compiled under each Table-I
+// scheme, reproducing the paper's security matrix — the attack succeeds on
+// the fork-stable canaries (none/ssp) and stalls on the polymorphic ones —
+// with no human in the loop between finding the bug and exploiting it.
+//
+// Run: go run ./examples/fuzz
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/pssp"
+)
+
+func main() {
+	ctx := context.Background()
+	const seed = 2018
+
+	// Phase 1: discover the overflow.
+	fuzzer := pssp.NewMachine(pssp.WithSeed(seed), pssp.WithScheme(pssp.SchemeSSP))
+	img, err := fuzzer.CompileApp("nginx-vuln")
+	if err != nil {
+		fail(err)
+	}
+	rep, err := fuzzer.Fuzz(ctx, img, pssp.FuzzConfig{Execs: 2048})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("fuzzed nginx-vuln (ssp): %d execs, %d edges, corpus %d, %d crashing execs, %d unique site(s)\n",
+		rep.Execs, rep.Edges, rep.CorpusSize, rep.Crashes, len(rep.Findings))
+	var overflow *pssp.FuzzFinding
+	for i := range rep.Findings {
+		if rep.Findings[i].Detected {
+			overflow = &rep.Findings[i]
+			break
+		}
+	}
+	if overflow == nil {
+		fail(fmt.Errorf("no canary-detected overflow among %d findings", len(rep.Findings)))
+	}
+	fmt.Printf("overflow found at exec %d: rip=0x%x, minimized to %d bytes -> buffer holds %d\n\n",
+		overflow.Exec, overflow.CrashPC, len(overflow.Minimized), overflow.OverflowLen())
+
+	// Phase 2: campaign the discovered frame against every Table-I scheme.
+	attack := pssp.FindingAttack(*overflow)
+	fmt.Printf("byte-by-byte campaigns seeded by the finding (BufLen %d), 4 replications each:\n", attack.BufLen)
+	for _, scheme := range []pssp.Scheme{
+		pssp.SchemeNone, pssp.SchemeSSP, pssp.SchemePSSP,
+		pssp.SchemeDynaGuard, pssp.SchemeDCR,
+	} {
+		m := pssp.NewMachine(
+			pssp.WithSeed(seed),
+			pssp.WithScheme(scheme),
+			pssp.WithAttackBudget(2048),
+			// Workers wandering off a corrupted unprotected frame die on a
+			// tight watchdog instead of burning the default 256Mi budget.
+			pssp.WithMaxInstructions(4<<20),
+		)
+		victim, err := m.CompileApp("nginx-vuln")
+		if err != nil {
+			fail(err)
+		}
+		res, err := m.Campaign(ctx, victim, pssp.CampaignConfig{
+			Replications: 4,
+			Attack:       attack,
+		})
+		if err != nil {
+			fail(err)
+		}
+		verdict := "resists"
+		if res.Successes > 0 {
+			verdict = fmt.Sprintf("broken (median %.0f trials)", res.TrialsToSuccess.Median)
+		}
+		fmt.Printf("  %-10s success %d/%d  detection %.3f  %s\n",
+			scheme, res.Successes, res.Completed, res.DetectionRate(), verdict)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fuzz example:", err)
+	os.Exit(1)
+}

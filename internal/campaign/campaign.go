@@ -20,13 +20,12 @@ package campaign
 
 import (
 	"context"
-	"errors"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/attack"
 	"repro/internal/rng"
+	"repro/internal/workpool"
 )
 
 // Config sizes a campaign.
@@ -190,60 +189,23 @@ func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 	outcomes := make([]*Outcome, cfg.Replications)
 	infra := make([]error, cfg.Replications)
 
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	jobs := make(chan int)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		fatalErr error
-	)
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for rep := range jobs {
-				if ctx.Err() != nil {
-					return
-				}
-				out, err := run(ctx, rep, rng.NewStream(cfg.Seed, uint64(rep)))
-				switch {
-				case err == nil:
-					out.Rep = rep
-					outcomes[rep] = &out
-				case ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
-					// Cancellation of the campaign itself: stop claiming
-					// work. A cancellation-class error while ctx is still
-					// live is NOT this case — it is a runner-internal
-					// timeout and falls through to the fatal branch below,
-					// so it can never silently drop a replication or
-					// starve the feed loop.
-					return
-				case attack.IsOracleErr(err):
-					infra[rep] = err
-				default:
-					mu.Lock()
-					if fatalErr == nil {
-						fatalErr = err
-						cancel()
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-feed:
-	for rep := 0; rep < cfg.Replications; rep++ {
-		select {
-		case jobs <- rep:
-		case <-ctx.Done():
-			break feed
+	// The pool handles cancellation and fatal-error semantics (see
+	// workpool.Run); this runner only classifies: an oracle infrastructure
+	// failure is accounted in its replication's infra slot — a completed
+	// unit from the pool's point of view — never a fatal error.
+	poolErr := workpool.Run(ctx, cfg.Replications, cfg.Workers, func(ctx context.Context, rep int) error {
+		out, err := run(ctx, rep, rng.NewStream(cfg.Seed, uint64(rep)))
+		switch {
+		case err == nil:
+			out.Rep = rep
+			outcomes[rep] = &out
+		case attack.IsOracleErr(err):
+			infra[rep] = err
+		default:
+			return err
 		}
-	}
-	close(jobs)
-	wg.Wait()
+		return nil
+	})
 
 	agg := &Aggregate{Label: cfg.Label, Requested: cfg.Replications}
 	var toSuccess []float64
@@ -278,12 +240,5 @@ feed:
 		agg.Outcomes = append(agg.Outcomes, *out)
 	}
 	agg.TrialsToSuccess = summarize(toSuccess)
-
-	if fatalErr != nil {
-		return agg, fatalErr
-	}
-	if err := ctx.Err(); err != nil {
-		return agg, err
-	}
-	return agg, nil
+	return agg, poolErr
 }

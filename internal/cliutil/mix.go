@@ -1,0 +1,142 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/pssp"
+)
+
+// The weighted-spec grammar shared by the traffic-shaping CLI flags:
+// comma-separated "item" or "item:weight" entries, weights positive
+// integers defaulting to 1. psspload's -mix lowers items to request
+// classes; psspfuzz's -corpus and -dict lower them to seed inputs and
+// dictionary tokens.
+
+// WeightedItem is one parsed "name:weight" entry.
+type WeightedItem struct {
+	// Name is the item text with any ":weight" suffix stripped.
+	Name string
+	// Weight is the parsed weight (1 when omitted).
+	Weight int
+}
+
+// ParseWeighted parses the "a:2,b" grammar strictly: anything after a colon
+// must be a positive integer weight. This is the mix form, where class names
+// never contain colons and a malformed weight should fail loudly.
+func ParseWeighted(spec string) ([]WeightedItem, error) {
+	return parseWeighted(spec, false)
+}
+
+// parseWeighted implements both grammar flavours. Loose mode cuts at the
+// LAST colon and treats the suffix as a weight only when it is entirely
+// digits, so payload tokens may themselves contain colons ("Host:",
+// "HTTP/1.1:2" = token "HTTP/1.1" twice); a digits-but-zero suffix is still
+// a weight error, never a silent literal.
+func parseWeighted(spec string, loose bool) ([]WeightedItem, error) {
+	var out []WeightedItem
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		cut := strings.Cut
+		if loose {
+			cut = cutLast
+		}
+		name, weightStr, hasWeight := cut(item, ":")
+		weight := 1
+		if hasWeight {
+			weightStr = strings.TrimSpace(weightStr)
+			if loose && !allDigits(weightStr) {
+				name, weight = item, 1 // the colon belongs to the payload
+			} else {
+				w, err := strconv.Atoi(weightStr)
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("item %q: weight must be a positive integer", item)
+				}
+				weight = w
+			}
+		}
+		out = append(out, WeightedItem{Name: strings.TrimSpace(name), Weight: weight})
+	}
+	return out, nil
+}
+
+// cutLast is strings.Cut around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	if i := strings.LastIndex(s, sep); i >= 0 {
+		return s[:i], s[i+len(sep):], true
+	}
+	return s, "", false
+}
+
+// allDigits reports whether s is one or more ASCII digits.
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseMix parses psspload's -mix grammar into facade request classes: each
+// item is either "benign" (the app's built-in request payload) or
+// "probe=NAME" with NAME a registered attack strategy. Strategy names are
+// validated here, at parse time, so a typo fails with the registry's
+// name listing instead of surfacing later from the load engine.
+func ParseMix(spec string) ([]pssp.RequestClass, error) {
+	items, err := ParseWeighted(spec)
+	if err != nil {
+		return nil, fmt.Errorf("mix %s", err)
+	}
+	var mix []pssp.RequestClass
+	for _, it := range items {
+		switch {
+		case it.Name == "benign":
+			mix = append(mix, pssp.RequestClass{Name: "benign", Weight: it.Weight})
+		case strings.HasPrefix(it.Name, "probe="):
+			strat := strings.TrimPrefix(it.Name, "probe=")
+			if strat == "" {
+				return nil, fmt.Errorf("mix item %q: empty probe strategy", it.Name)
+			}
+			if _, err := attack.StrategyByName(strat); err != nil {
+				return nil, fmt.Errorf("mix item %q: %w", it.Name, err)
+			}
+			mix = append(mix, pssp.RequestClass{Weight: it.Weight, Probe: strat})
+		default:
+			return nil, fmt.Errorf("mix item %q: class must be \"benign\" or \"probe=STRATEGY\"", it.Name)
+		}
+	}
+	return mix, nil
+}
+
+// ParseByteItems lowers a weighted spec into byte strings replicated by
+// weight — the corpus/dictionary flags of psspfuzz, where weight means "this
+// many copies" (a heavier dictionary token is picked proportionally more
+// often by the uniform mutation draw). It uses the loose grammar flavour:
+// only a trailing ":digits" is a weight, so tokens may contain colons
+// ("Host:", "HTTP/1.1:2"). Commas remain the item separator and cannot
+// appear inside a token.
+func ParseByteItems(spec string) ([][]byte, error) {
+	items, err := parseWeighted(spec, true)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for _, it := range items {
+		if it.Name == "" {
+			return nil, fmt.Errorf("item %q: empty payload", it.Name)
+		}
+		for i := 0; i < it.Weight; i++ {
+			out = append(out, []byte(it.Name))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,358 @@
+package fuzz
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/rng"
+	"repro/internal/vm"
+	"repro/internal/workpool"
+)
+
+// Config sizes a fuzzing run.
+type Config struct {
+	// Label names the run in its Report.
+	Label string
+	// Seeds is the initial corpus (at least one input).
+	Seeds [][]byte
+	// Dict is an optional dictionary of tokens the mutation engine splices
+	// into inputs.
+	Dict [][]byte
+	// Execs is the total mutation budget, partitioned across shards
+	// (default 4096). Seed executions and minimization probes run on top of
+	// it and are reported separately.
+	Execs int
+	// Shards is the number of self-contained fuzzing shards (default 4).
+	// Part of the scenario: it fixes the budget partition and the mutation
+	// streams, like a campaign's replication count.
+	Shards int
+	// Workers bounds how many shards run concurrently (default GOMAXPROCS,
+	// clamped to Shards). Wall-clock only — never results.
+	Workers int
+	// Seed drives all randomness: shard i mutates from
+	// rng.NewStream(Seed, i).
+	Seed uint64
+	// MaxInput caps generated input length in bytes (default 1024).
+	MaxInput int
+	// MinimizeBudget bounds the extra executions triage spends minimizing
+	// each unique crash (default 96).
+	MinimizeBudget int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Seeds) == 0 {
+		return c, errors.New("fuzz: empty seed corpus")
+	}
+	for i, s := range c.Seeds {
+		if len(s) == 0 {
+			return c, fmt.Errorf("fuzz: empty seed input %d", i)
+		}
+	}
+	if c.Execs <= 0 {
+		c.Execs = 4096
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Shards > c.Execs {
+		c.Shards = c.Execs
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
+	if c.MaxInput <= 0 {
+		c.MaxInput = 1024
+	}
+	if c.MinimizeBudget <= 0 {
+		c.MinimizeBudget = 96
+	}
+	return c, nil
+}
+
+// bucket classifies a hit count into AFL's power-of-two bucket bit, so "ran
+// this edge 3 times" and "ran it 30 times" count as different coverage but
+// 30 and 31 do not.
+func bucket(n byte) byte {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	case n == 2:
+		return 2
+	case n == 3:
+		return 4
+	case n <= 7:
+		return 8
+	case n <= 15:
+		return 16
+	case n <= 31:
+		return 32
+	case n <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// mergeCov folds one execution's edge map into the shard's bucketed frontier
+// and reports how many new bucket bits it contributed — the corpus-admission
+// novelty signal. The word-at-a-time skip keeps the 64 KiB scan cheap
+// relative to the VM work behind each execution.
+func mergeCov(virgin []byte, cov *vm.CovMap) int {
+	raw := cov.Bytes()
+	news := 0
+	for i := 0; i < len(raw); i += 8 {
+		if binary.LittleEndian.Uint64(raw[i:]) == 0 {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			if raw[j] == 0 {
+				continue
+			}
+			if b := bucket(raw[j]); virgin[j]&b == 0 {
+				virgin[j] |= b
+				news++
+			}
+		}
+	}
+	return news
+}
+
+// shardResult is one shard's complete outcome.
+type shardResult struct {
+	execs, mutationExecs, crashes int
+	cycles, insts                 uint64
+	corpus                        [][]byte
+	virgin                        []byte
+	findings                      []Finding
+}
+
+// minFiller is the canonical byte minimization rewrites inputs toward —
+// the attack layer's default buffer filler.
+const minFiller = 'A'
+
+// runShard fuzzes one shard to its budget. The returned result is valid
+// even on error (partial, up to the failure).
+func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shardResult, err error) {
+	r := rng.NewStream(cfg.Seed, uint64(shard))
+	mut := &mutator{r: r, dict: cfg.Dict, max: cfg.MaxInput}
+	st = &shardResult{virgin: make([]byte, vm.CovMapSize)}
+	seen := make(map[crashKey]bool)
+
+	budget := workpool.Share(cfg.Execs, shard, cfg.Shards)
+	if budget == 0 {
+		return st, nil
+	}
+
+	execute := func(input []byte) (Exec, *vm.CovMap, error) {
+		out, cov, err := ex.Execute(ctx, input)
+		if err != nil {
+			return Exec{}, nil, err
+		}
+		st.execs++
+		st.cycles += out.Cycles
+		st.insts += out.Insts
+		return out, cov, nil
+	}
+
+	// crashesAs re-executes cand and reports whether it dies with the same
+	// triage key — the minimization predicate.
+	crashesAs := func(cand []byte, k crashKey) (bool, error) {
+		out, _, err := execute(cand)
+		if err != nil {
+			return false, err
+		}
+		return out.Crashed && (Finding{CrashPC: out.CrashPC, Kind: out.Kind, Detected: out.Detected}).key() == k, nil
+	}
+
+	// minimize tail-trims input to the shortest form that still crashes
+	// with key k, then normalizes bytes to the canonical filler where the
+	// crash is preserved, spending at most cfg.MinimizeBudget executions.
+	minimize := func(input []byte, k crashKey) ([]byte, error) {
+		cur := append([]byte(nil), input...)
+		left := cfg.MinimizeBudget
+		for step := len(cur) / 2; step > 0 && left > 0; {
+			if step >= len(cur) {
+				step = len(cur) - 1
+				if step == 0 {
+					break
+				}
+			}
+			cand := cur[:len(cur)-step]
+			left--
+			same, err := crashesAs(cand, k)
+			if err != nil {
+				return cur, err
+			}
+			if same {
+				cur = cand
+			} else {
+				step /= 2
+			}
+		}
+		for i := 0; i < len(cur) && left > 0; i++ {
+			if cur[i] == minFiller {
+				continue
+			}
+			old := cur[i]
+			cur[i] = minFiller
+			left--
+			same, err := crashesAs(cur, k)
+			if err != nil {
+				cur[i] = old
+				return cur, err
+			}
+			if !same {
+				cur[i] = old
+			}
+		}
+		return cur, nil
+	}
+
+	// triage records a crashing execution: dedupe by key, then minimize the
+	// first input that reached each unique site.
+	triage := func(input []byte, out Exec) error {
+		st.crashes++
+		f := Finding{
+			Shard:    shard,
+			Exec:     st.execs,
+			Cycles:   st.cycles,
+			Input:    append([]byte(nil), input...),
+			CrashPC:  out.CrashPC,
+			Kind:     out.Kind,
+			Detected: out.Detected,
+		}
+		k := f.key()
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
+		min, err := minimize(f.Input, k)
+		f.Minimized = min
+		st.findings = append(st.findings, f)
+		return err
+	}
+
+	// Seed phase: every seed is executed to chart the frontier; surviving
+	// seeds join the corpus unconditionally (they are the mutation bases),
+	// crashing seeds go straight to triage.
+	for _, s := range cfg.Seeds {
+		out, cov, err := execute(s)
+		if err != nil {
+			return st, err
+		}
+		mergeCov(st.virgin, cov)
+		if out.Crashed {
+			if err := triage(s, out); err != nil {
+				return st, err
+			}
+			continue
+		}
+		st.corpus = append(st.corpus, append([]byte(nil), s...))
+	}
+
+	// Mutation phase: pick a parent, mutate, execute; coverage novelty
+	// admits survivors to the corpus, crashes go to triage.
+	for ; st.mutationExecs < budget; st.mutationExecs++ {
+		var parent []byte
+		if len(st.corpus) > 0 {
+			parent = st.corpus[r.Intn(len(st.corpus))]
+		} else {
+			parent = cfg.Seeds[r.Intn(len(cfg.Seeds))]
+		}
+		input := mut.mutate(parent, st.corpus)
+		out, cov, err := execute(input)
+		if err != nil {
+			return st, err
+		}
+		news := mergeCov(st.virgin, cov)
+		if out.Crashed {
+			if err := triage(input, out); err != nil {
+				return st, err
+			}
+			continue
+		}
+		if news > 0 {
+			st.corpus = append(st.corpus, input)
+		}
+	}
+	return st, nil
+}
+
+// Run executes the fuzzing campaign: cfg.Shards self-contained shards, each
+// against its own boot'ed victim, executed by cfg.Workers goroutines and
+// merged in shard order. For a fixed seed the Report is bit-identical at any
+// worker count.
+//
+// On cancellation Run returns the partial report of the work done so far
+// together with ctx.Err(). Any transport/boot error aborts the run and is
+// returned with the partial report.
+func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]*shardResult, cfg.Shards)
+	// Cancellation and fatal-error semantics live in workpool.Run; a shard
+	// stores its (possibly partial) result before reporting any error, so
+	// cancelled runs still merge the work done so far.
+	poolErr := workpool.Run(ctx, cfg.Shards, cfg.Workers, func(ctx context.Context, shard int) error {
+		ex, err := boot(ctx, shard)
+		if err != nil {
+			return fmt.Errorf("fuzz: boot shard %d: %w", shard, err)
+		}
+		st, err := runShard(ctx, cfg, shard, ex)
+		results[shard] = st // partial shard results still merge
+		return err
+	})
+	return merge(cfg, results), poolErr
+}
+
+// merge folds per-shard results (in shard order) into the final report,
+// deduplicating findings across shards by triage key.
+func merge(cfg Config, results []*shardResult) *Report {
+	rep := &Report{Label: cfg.Label, Shards: cfg.Shards}
+	union := make([]byte, vm.CovMapSize)
+	seen := make(map[crashKey]bool)
+	for _, st := range results {
+		if st == nil {
+			continue
+		}
+		rep.Execs += st.execs
+		rep.MutationExecs += st.mutationExecs
+		rep.Crashes += st.crashes
+		rep.Cycles += st.cycles
+		rep.Insts += st.insts
+		for i, v := range st.virgin {
+			union[i] |= v
+		}
+		for _, in := range st.corpus {
+			rep.CorpusHashes = append(rep.CorpusHashes, hash64(in))
+		}
+		for _, f := range st.findings {
+			if k := f.key(); !seen[k] {
+				seen[k] = true
+				rep.Findings = append(rep.Findings, f)
+			}
+			if rep.ExecsToFirstCrash == 0 || f.Exec < rep.ExecsToFirstCrash {
+				rep.ExecsToFirstCrash = f.Exec
+			}
+		}
+	}
+	rep.CorpusSize = len(rep.CorpusHashes)
+	for _, v := range union {
+		if v != 0 {
+			rep.Edges++
+		}
+	}
+	rep.CoverageHash = hash64(union)
+	return rep
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/pssp"
+)
+
+// FuzzDiscovery closes the loop the paper's threat model leaves open: every
+// attack experiment assumes the stack-buffer overflow's location is known a
+// priori. This driver *discovers* it — a coverage-guided fuzzing run against
+// each vulnerable server analog compiled with SSP (so the canary classifies
+// the overflow) — and then proves the handoff by driving a byte-by-byte
+// campaign against the unprotected build of the same server using only the
+// fuzzer's finding (pssp.FindingAttack). Reported per app: executions and
+// virtual time to first crash, the deduplicated crash set, the coverage
+// frontier, the recovered buffer length, and the bridged campaign's success
+// rate.
+func FuzzDiscovery(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	t := &Table{
+		Title: "Fuzz discovery: coverage-guided overflow discovery + fuzz->attack handoff (extension)",
+		Header: []string{
+			"server", "execs", "to-discovery", "discovery µs", "unique", "edges",
+			"buflen", "bridge success",
+		},
+		Notes: []string{
+			"victims compiled with ssp so the canary classifies the overflow; findings are minimized to the shortest crashing input",
+			fmt.Sprintf("budget %d mutation execs over 4 shards per app; reports are seed-deterministic at any worker count", cfg.FuzzExecs),
+			"buflen = minimized length - 1, handed to a byte-by-byte campaign against the none-scheme build via pssp.FindingAttack",
+			fmt.Sprintf("bridge campaigns: %d replications, trial budget %d", cfg.AttackReps, cfg.AttackBudget),
+		},
+	}
+	for i, app := range apps.VulnServers() {
+		m := cfg.machine(
+			pssp.WithSeed(cfg.Seed+uint64(i)),
+			pssp.WithScheme(pssp.SchemeSSP),
+		)
+		img, err := m.CompileApp(app.Name)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := m.Fuzz(ctx, img, pssp.FuzzConfig{
+			Execs:   cfg.FuzzExecs,
+			Shards:  4,
+			Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fuzzdiscovery: %s: %w", app.Name, err)
+		}
+		var overflow *pssp.FuzzFinding
+		for j := range rep.Findings {
+			if rep.Findings[j].Detected {
+				overflow = &rep.Findings[j]
+				break
+			}
+		}
+		if overflow == nil {
+			return nil, fmt.Errorf("fuzzdiscovery: %s: no canary-detected finding in %d execs", app.Name, rep.Execs)
+		}
+
+		// The handoff: campaign the discovered frame against the build with
+		// no protection at all. The tight instruction budget keeps workers
+		// that wander off a corrupted frame from stalling the oracle.
+		none := cfg.machine(
+			pssp.WithSeed(cfg.Seed+uint64(i)),
+			pssp.WithScheme(pssp.SchemeNone),
+			pssp.WithAttackBudget(cfg.AttackBudget),
+			pssp.WithMaxInstructions(4<<20),
+		)
+		noneImg, err := none.CompileApp(app.Name)
+		if err != nil {
+			return nil, err
+		}
+		camp, err := none.Campaign(ctx, noneImg, pssp.CampaignConfig{
+			Replications: cfg.AttackReps,
+			Workers:      cfg.Workers,
+			Attack:       pssp.FindingAttack(*overflow),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fuzzdiscovery: %s: bridged campaign: %w", app.Name, err)
+		}
+
+		discoveryUs := float64(overflow.Cycles) / CyclesPerMicrosecond
+		t.Rows = append(t.Rows, []string{
+			app.Name,
+			fmt.Sprintf("%d", rep.Execs),
+			fmt.Sprintf("%d", rep.ExecsToFirstCrash),
+			fmt.Sprintf("%.1f", discoveryUs),
+			fmt.Sprintf("%d", len(rep.Findings)),
+			fmt.Sprintf("%d", rep.Edges),
+			fmt.Sprintf("%d", overflow.OverflowLen()),
+			fmt.Sprintf("%d/%d", camp.Successes, camp.Completed),
+		})
+		t.set(app.Name+"/execs", float64(rep.Execs))
+		t.set(app.Name+"/to_discovery", float64(rep.ExecsToFirstCrash))
+		t.set(app.Name+"/discovery_us", discoveryUs)
+		t.set(app.Name+"/unique_crashes", float64(len(rep.Findings)))
+		t.set(app.Name+"/edges", float64(rep.Edges))
+		t.set(app.Name+"/buflen", float64(overflow.OverflowLen()))
+		t.set(app.Name+"/bridge_success", camp.SuccessRate())
+	}
+	return t, nil
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFuzzDiscoveryFindsEveryOverflow(t *testing.T) {
+	cfg := Config{FuzzExecs: 384, AttackReps: 1, AttackBudget: 2048}
+	a, err := FuzzDiscovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FuzzDiscovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("FuzzDiscovery is not deterministic for a fixed config")
+	}
+	if len(a.Rows) != 2 { // nginx-vuln, ali-vuln
+		t.Fatalf("rows %d, want 2", len(a.Rows))
+	}
+	for _, app := range []string{"nginx-vuln", "ali-vuln"} {
+		if got := a.Values[app+"/buflen"]; got != 16 {
+			t.Errorf("%s: recovered buflen %v, want 16", app, got)
+		}
+		if got := a.Values[app+"/to_discovery"]; got <= 0 {
+			t.Errorf("%s: execs-to-discovery %v, want > 0", app, got)
+		}
+		if got := a.Values[app+"/bridge_success"]; got != 1 {
+			t.Errorf("%s: bridged campaign success rate %v, want 1", app, got)
+		}
+		if got := a.Values[app+"/edges"]; got <= 0 {
+			t.Errorf("%s: edge count %v, want > 0", app, got)
+		}
+	}
+}

@@ -53,6 +53,9 @@ type Config struct {
 	// (default 8). See UnderLoad.
 	LoadRequests int
 	LoadClients  int
+	// FuzzExecs is the mutation budget of the fuzz-discovery experiment
+	// (default 768). See FuzzDiscovery.
+	FuzzExecs int
 	// Engine selects the VM execution engine for every machine the drivers
 	// build. The zero value is the default decode-once engine
 	// (pssp.EnginePredecoded); the cross-engine golden tests run the full
@@ -84,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LoadClients == 0 {
 		c.LoadClients = 8
+	}
+	if c.FuzzExecs == 0 {
+		c.FuzzExecs = 768
 	}
 	return c
 }

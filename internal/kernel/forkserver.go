@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/binfmt"
+	"repro/internal/vm"
 )
 
 // ForkServer is the fork-per-request supervisor of the paper's threat model:
@@ -81,6 +82,24 @@ func ServeProcess(ctx context.Context, k *Kernel, parent *Process) (*ForkServer,
 
 // Parent returns the parked parent process (for inspection in experiments).
 func (s *ForkServer) Parent() *Process { return s.parent }
+
+// EnableCoverage installs an edge-coverage map on the parked parent's CPU
+// and returns it. Fork copies the CPU struct wholesale, so every worker
+// forked afterwards records its executed edges into this one map — the
+// fuzzing loop resets it before each request (Coverage().Reset()) and reads
+// it after, giving a per-request edge snapshot with zero per-fork setup.
+// Idempotent: a map installed earlier is returned as-is.
+func (s *ForkServer) EnableCoverage() *vm.CovMap {
+	if cov := s.parent.CPU.Coverage(); cov != nil {
+		return cov
+	}
+	cov := new(vm.CovMap)
+	s.parent.CPU.SetCoverage(cov)
+	return cov
+}
+
+// Coverage returns the installed edge map (nil until EnableCoverage).
+func (s *ForkServer) Coverage() *vm.CovMap { return s.parent.CPU.Coverage() }
 
 // Handle serves one request with a fresh child and reports its outcome.
 func (s *ForkServer) Handle(req []byte) (Outcome, error) {

@@ -5,9 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/rng"
+	"repro/internal/workpool"
 )
 
 // Outcome reports one served request from the engine's point of view.
@@ -46,16 +46,6 @@ type shardStats struct {
 	makespan                          uint64
 	lat                               Hist
 	classes                           []classTally
-}
-
-// shardShare splits an aggregate count across shards: shard i of n gets the
-// i'th near-equal part of total.
-func shardShare(total, i, n int) int {
-	share := total / n
-	if i < total%n {
-		share++
-	}
-	return share
 }
 
 // expDraw samples an exponential with the given mean from r, as virtual
@@ -111,7 +101,7 @@ func runShard(ctx context.Context, cfg Config, shard int, srv Server) (st *shard
 
 	budget := 0
 	if cfg.Requests > 0 {
-		budget = shardShare(cfg.Requests, shard, cfg.Shards)
+		budget = workpool.Share(cfg.Requests, shard, cfg.Shards)
 		if budget == 0 {
 			return st, nil
 		}
@@ -190,7 +180,7 @@ func runShard(ctx context.Context, cfg Config, shard int, srv Server) (st *shard
 		}
 
 	case ClosedLoop:
-		clients := shardShare(cfg.Arrivals.Clients, shard, cfg.Shards)
+		clients := workpool.Share(cfg.Arrivals.Clients, shard, cfg.Shards)
 		if clients == 0 {
 			return st, nil
 		}
@@ -293,69 +283,19 @@ func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
 	}
 
 	stats := make([]*shardStats, cfg.Shards)
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	jobs := make(chan int)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		fatalErr error
-	)
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for shard := range jobs {
-				if ctx.Err() != nil {
-					return
-				}
-				srv, err := boot(ctx, shard)
-				if err == nil {
-					var st *shardStats
-					st, err = runShard(ctx, cfg, shard, srv)
-					stats[shard] = st // partial shard results still merge
-				} else {
-					err = fmt.Errorf("loadgen: boot shard %d: %w", shard, err)
-				}
-				if err == nil {
-					continue
-				}
-				if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-					// The run itself was cancelled; stop claiming work. A
-					// cancellation-class error on a live ctx is a shard-
-					// internal failure and aborts the run below instead.
-					return
-				}
-				mu.Lock()
-				if fatalErr == nil {
-					fatalErr = err
-					cancel()
-				}
-				mu.Unlock()
-				return
-			}
-		}()
-	}
-feed:
-	for shard := 0; shard < cfg.Shards; shard++ {
-		select {
-		case jobs <- shard:
-		case <-ctx.Done():
-			break feed
+	// Cancellation and fatal-error semantics live in workpool.Run; a shard
+	// stores its (possibly partial) stats before reporting any error, so
+	// cancelled runs still merge the work done so far.
+	poolErr := workpool.Run(ctx, cfg.Shards, cfg.Workers, func(ctx context.Context, shard int) error {
+		srv, err := boot(ctx, shard)
+		if err != nil {
+			return fmt.Errorf("loadgen: boot shard %d: %w", shard, err)
 		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	rep := merge(cfg, stats)
-	if fatalErr != nil {
-		return rep, fatalErr
-	}
-	if err := ctx.Err(); err != nil {
-		return rep, err
-	}
-	return rep, nil
+		st, err := runShard(ctx, cfg, shard, srv)
+		stats[shard] = st // partial shard results still merge
+		return err
+	})
+	return merge(cfg, stats), poolErr
 }
 
 // merge folds per-shard stats (in shard order) into the final report.

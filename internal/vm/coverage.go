@@ -1,0 +1,66 @@
+package vm
+
+// Edge coverage for the fuzzing subsystem (internal/fuzz): an AFL-style
+// fixed-size hit-count map the step loop folds prev-PC⊕PC edges into.
+//
+// Recording is off by default and costs the hot loop exactly one nil check
+// when disabled — the dispatch path is otherwise unchanged, which the
+// coverage tests assert by comparing instrumented and uninstrumented runs
+// instruction for instruction. When enabled, each executed instruction
+// records the branchless index (covPrev ^ RIP) & (CovMapSize-1) and then
+// shifts RIP right by one into covPrev, so A→B and B→A land in different
+// cells (the classic AFL trick).
+
+// CovMapSize is the edge map size in bytes. A power of two: the edge index
+// is masked, never reduced modulo.
+const CovMapSize = 64 * 1024
+
+// CovMap is a fixed 64 KiB edge-coverage map: one saturating 8-bit hit
+// counter per edge hash bucket. The zero value is ready to use. A CovMap is
+// not safe for concurrent use; every fuzzing shard owns its own map, exactly
+// like it owns its own machine.
+type CovMap struct {
+	hits [CovMapSize]byte
+}
+
+// Bytes exposes the raw hit counters (aliased, not copied) for classifiers
+// and merge loops. Index i is the bucket of all edges hashing to i.
+func (m *CovMap) Bytes() []byte { return m.hits[:] }
+
+// Reset clears every counter — the per-request reset of the fork-server
+// fuzzing loop. It is a single memclr, no allocation.
+func (m *CovMap) Reset() { clear(m.hits[:]) }
+
+// Edges counts buckets with at least one hit.
+func (m *CovMap) Edges() int {
+	n := 0
+	for _, h := range m.hits {
+		if h != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// record folds the edge into the map with a saturating counter. Kept out of
+// line so Step's disabled path stays a single nil compare.
+func (m *CovMap) record(prev, pc uint64) {
+	i := (prev ^ pc) & (CovMapSize - 1)
+	if m.hits[i] != 0xff {
+		m.hits[i]++
+	}
+}
+
+// SetCoverage installs an edge-coverage map on the CPU (nil disables
+// recording, the default). The previous-location state is reset, so the
+// first recorded edge is (0 → RIP). Fork copies the CPU struct wholesale,
+// which shares the installed map pointer with every child — the property the
+// fork-server fuzzing loop builds on: install once on the parked parent,
+// and each forked worker records into the same map.
+func (c *CPU) SetCoverage(m *CovMap) {
+	c.cov = m
+	c.covPrev = 0
+}
+
+// Coverage returns the installed edge map (nil when recording is disabled).
+func (c *CPU) Coverage() *CovMap { return c.cov }

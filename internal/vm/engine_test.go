@@ -177,6 +177,162 @@ func TestPredecodedMidInstructionJump(t *testing.T) {
 	}
 }
 
+func TestPredecodedResyncPastDataIsland(t *testing.T) {
+	// An undecodable data island embedded between two valid instruction
+	// runs: the linear predecode scan must resync one byte at a time and
+	// still cache the code after the island, and a jump over the island must
+	// execute identically under both engines.
+	sp := mem.NewSpace()
+	if _, err := sp.Map("text", mem.TextBase, 0x100, mem.PermRead|mem.PermExec); err != nil {
+		t.Fatal(err)
+	}
+	head := isa.EncodeAll([]isa.Inst{{Op: isa.MOVRI, R1: isa.RAX, Imm: 5}})
+	tail := isa.EncodeAll([]isa.Inst{
+		{Op: isa.ADDRI, R1: isa.RAX, Imm: 2},
+		{Op: isa.HLT},
+	})
+	island := []byte{0xee, 0xee, 0xee} // no such opcode
+	jmp := isa.Inst{Op: isa.JMP}
+	jmp.Disp = int32(len(island))
+	code := append(append(append(head, isa.EncodeAll([]isa.Inst{jmp})...), island...), tail...)
+	if err := sp.Segment("text").CopyIn(0, code); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(e Engine) *CPU {
+		t.Helper()
+		c := New(sp, rng.New(1))
+		c.Engine = e
+		c.RIP = mem.TextBase
+		if err := c.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	pre, itp := run(EnginePredecoded), run(EngineInterpreter)
+	if a, b := snap(pre), snap(itp); a != b {
+		t.Fatalf("engines diverged over data island:\npredecoded:  %+v\ninterpreter: %+v", a, b)
+	}
+	if pre.GPR[isa.RAX] != 7 {
+		t.Fatalf("rax = %d, want 7", pre.GPR[isa.RAX])
+	}
+	// The resync must have predecoded the post-island instructions: their
+	// offsets are warm in the index, the island bytes stay cold.
+	sc := pre.code.forSegment(sp.Segment("text"))
+	tailOff := len(head) + jmp.Len() + len(island)
+	if sc.idx[tailOff] < 0 {
+		t.Fatalf("post-island offset %d not predecoded (resync failed)", tailOff)
+	}
+	for i := 0; i < len(island); i++ {
+		if sc.idx[len(head)+jmp.Len()+i] >= 0 {
+			t.Fatalf("island byte %d was predecoded", i)
+		}
+	}
+}
+
+func TestColdOffsetFallbackMatchesDirectDecode(t *testing.T) {
+	// Jumping into the interior of a predecoded instruction must decode the
+	// same bytes the interpreter would — directly from segment memory — and
+	// leave the shared cache untouched (cold offsets are never cached).
+	imm := int64(isa.NOP) | int64(isa.HLT)<<8
+	prog := []isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: imm},
+		{Op: isa.HLT},
+	}
+	pre := buildEngineCPU(t, EnginePredecoded, prog)
+	if err := pre.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	sc := pre.curCode
+	before := len(sc.insts)
+
+	// Resume inside MOVRI's immediate field (2 header bytes in): the bytes
+	// there decode as NOP, HLT.
+	restart := func(c *CPU) {
+		c.RIP = mem.TextBase + 2
+		c.halted = false
+	}
+	restart(pre)
+	if err := pre.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	itp := buildEngineCPU(t, EngineInterpreter, prog)
+	if err := itp.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	restart(itp)
+	if err := itp.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := snap(pre), snap(itp); a != b {
+		t.Fatalf("cold-offset fallback diverged:\npredecoded:  %+v\ninterpreter: %+v", a, b)
+	}
+	if got := len(sc.insts); got != before {
+		t.Fatalf("cold-offset execution grew the shared cache: %d -> %d insts", before, got)
+	}
+}
+
+func TestCOWWriteToExecSegmentInvalidatesChildOnly(t *testing.T) {
+	// Fork semantics for the code cache: after a COW clone, a write to the
+	// child's exec segment must bump the child's generation and re-decode
+	// its code, while the parent — whose bytes did not change — keeps
+	// executing its original (cached) program.
+	sp := mem.NewSpace()
+	if _, err := sp.Map("jit", mem.TextBase, 0x100, mem.PermRead|mem.PermWrite|mem.PermExec); err != nil {
+		t.Fatal(err)
+	}
+	prog := isa.EncodeAll([]isa.Inst{
+		{Op: isa.MOVRI, R1: isa.RAX, Imm: 1},
+		{Op: isa.HLT},
+	})
+	if err := sp.Segment("jit").CopyIn(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	parent := New(sp, rng.New(1))
+	parent.RIP = mem.TextBase
+	if err := parent.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if parent.GPR[isa.RAX] != 1 {
+		t.Fatalf("parent rax = %d, want 1", parent.GPR[isa.RAX])
+	}
+
+	childSpace := sp.Clone()
+	child := new(CPU)
+	*child = *parent
+	child.SetMem(childSpace)
+	// Guest-visible store into the child's exec segment: materializes the
+	// COW copy and bumps the child segment's generation.
+	parentGen := sp.Segment("jit").Gen()
+	if err := childSpace.WriteU64(mem.TextBase+2, 42); err != nil {
+		t.Fatal(err)
+	}
+	if childSpace.Segment("jit").Gen() == parentGen {
+		t.Fatal("COW write did not bump the child's exec generation")
+	}
+	if sp.Segment("jit").Gen() != parentGen {
+		t.Fatal("COW write leaked a generation bump into the parent")
+	}
+
+	child.RIP = mem.TextBase
+	child.halted = false
+	if err := child.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if child.GPR[isa.RAX] != 42 {
+		t.Fatalf("child rax = %d, want 42 (stale decode reused after COW write)", child.GPR[isa.RAX])
+	}
+
+	parent.RIP = mem.TextBase
+	parent.halted = false
+	if err := parent.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if parent.GPR[isa.RAX] != 1 {
+		t.Fatalf("parent rax = %d after child's write, want 1", parent.GPR[isa.RAX])
+	}
+}
+
 func TestPredecodedSelfModifyingCodeInvalidates(t *testing.T) {
 	// A writable+executable segment: the program is executed, then the host
 	// rewrites an instruction through the Space write path (bumping the

@@ -106,6 +106,12 @@ type CPU struct {
 	curSeg  *mem.Segment
 	curGen  uint64
 	curCode *segCode
+
+	// cov, when non-nil, receives every executed edge (covPrev is the
+	// shifted previous PC). Off by default; the disabled cost is the one nil
+	// check in Step. Fork shares the map with the child via the CPU copy.
+	cov     *CovMap
+	covPrev uint64
 }
 
 // New returns a CPU bound to the given memory and entropy source, running
@@ -147,6 +153,10 @@ func (c *CPU) pop() (uint64, error) {
 func (c *CPU) Step() error {
 	if c.halted {
 		return ErrHalted
+	}
+	if c.cov != nil {
+		c.cov.record(c.covPrev, c.RIP)
+		c.covPrev = c.RIP >> 1
 	}
 	var in isa.Inst
 	var n int

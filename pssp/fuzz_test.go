@@ -1,0 +1,131 @@
+package pssp_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/pssp"
+)
+
+// fuzzVuln runs a small fixed-seed fuzzing campaign against one of the
+// built-in vulnerable servers compiled under scheme.
+func fuzzVuln(t *testing.T, app string, scheme pssp.Scheme, workers int) *pssp.FuzzReport {
+	t.Helper()
+	m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(scheme))
+	img, err := m.CompileApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Fuzz(context.Background(), img, pssp.FuzzConfig{
+		Execs:   384,
+		Shards:  4,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFuzzReportDeterministicAcrossWorkerCounts is the end-to-end
+// determinism acceptance: a fixed seed yields a byte-identical FuzzReport —
+// corpus hashes, coverage frontier, deduplicated crash set — at workers
+// 1, 4 and 16 on the real VM fork-server victim.
+func TestFuzzReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := fuzzVuln(t, "nginx-vuln", pssp.SchemeSSP, 1)
+	if base.Execs == 0 || base.Edges == 0 || base.CorpusSize == 0 {
+		t.Fatalf("degenerate report: %+v", base)
+	}
+	for _, w := range []int{4, 16} {
+		got := fuzzVuln(t, "nginx-vuln", pssp.SchemeSSP, w)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("FuzzReport differs at %d workers:\n1:  %+v\n%d: %+v", w, base, w, got)
+		}
+	}
+}
+
+// TestFuzzDiscoversSeededOverflow is the discovery acceptance: on every
+// built-in vulnerable server the fuzzer must find the read(fd, buf,
+// attacker_len) overflow within a small exec budget, classify it as
+// canary-detected, and minimize it to exactly one byte past the buffer.
+func TestFuzzDiscoversSeededOverflow(t *testing.T) {
+	for _, app := range []string{"nginx-vuln", "ali-vuln"} {
+		t.Run(app, func(t *testing.T) {
+			rep := fuzzVuln(t, app, pssp.SchemeSSP, 0)
+			if len(rep.Findings) == 0 {
+				t.Fatalf("no findings in %d execs", rep.Execs)
+			}
+			var overflow *pssp.FuzzFinding
+			for i := range rep.Findings {
+				if rep.Findings[i].Detected {
+					overflow = &rep.Findings[i]
+					break
+				}
+			}
+			if overflow == nil {
+				t.Fatalf("no canary-detected finding among %+v", rep.Findings)
+			}
+			if got := overflow.OverflowLen(); got != pssp.VulnServerBufSize {
+				t.Fatalf("OverflowLen = %d, want %d (minimized %q)",
+					got, pssp.VulnServerBufSize, overflow.Minimized)
+			}
+			if rep.ExecsToFirstCrash == 0 {
+				t.Fatal("ExecsToFirstCrash not recorded")
+			}
+		})
+	}
+}
+
+// TestFuzzFindingDrivesCampaign is the fuzz→attack handoff acceptance: a
+// finding discovered by fuzzing an SSP build seeds a byte-by-byte campaign
+// against the unprotected (none) build of the same server, and the attack
+// succeeds — the discovered buffer length is the real one.
+func TestFuzzFindingDrivesCampaign(t *testing.T) {
+	ctx := context.Background()
+	rep := fuzzVuln(t, "nginx-vuln", pssp.SchemeSSP, 0)
+	var overflow *pssp.FuzzFinding
+	for i := range rep.Findings {
+		if rep.Findings[i].Detected {
+			overflow = &rep.Findings[i]
+			break
+		}
+	}
+	if overflow == nil {
+		t.Fatal("fuzzing found no overflow to hand off")
+	}
+
+	// A worker whose saved RBP is corrupted can wander until the watchdog
+	// fires; the kernel-default 4Mi budget keeps those deaths quick without
+	// changing any verdict (a benign nginx-vuln request is ~10^3 insts).
+	m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemeNone),
+		pssp.WithMaxInstructions(4<<20))
+	img, err := m.CompileApp("nginx-vuln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Campaign(ctx, img, pssp.CampaignConfig{
+		Replications: 2,
+		Attack:       pssp.FindingAttack(*overflow),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Successes != res.Completed || res.Completed == 0 {
+		t.Fatalf("bridged campaign against none: %d/%d successes", res.Successes, res.Completed)
+	}
+}
+
+// TestFuzzSeedsDefaultToBuiltinRequest pins the seed-corpus defaulting and
+// the error for images without one.
+func TestFuzzSeedsDefaultToBuiltinRequest(t *testing.T) {
+	ctx := context.Background()
+	m := pssp.NewMachine(pssp.WithSeed(7))
+	img, err := m.CompileApp("401.bzip2") // batch app: no built-in request
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fuzz(ctx, img, pssp.FuzzConfig{Execs: 1}); err == nil {
+		t.Fatal("batch app without seeds accepted")
+	}
+}
