@@ -7,12 +7,17 @@
 // -workers concurrent oracles. For a fixed -seed the aggregates are
 // bit-identical at any worker count.
 //
+// With -remote the campaign runs as a job on a psspd daemon instead of
+// in-process; for a fixed explicit -seed the output (including -json) is
+// byte-identical to the local run.
+//
 // Usage:
 //
 //	psspattack -target nginx-vuln -scheme ssp
 //	psspattack -target ali-vuln -scheme p-ssp -budget 8192
 //	psspattack -scheme ssp -strategy chunk -repeats 16 -workers 8
 //	psspattack -scheme p-ssp -strategy adaptive -repeats 32 -json
+//	psspattack -remote unix:/tmp/psspd.sock -tenant ci -repeats 8 -json
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"strings"
 
 	"repro/internal/cliutil"
+	"repro/internal/daemon"
+	"repro/internal/daemon/client"
 	"repro/pssp"
 )
 
@@ -35,45 +42,6 @@ func strategyHelp() string {
 	return b.String()
 }
 
-// jsonReport is the machine-readable campaign output (-json).
-type jsonReport struct {
-	Target          string  `json:"target"`
-	Scheme          string  `json:"scheme"`
-	Strategy        string  `json:"strategy"`
-	Seed            uint64  `json:"seed"`
-	Budget          int     `json:"budget"`
-	Replications    int     `json:"replications"`
-	Workers         int     `json:"workers"`
-	Completed       int     `json:"completed"`
-	Successes       int     `json:"successes"`
-	Verified        int     `json:"verified_successes"`
-	SuccessRate     float64 `json:"success_rate"`
-	Trials          int     `json:"trials"`
-	OracleCalls     int     `json:"oracle_calls"`
-	OracleErrors    int     `json:"oracle_errors"`
-	OracleError     string  `json:"oracle_error,omitempty"`
-	Detections      int     `json:"detections"`
-	DetectRate      float64 `json:"detection_rate"`
-	Cycles          uint64  `json:"victim_cycles"`
-	TrialsToSuccess struct {
-		N      int     `json:"n"`
-		Min    float64 `json:"min"`
-		Median float64 `json:"median"`
-		P95    float64 `json:"p95"`
-		Max    float64 `json:"max"`
-	} `json:"trials_to_success"`
-	Outcomes []jsonOutcome `json:"outcomes"`
-}
-
-type jsonOutcome struct {
-	Rep      int  `json:"rep"`
-	Success  bool `json:"success"`
-	Verified bool `json:"verified,omitempty"`
-	Trials   int  `json:"trials"`
-	FailedAt int  `json:"failed_at"`
-	Restarts int  `json:"restarts,omitempty"`
-}
-
 func main() {
 	var (
 		target   = flag.String("target", "nginx-vuln", "nginx-vuln | ali-vuln")
@@ -84,6 +52,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent oracle shards (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		remote   = flag.String("remote", "", "run on a psspd daemon at this address (unix:/path or host:port)")
+		tenant   = flag.String("tenant", "", "tenant name for -remote (default \"default\")")
 	)
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspattack", err) }
@@ -92,79 +62,83 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	m := pssp.NewMachine(
-		pssp.WithSeed(*seed),
-		pssp.WithScheme(s),
-		pssp.WithAttackBudget(*budget),
-	)
-	ctx := context.Background()
-	img, err := m.Pipeline().CompileApp(*target).Image()
-	if err != nil {
-		fail(err)
-	}
 
-	if !*jsonOut {
-		fmt.Printf("attacking %s (scheme %s) with %s: %d replication(s), budget %d trials each...\n",
-			*target, s, *strategy, *repeats, *budget)
-	}
-	res, err := m.Campaign(ctx, img, pssp.CampaignConfig{
-		Strategy:     *strategy,
-		Replications: *repeats,
-		Workers:      *workers,
-	})
-	if err != nil {
-		fail(err)
+	var rep daemon.AttackReport
+	if *remote != "" {
+		c, err := client.Dial(*remote)
+		if err != nil {
+			fail(err)
+		}
+		defer c.Close()
+		if !*jsonOut {
+			fmt.Printf("attacking %s (scheme %s) with %s on %s: %d replication(s), budget %d trials each...\n",
+				*target, s, *strategy, *remote, *repeats, *budget)
+		}
+		err = c.Call(context.Background(), "attack", daemon.AttackParams{
+			Target: *target, Scheme: s.String(), Strategy: *strategy,
+			Budget: *budget, Repeats: *repeats, Workers: *workers, Seed: *seed,
+		}, &rep, client.WithTenant(*tenant))
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		m := pssp.NewMachine(
+			pssp.WithSeed(*seed),
+			pssp.WithScheme(s),
+			pssp.WithAttackBudget(*budget),
+		)
+		ctx := context.Background()
+		img, err := m.Pipeline().CompileApp(*target).Image()
+		if err != nil {
+			fail(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("attacking %s (scheme %s) with %s: %d replication(s), budget %d trials each...\n",
+				*target, s, *strategy, *repeats, *budget)
+		}
+		res, err := m.Campaign(ctx, img, pssp.CampaignConfig{
+			Strategy:     *strategy,
+			Replications: *repeats,
+			Workers:      *workers,
+		})
+		if err != nil {
+			fail(err)
+		}
+		rep = daemon.BuildAttackReport(*target, s, *seed, *budget, *repeats, *workers, res)
 	}
 
 	if *jsonOut {
-		rep := jsonReport{
-			Target: *target, Scheme: s.String(), Strategy: res.Label,
-			Seed: *seed, Budget: *budget,
-			Replications: *repeats, Workers: *workers,
-			Completed: res.Completed, Successes: res.Successes,
-			Verified:    res.VerifiedSuccesses,
-			SuccessRate: res.SuccessRate(),
-			Trials:      res.Trials, OracleCalls: res.OracleCalls,
-			OracleErrors: res.OracleErrors,
-			Detections:   res.Detections, DetectRate: res.DetectionRate(),
-			Cycles: res.Cycles,
-		}
-		if res.OracleErr != nil {
-			rep.OracleError = res.OracleErr.Error()
-		}
-		rep.TrialsToSuccess.N = res.TrialsToSuccess.N
-		rep.TrialsToSuccess.Min = res.TrialsToSuccess.Min
-		rep.TrialsToSuccess.Median = res.TrialsToSuccess.Median
-		rep.TrialsToSuccess.P95 = res.TrialsToSuccess.P95
-		rep.TrialsToSuccess.Max = res.TrialsToSuccess.Max
-		for _, out := range res.Outcomes {
-			rep.Outcomes = append(rep.Outcomes, jsonOutcome{
-				Rep: out.Rep, Success: out.Success, Verified: out.Verified, Trials: out.Trials,
-				FailedAt: out.FailedAt, Restarts: out.Restarts,
-			})
-		}
 		if err := cliutil.EmitJSON(os.Stdout, rep); err != nil {
 			fail(err)
 		}
 		return
 	}
+	printReport(rep)
+}
 
-	if res.Successes > 0 {
-		ts := res.TrialsToSuccess
+// printReport renders the human output from the report shape shared with
+// the daemon, so local and remote campaigns print identically.
+func printReport(rep daemon.AttackReport) {
+	if rep.Canceled {
+		fmt.Printf("CANCELED after %d/%d replications; partial aggregate follows\n",
+			rep.Completed, rep.Replications)
+	}
+	if rep.Successes > 0 {
+		ts := rep.TrialsToSuccess
 		fmt.Printf("SUCCESS in %d/%d replications (rate %.2f, %d verified against the real canary)\n",
-			res.Successes, res.Completed, res.SuccessRate(), res.VerifiedSuccesses)
+			rep.Successes, rep.Completed, rep.SuccessRate, rep.Verified)
 		fmt.Printf("trials to success: min %.0f / median %.0f / p95 %.0f\n",
 			ts.Min, ts.Median, ts.P95)
 	} else {
-		fmt.Printf("FAILED in all %d replications within the %d-trial budget\n", res.Completed, *budget)
+		fmt.Printf("FAILED in all %d replications within the %d-trial budget\n", rep.Completed, rep.Budget)
 	}
 	fmt.Printf("oracle calls %d, detection rate %.3f, victim cycles %d\n",
-		res.OracleCalls, res.DetectionRate(), res.Cycles)
-	if res.OracleErrors > 0 {
-		fmt.Printf("WARNING: %d replication(s) lost to oracle failures (first: %v)\n",
-			res.OracleErrors, res.OracleErr)
+		rep.OracleCalls, rep.DetectRate, rep.Cycles)
+	if rep.OracleErrors > 0 {
+		fmt.Printf("WARNING: %d replication(s) lost to oracle failures (first: %s)\n",
+			rep.OracleErrors, rep.OracleError)
 	}
-	for _, out := range res.Outcomes {
+	for _, out := range rep.Outcomes {
 		state := "failed"
 		switch {
 		case out.Success && out.Verified:

@@ -1,0 +1,97 @@
+// Command psspd is the multi-tenant serving daemon of the simulation stack:
+// it keeps a warm pool of parked fork-server machines and executes
+// compile/boot/attack/loadtest/fuzz jobs submitted over a newline-delimited
+// JSON-RPC connection (see internal/daemon for the protocol), under
+// per-tenant admission control and deterministic seed derivation.
+//
+// Jobs that name an explicit seed produce byte-identical reports to the
+// equivalent CLI invocation (psspattack/psspload/psspfuzz with -remote
+// re-emit them verbatim); jobs without one draw unique per-job seeds from
+// their tenant's stream.
+//
+// Usage:
+//
+//	psspd -listen unix:/tmp/psspd.sock
+//	psspd -listen 127.0.0.1:7077 -max-jobs 8 -pool 16
+//	psspd -listen unix:/tmp/psspd.sock -quota 500000000 -tenant-jobs 2
+//
+// SIGINT/SIGTERM drain the daemon: listeners close, running jobs are
+// canceled, the warm pool releases its machines, and psspd exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/daemon"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "unix:/tmp/psspd.sock", "listen address: unix:/path or host:port")
+		seed       = flag.Uint64("seed", 1, "daemon master seed (tenant seed streams derive from it)")
+		maxJobs    = flag.Int("max-jobs", 4, "concurrently running jobs")
+		maxQueue   = flag.Int("max-queue", 16, "jobs waiting for a slot before admission fails busy")
+		tenantJobs = flag.Int("tenant-jobs", 0, "per-tenant concurrent job bound (0 = max-jobs)")
+		quota      = flag.Uint64("quota", 0, "per-tenant victim-cycle quota (0 = unlimited)")
+		poolSize   = flag.Int("pool", 8, "warm machine pool capacity")
+		drain      = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+	fail := func(err error) { cliutil.Fail("psspd", err) }
+
+	network, target := "tcp", *listen
+	if strings.HasPrefix(*listen, "unix:") {
+		network, target = "unix", strings.TrimPrefix(*listen, "unix:")
+		// A stale socket file from a previous run would fail the bind.
+		os.Remove(target)
+	} else {
+		target = strings.TrimPrefix(target, "tcp:")
+	}
+	lis, err := net.Listen(network, target)
+	if err != nil {
+		fail(err)
+	}
+
+	d := daemon.New(daemon.Config{
+		Seed:        *seed,
+		MaxJobs:     *maxJobs,
+		MaxQueue:    *maxQueue,
+		TenantJobs:  *tenantJobs,
+		QuotaCycles: *quota,
+		PoolSize:    *poolSize,
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- d.Serve(lis) }()
+	fmt.Fprintf(os.Stderr, "psspd: serving on %s (seed %d, %d job slots, pool %d)\n",
+		*listen, *seed, *maxJobs, *poolSize)
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "psspd: %s, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := d.Shutdown(ctx)
+		cancel()
+		if network == "unix" {
+			os.Remove(target)
+		}
+		if err != nil {
+			fail(fmt.Errorf("drain: %w", err))
+		}
+	case err := <-errc:
+		if err != nil {
+			fail(err)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	psspfuzz -app ali-vuln -scheme ssp -seed 7 -workers 8 -json
 //	psspfuzz -app nginx-vuln -corpus 'GET /:2,PING' -dict 'Host:,HTTP/1.1'
 //	psspfuzz -app nginx-vuln -duration 10s
+//	psspfuzz -remote unix:/tmp/psspd.sock -tenant ci -execs 4096 -json
 //
 // -corpus and -dict use the shared weighted-spec grammar of psspload's -mix
 // ("item" or "item:weight" entries, comma-separated); a corpus/dict weight
@@ -26,8 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/daemon"
+	"repro/internal/daemon/client"
 	"repro/pssp"
 )
 
@@ -44,6 +48,8 @@ func main() {
 		maxIn    = flag.Int("max-input", 1024, "generated input length cap in bytes")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		remote   = flag.String("remote", "", "run on a psspd daemon at this address (unix:/path or host:port)")
+		tenant   = flag.String("tenant", "", "tenant name for -remote (default \"default\")")
 	)
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspfuzz", err) }
@@ -61,36 +67,84 @@ func main() {
 		fail(fmt.Errorf("dict %w", err))
 	}
 
-	m := pssp.NewMachine(pssp.WithSeed(*seed), pssp.WithScheme(s))
 	ctx := context.Background()
 	if *duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *duration)
 		defer cancel()
 	}
-	img, err := m.Pipeline().CompileApp(*app).Image()
-	if err != nil {
-		fail(err)
+	// A time-boxed run prints a live ticker on stderr: the engine's Progress
+	// stream, throttled to ~1 Hz here (callbacks are serialized by the
+	// engine, so the plain `last` is race-free). Exec-bounded runs stay
+	// silent — their report is the whole story.
+	var progress func(pssp.FuzzProgress)
+	if *duration > 0 {
+		var last time.Time
+		progress = func(p pssp.FuzzProgress) {
+			now := time.Now()
+			if now.Sub(last) < time.Second {
+				return
+			}
+			last = now
+			fmt.Fprintf(os.Stderr, "psspfuzz: shard %d/%d, %d execs, %d crashes, %d finding(s), corpus %d\n",
+				p.ShardsDone, p.Shards, p.Execs, p.Crashes, p.Findings, p.CorpusSize)
+		}
 	}
-	rep, err := m.Fuzz(ctx, img, pssp.FuzzConfig{
-		Seeds:    seeds,
-		Dict:     tokens,
-		Execs:    *execs,
-		Shards:   *shards,
-		Workers:  *workers,
-		Seed:     *seed,
-		MaxInput: *maxIn,
-	})
+
+	var rep *pssp.FuzzReport
 	timedOut := false
-	if err != nil {
-		// A -duration deadline is the requested time box, not a failure:
-		// report the partial result like a stopped fuzzing session. The
-		// check is on the returned error, not ctx.Err() — a genuine fatal
-		// error that lands after the deadline must still fail loudly.
-		if *duration > 0 && errors.Is(err, context.DeadlineExceeded) && rep != nil {
-			timedOut = true
-		} else {
+	if *remote != "" {
+		c, err := client.Dial(*remote)
+		if err != nil {
 			fail(err)
+		}
+		defer c.Close()
+		opts := []client.Option{client.WithTenant(*tenant)}
+		if progress != nil {
+			opts = append(opts, client.WithEvents(func(ev daemon.ProgressEvent) {
+				if ev.Fuzz != nil {
+					progress(*ev.Fuzz)
+				}
+			}))
+		}
+		var fr daemon.FuzzResult
+		err = c.Call(ctx, "fuzz", daemon.FuzzParams{
+			App: *app, Scheme: s.String(), Seeds: seeds, Dict: tokens,
+			Execs: *execs, Shards: *shards, Workers: *workers,
+			MaxInput: *maxIn, Seed: *seed,
+		}, &fr, opts...)
+		if err != nil {
+			fail(err)
+		}
+		rep = fr.FuzzReport
+		// A canceled partial under -duration is the requested time box.
+		timedOut = fr.TimedOut || (*duration > 0 && fr.Canceled)
+	} else {
+		m := pssp.NewMachine(pssp.WithSeed(*seed), pssp.WithScheme(s))
+		img, err := m.Pipeline().CompileApp(*app).Image()
+		if err != nil {
+			fail(err)
+		}
+		rep, err = m.Fuzz(ctx, img, pssp.FuzzConfig{
+			Seeds:    seeds,
+			Dict:     tokens,
+			Execs:    *execs,
+			Shards:   *shards,
+			Workers:  *workers,
+			Seed:     *seed,
+			MaxInput: *maxIn,
+			Progress: progress,
+		})
+		if err != nil {
+			// A -duration deadline is the requested time box, not a failure:
+			// report the partial result like a stopped fuzzing session. The
+			// check is on the returned error, not ctx.Err() — a genuine fatal
+			// error that lands after the deadline must still fail loudly.
+			if *duration > 0 && errors.Is(err, context.DeadlineExceeded) && rep != nil {
+				timedOut = true
+			} else {
+				fail(err)
+			}
 		}
 	}
 

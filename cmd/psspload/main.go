@@ -12,6 +12,7 @@
 //	psspload -app mysql -arrivals closed -clients 16 -think 5000
 //	psspload -app nginx-vuln -scheme p-ssp -mix 'benign:3,probe=adaptive:1'
 //	psspload -app nginx -arrivals uniform -rate 10 -sweep 0.5,1,2,4,8 -json
+//	psspload -remote unix:/tmp/psspd.sock -tenant ci -requests 256 -json
 //
 // The -mix grammar is comma-separated class:weight items, where a class is
 // either "benign" (the app's built-in request payload) or "probe=NAME" with
@@ -29,6 +30,8 @@ import (
 	"strings"
 
 	"repro/internal/cliutil"
+	"repro/internal/daemon"
+	"repro/internal/daemon/client"
 	"repro/pssp"
 )
 
@@ -71,6 +74,22 @@ func printReport(rep *pssp.LoadReport) {
 	}
 }
 
+func printSweep(sw *pssp.LoadSweepReport, app, arrivals string, s pssp.Scheme) {
+	fmt.Printf("sweep %s (%s, scheme %s): %d points\n", app, arrivals, s, len(sw.Points))
+	for _, pt := range sw.Points {
+		rep := pt.Report
+		fmt.Printf("  x%-5g offered %8.3f/Mcycle  achieved %8.3f/Mcycle  eff %.3f  p99 %s µs\n",
+			pt.Multiplier, rep.OfferedPerMcycle, rep.AchievedPerMcycle,
+			rep.Efficiency(), us(rep.Latency.P99))
+	}
+	if sw.KneeMultiplier > 0 {
+		fmt.Printf("saturation knee: x%g (largest multiplier with efficiency >= %.2f)\n",
+			sw.KneeMultiplier, pssp.KneeEfficiency)
+	} else {
+		fmt.Println("saturation knee: not located (closed loop, or all points past the knee)")
+	}
+}
+
 func main() {
 	var (
 		app      = flag.String("app", "nginx", "built-in server app to load (see pssp.Apps)")
@@ -88,6 +107,8 @@ func main() {
 		sweep    = flag.String("sweep", "", "offered-load multipliers, e.g. '0.5,1,2,4' (locates the saturation knee)")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		remote   = flag.String("remote", "", "run on a psspd daemon at this address (unix:/path or host:port)")
+		tenant   = flag.String("tenant", "", "tenant name for -remote (default \"default\")")
 	)
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspload", err) }
@@ -114,6 +135,52 @@ func main() {
 	multipliers, err := parseSweep(*sweep)
 	if err != nil {
 		fail(err)
+	}
+
+	if *remote != "" {
+		c, err := client.Dial(*remote)
+		if err != nil {
+			fail(err)
+		}
+		defer c.Close()
+		classes := make([]daemon.LoadClass, len(mix))
+		for i, rc := range mix {
+			classes[i] = daemon.LoadClass{Name: rc.Name, Weight: rc.Weight, Payload: rc.Payload, Probe: rc.Probe}
+		}
+		var res daemon.LoadResult
+		err = c.Call(context.Background(), "loadtest", daemon.LoadParams{
+			App: *app, Scheme: s.String(), Mix: classes, Arrivals: *arrivals,
+			Rate: *rate, Clients: *clients, ThinkCycles: *think,
+			Requests: *requests, DurationCycles: *duration,
+			Shards: *shards, Workers: *workers, Budget: *budget,
+			Sweep: multipliers, Seed: *seed,
+		}, &res, client.WithTenant(*tenant))
+		if err != nil {
+			fail(err)
+		}
+		if res.Canceled {
+			fmt.Fprintln(os.Stderr, "psspload: job canceled; partial report follows")
+		}
+		// The inner report is emitted bare, so remote -json output matches
+		// the local run byte for byte at a fixed seed.
+		if res.Sweep != nil {
+			if *jsonOut {
+				if err := cliutil.EmitJSON(os.Stdout, res.Sweep); err != nil {
+					fail(err)
+				}
+				return
+			}
+			printSweep(res.Sweep, *app, *arrivals, s)
+			return
+		}
+		if *jsonOut {
+			if err := cliutil.EmitJSON(os.Stdout, res.Report); err != nil {
+				fail(err)
+			}
+			return
+		}
+		printReport(res.Report)
+		return
 	}
 
 	m := pssp.NewMachine(
@@ -151,19 +218,7 @@ func main() {
 			}
 			return
 		}
-		fmt.Printf("sweep %s (%s, scheme %s): %d points\n", *app, *arrivals, s, len(sw.Points))
-		for _, pt := range sw.Points {
-			rep := pt.Report
-			fmt.Printf("  x%-5g offered %8.3f/Mcycle  achieved %8.3f/Mcycle  eff %.3f  p99 %s µs\n",
-				pt.Multiplier, rep.OfferedPerMcycle, rep.AchievedPerMcycle,
-				rep.Efficiency(), us(rep.Latency.P99))
-		}
-		if sw.KneeMultiplier > 0 {
-			fmt.Printf("saturation knee: x%g (largest multiplier with efficiency >= %.2f)\n",
-				sw.KneeMultiplier, pssp.KneeEfficiency)
-		} else {
-			fmt.Println("saturation knee: not located (closed loop, or all points past the knee)")
-		}
+		printSweep(sw, *app, *arrivals, s)
 		return
 	}
 

@@ -22,6 +22,7 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/attack"
 	"repro/internal/rng"
@@ -42,6 +43,26 @@ type Config struct {
 	// Seed drives all randomness: replication i draws from
 	// rng.NewStream(Seed, i).
 	Seed uint64
+	// Progress, when non-nil, receives a running tally after every
+	// completed replication, serialized by the engine (never two calls at
+	// once). It observes wall-clock completion order, so the sequence of
+	// snapshots varies with scheduling — only the final aggregate is
+	// deterministic. The nil path costs one pointer check per replication.
+	Progress func(Progress)
+}
+
+// Progress is a campaign's running tally, cumulative over the replications
+// completed so far in wall-clock order.
+type Progress struct {
+	// Requested echoes Config.Replications; Completed counts replications
+	// finished so far (infrastructure failures included — they are
+	// completed units whose loss the final aggregate accounts).
+	Requested, Completed int
+	// Successes, Trials, Detections and OracleCalls accumulate the
+	// corresponding Outcome fields of the completed replications.
+	Successes, Trials, Detections, OracleCalls int
+	// Cycles totals the victim-side cost so far.
+	Cycles uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +210,33 @@ func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 	outcomes := make([]*Outcome, cfg.Replications)
 	infra := make([]error, cfg.Replications)
 
+	// The running tally behind Config.Progress. Snapshots accumulate in
+	// wall-clock completion order under their own lock; the deterministic
+	// aggregate below never reads from it.
+	var (
+		progMu sync.Mutex
+		prog   Progress
+	)
+	tick := func(out *Outcome) {
+		if cfg.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		prog.Requested = cfg.Replications
+		prog.Completed++
+		if out != nil {
+			if out.Success {
+				prog.Successes++
+			}
+			prog.Trials += out.Trials
+			prog.Detections += out.Detections
+			prog.OracleCalls += out.OracleCalls
+			prog.Cycles += out.Cycles
+		}
+		cfg.Progress(prog)
+		progMu.Unlock()
+	}
+
 	// The pool handles cancellation and fatal-error semantics (see
 	// workpool.Run); this runner only classifies: an oracle infrastructure
 	// failure is accounted in its replication's infra slot — a completed
@@ -199,8 +247,10 @@ func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 		case err == nil:
 			out.Rep = rep
 			outcomes[rep] = &out
+			tick(&out)
 		case attack.IsOracleErr(err):
 			infra[rep] = err
+			tick(nil)
 		default:
 			return err
 		}

@@ -209,3 +209,41 @@ func TestRunnerInternalTimeoutDoesNotDeadlock(t *testing.T) {
 		t.Fatalf("aggregate %+v", agg)
 	}
 }
+
+func TestProgressObservesEveryReplication(t *testing.T) {
+	// The progress stream is wall-clock observability: every completed
+	// replication ticks it exactly once, Completed is monotone, and the
+	// final snapshot agrees with the deterministic aggregate — which must
+	// be bit-identical to a run without a callback.
+	var snaps []Progress
+	agg, err := Run(context.Background(), Config{
+		Replications: 32,
+		Workers:      4,
+		Seed:         2018,
+		Progress:     func(p Progress) { snaps = append(snaps, p) },
+	}, statRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 32 {
+		t.Fatalf("%d progress snapshots, want one per replication (32)", len(snaps))
+	}
+	for i, p := range snaps {
+		if p.Completed != i+1 || p.Requested != 32 {
+			t.Fatalf("snapshot %d: %+v — Completed must be monotone", i, p)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Successes != agg.Successes || last.Trials != agg.Trials ||
+		last.Detections != agg.Detections || last.OracleCalls != agg.OracleCalls ||
+		last.Cycles != agg.Cycles {
+		t.Fatalf("final snapshot %+v disagrees with aggregate %+v", last, agg)
+	}
+	silent, err := Run(context.Background(), Config{Replications: 32, Workers: 4, Seed: 2018}, statRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(agg, silent) {
+		t.Fatal("attaching a progress callback changed the deterministic aggregate")
+	}
+}

@@ -1,0 +1,238 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/pssp"
+)
+
+// startDaemon serves a daemon on a per-test unix socket and returns a
+// connected client. Both are torn down with the test.
+func startDaemon(t *testing.T, cfg daemon.Config) (*Client, *daemon.Daemon) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "psspd.sock")
+	lis, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	d := daemon.New(cfg)
+	go d.Serve(lis)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	c, err := Dial("unix:" + sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, d
+}
+
+// TestRemoteAttackMatchesLocalJSON is the e2e determinism contract: for a
+// fixed explicit seed, an attack job through daemon+client produces the
+// same JSON bytes psspattack would emit locally.
+func TestRemoteAttackMatchesLocalJSON(t *testing.T) {
+	const (
+		target = "nginx-vuln"
+		seed   = uint64(41)
+		budget = 2048
+	)
+	s := pssp.SchemeSSP
+
+	// Local path: exactly what cmd/psspattack does without -remote.
+	m := pssp.NewMachine(pssp.WithSeed(seed), pssp.WithScheme(s), pssp.WithAttackBudget(budget))
+	img, err := m.Pipeline().CompileApp(target).Image()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := m.Campaign(context.Background(), img, pssp.CampaignConfig{
+		Replications: 2, Workers: 2,
+	})
+	if err != nil {
+		t.Fatalf("local campaign: %v", err)
+	}
+	local, err := json.Marshal(daemon.BuildAttackReport(target, s, seed, budget, 2, 2, res))
+	if err != nil {
+		t.Fatalf("marshal local: %v", err)
+	}
+
+	c, _ := startDaemon(t, daemon.Config{})
+	var rep daemon.AttackReport
+	err = c.Call(context.Background(), "attack", daemon.AttackParams{
+		Target: target, Scheme: "ssp", Budget: budget, Repeats: 2, Workers: 2, Seed: seed,
+	}, &rep, WithTenant("e2e"))
+	if err != nil {
+		t.Fatalf("remote attack: %v", err)
+	}
+	remote, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal remote: %v", err)
+	}
+	if !bytes.Equal(local, remote) {
+		t.Fatalf("local and remote reports differ:\nlocal:  %s\nremote: %s", local, remote)
+	}
+}
+
+func TestOverQuotaTenantRejectedTyped(t *testing.T) {
+	c, _ := startDaemon(t, daemon.Config{QuotaCycles: 1})
+	ctx := context.Background()
+	p := daemon.AttackParams{Scheme: "ssp", Budget: 64, Repeats: 1, Seed: 5}
+
+	// First job is admitted at zero usage and spends past the 1-cycle quota.
+	if err := c.Call(ctx, "attack", p, nil, WithTenant("greedy")); err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	err := c.Call(ctx, "attack", p, nil, WithTenant("greedy"))
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota job: got %v, want ErrQuota", err)
+	}
+	var rpcErr *RPCError
+	if !errors.As(err, &rpcErr) || rpcErr.Code != daemon.CodeQuota {
+		t.Fatalf("wire error %v, want code %q", err, daemon.CodeQuota)
+	}
+	// The quota is per tenant: another tenant still runs.
+	if err := c.Call(ctx, "attack", p, nil, WithTenant("frugal")); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+}
+
+func TestProgressEventsStreamed(t *testing.T) {
+	c, _ := startDaemon(t, daemon.Config{})
+	var events []daemon.ProgressEvent
+	err := c.Call(context.Background(), "attack", daemon.AttackParams{
+		Scheme: "ssp", Budget: 1536, Repeats: 3, Workers: 1, Seed: 8,
+	}, nil, WithEvents(func(ev daemon.ProgressEvent) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events streamed")
+	}
+	for _, ev := range events {
+		if ev.Kind != "attack" || ev.Campaign == nil {
+			t.Fatalf("event kind=%q campaign=%v", ev.Kind, ev.Campaign)
+		}
+	}
+}
+
+// TestClientCancelReturnsFlaggedPartial cancels the Call's context on the
+// first progress event: the client sends a cancel request and the daemon
+// answers with the partial report, flagged.
+func TestClientCancelReturnsFlaggedPartial(t *testing.T) {
+	c, _ := startDaemon(t, daemon.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The replication count is far beyond what the daemon can run before
+	// the first progress event round-trips the cancel, so cancellation
+	// lands mid-campaign; the bound only keeps a broken cancel path from
+	// hanging the test.
+	const repeats = 1 << 16
+	var rep daemon.AttackReport
+	err := c.Call(ctx, "attack", daemon.AttackParams{
+		Scheme: "p-ssp", Budget: 64, Repeats: repeats, Workers: 1, Seed: 13,
+	}, &rep, WithEvents(func(daemon.ProgressEvent) { cancel() }))
+	if err != nil {
+		t.Fatalf("canceled call should deliver the partial report, got %v", err)
+	}
+	if !rep.Canceled {
+		t.Fatal("partial report not flagged canceled")
+	}
+	if rep.Completed == 0 || rep.Completed >= repeats {
+		t.Fatalf("completed = %d, want mid-campaign partial", rep.Completed)
+	}
+}
+
+func TestStatsAndPing(t *testing.T) {
+	c, _ := startDaemon(t, daemon.Config{Seed: 3, MaxJobs: 2})
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if err := c.Call(ctx, "boot", daemon.BootParams{Seed: 6}, nil, WithTenant("obs")); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Completed != 1 || st.Running != 0 {
+		t.Fatalf("completed/running = %d/%d, want 1/0", st.Completed, st.Running)
+	}
+	if st.Pool.Entries != 1 || st.Pool.Images != 1 {
+		t.Fatalf("pool entries/images = %d/%d, want 1/1", st.Pool.Entries, st.Pool.Images)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Name != "obs" || st.Tenants[0].Jobs != 1 {
+		t.Fatalf("tenant stats %+v", st.Tenants)
+	}
+}
+
+func TestBadRequestsTyped(t *testing.T) {
+	c, _ := startDaemon(t, daemon.Config{})
+	ctx := context.Background()
+	if err := c.Call(ctx, "frobnicate", nil, nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown method: got %v, want ErrBadRequest", err)
+	}
+	err := c.Call(ctx, "attack", daemon.AttackParams{Scheme: "rot13"}, nil)
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown scheme: got %v, want ErrBadRequest", err)
+	}
+}
+
+// TestShutdownLeaksNoGoroutines runs jobs, tears everything down, and
+// verifies the goroutine count returns to its baseline.
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sock := filepath.Join(t.TempDir(), "psspd.sock")
+	lis, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	d := daemon.New(daemon.Config{})
+	go d.Serve(lis)
+	c, err := Dial("unix:" + sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c.Call(context.Background(), "attack", daemon.AttackParams{
+		Scheme: "ssp", Budget: 256, Repeats: 1, Seed: 2,
+	}, nil); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Campaign worker goroutines unwind asynchronously after Shutdown
+	// returns; poll briefly before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,371 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/pssp"
+)
+
+// discardEvents is an eventStream that drops progress lines.
+func discardEvents(id uint64) *eventStream {
+	return newEventStream(&connWriter{enc: json.NewEncoder(io.Discard)}, id)
+}
+
+// runJob validates and runs one request synchronously, bypassing the wire.
+func runJob(t *testing.T, d *Daemon, tenantName string, method string, params any) (any, uint64, error) {
+	t.Helper()
+	raw, err := json.Marshal(params)
+	if err != nil {
+		t.Fatalf("marshal params: %v", err)
+	}
+	d.mu.Lock()
+	ten := d.tenantFor(tenantName)
+	d.mu.Unlock()
+	run, err := d.jobFor(Request{Method: method, Params: raw}, ten)
+	if err != nil {
+		t.Fatalf("jobFor(%s): %v", method, err)
+	}
+	return run(context.Background(), discardEvents(1))
+}
+
+func TestJobSeedDerivation(t *testing.T) {
+	d := New(Config{Seed: 2018})
+	defer d.Shutdown(context.Background())
+	d.mu.Lock()
+	a, b := d.tenantFor("alice"), d.tenantFor("bob")
+	d.mu.Unlock()
+
+	if got := d.jobSeed(a, 77); got != 77 {
+		t.Fatalf("explicit seed not verbatim: got %d", got)
+	}
+	// Auto-derived seeds come from the tenant's stream: Mix(tenantSeed, jobID).
+	s1, s2 := d.jobSeed(a, 0), d.jobSeed(a, 0)
+	if s1 != rng.Mix(a.seed, 1) || s2 != rng.Mix(a.seed, 2) {
+		t.Fatalf("derived seeds %d,%d want Mix(tenant,1..2)", s1, s2)
+	}
+	if s1 == s2 {
+		t.Fatal("successive derived seeds collide")
+	}
+	if a.seed == b.seed {
+		t.Fatal("distinct tenants share a seed stream")
+	}
+	// Same daemon seed + tenant name => same stream, across daemon instances.
+	d2 := New(Config{Seed: 2018})
+	defer d2.Shutdown(context.Background())
+	d2.mu.Lock()
+	a2 := d2.tenantFor("alice")
+	d2.mu.Unlock()
+	if a2.seed != a.seed {
+		t.Fatalf("tenant stream not reproducible: %d vs %d", a2.seed, a.seed)
+	}
+}
+
+func TestAdmitQuotaTypedError(t *testing.T) {
+	d := New(Config{QuotaCycles: 1000})
+	defer d.Shutdown(context.Background())
+	d.mu.Lock()
+	ten := d.tenantFor("greedy")
+	other := d.tenantFor("frugal")
+	d.mu.Unlock()
+
+	ctx := context.Background()
+	if err := d.admit(ctx, ten); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	d.release(ten, 1000) // spends the whole quota
+	err := d.admit(ctx, ten)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota admit: got %v, want ErrQuotaExceeded", err)
+	}
+	// The quota is per tenant: another tenant still runs.
+	if err := d.admit(ctx, other); err != nil {
+		t.Fatalf("other tenant blocked by greedy's quota: %v", err)
+	}
+	d.release(other, 0)
+}
+
+func TestAdmitQueueBackpressure(t *testing.T) {
+	d := New(Config{MaxJobs: 1, MaxQueue: 1})
+	defer d.Shutdown(context.Background())
+	d.mu.Lock()
+	ten := d.tenantFor("t")
+	d.mu.Unlock()
+	ctx := context.Background()
+
+	if err := d.admit(ctx, ten); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	// One waiter fits the queue...
+	waited := make(chan error, 1)
+	go func() { waited <- d.admit(ctx, ten) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.mu.Lock()
+		w := d.waiting
+		d.mu.Unlock()
+		if w == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...the next one bounces with the typed busy error.
+	if err := d.admit(ctx, ten); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overfull queue: got %v, want ErrBusy", err)
+	}
+	// Releasing the slot wakes the waiter.
+	d.release(ten, 0)
+	if err := <-waited; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	d.release(ten, 0)
+
+	// A waiter whose context dies leaves cleanly.
+	if err := d.admit(ctx, ten); err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := d.admit(cctx, ten); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: got %v", err)
+	}
+	d.release(ten, 0)
+}
+
+func TestPoolWarmHitAndKilledEntryRespawn(t *testing.T) {
+	d := New(Config{})
+	defer d.Shutdown(context.Background())
+	ctx := context.Background()
+	key := poolKey{imageKey{app: "nginx-vuln", scheme: pssp.SchemeSSP}, 7}
+
+	e, err := d.pool.checkout(ctx, key)
+	if err != nil {
+		t.Fatalf("cold checkout: %v", err)
+	}
+	d.pool.checkin(ctx, e)
+	e2, err := d.pool.checkout(ctx, key)
+	if err != nil {
+		t.Fatalf("warm checkout: %v", err)
+	}
+	if e2 != e {
+		t.Fatal("clean checkin did not park the same entry")
+	}
+	if st := d.pool.stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	d.pool.checkin(ctx, e2)
+
+	// Kill the parked machine under the pool (a crashed parent fails the
+	// Parked health check the same way); the next checkout must respawn.
+	d.pool.mu.Lock()
+	parked := d.pool.entries[key]
+	d.pool.mu.Unlock()
+	parked.srv.Close()
+	e3, err := d.pool.checkout(ctx, key)
+	if err != nil {
+		t.Fatalf("respawn checkout: %v", err)
+	}
+	if e3 == parked {
+		t.Fatal("killed entry handed out instead of respawned")
+	}
+	if !e3.srv.Parked() {
+		t.Fatal("respawned entry not parked")
+	}
+	if st := d.pool.stats(); st.Respawns != 1 {
+		t.Fatalf("respawns = %d, want 1", st.Respawns)
+	}
+	d.pool.checkin(ctx, e3)
+}
+
+func TestPoolDirtyCheckinRebuilds(t *testing.T) {
+	d := New(Config{})
+	defer d.Shutdown(context.Background())
+	ctx := context.Background()
+	key := poolKey{imageKey{app: "nginx-vuln", scheme: pssp.SchemeSSP}, 3}
+
+	e, err := d.pool.checkout(ctx, key)
+	if err != nil {
+		t.Fatalf("checkout: %v", err)
+	}
+	if _, err := e.srv.Handle(ctx, []byte("GET /\n")); err != nil {
+		t.Fatalf("handle: %v", err)
+	}
+	d.pool.checkin(ctx, e) // dirty: served a request
+	e2, err := d.pool.checkout(ctx, key)
+	if err != nil {
+		t.Fatalf("re-checkout: %v", err)
+	}
+	if e2 == e || e2.srv.Requests() != 0 {
+		t.Fatal("dirty entry was parked instead of rebuilt")
+	}
+	d.pool.checkin(ctx, e2)
+}
+
+func TestPoolLRUEviction(t *testing.T) {
+	d := New(Config{PoolSize: 1})
+	defer d.Shutdown(context.Background())
+	ctx := context.Background()
+	k1 := poolKey{imageKey{app: "nginx-vuln", scheme: pssp.SchemeSSP}, 1}
+	k2 := poolKey{imageKey{app: "nginx-vuln", scheme: pssp.SchemeSSP}, 2}
+
+	e1, err := d.pool.checkout(ctx, k1)
+	if err != nil {
+		t.Fatalf("checkout k1: %v", err)
+	}
+	e2, err := d.pool.checkout(ctx, k2)
+	if err != nil {
+		t.Fatalf("checkout k2: %v", err)
+	}
+	d.pool.checkin(ctx, e1)
+	d.pool.checkin(ctx, e2) // evicts e1 (cap 1, oldest first)
+	st := d.pool.stats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("entries/evictions = %d/%d, want 1/1", st.Entries, st.Evictions)
+	}
+	if e1.srv.Parked() {
+		t.Fatal("evicted entry's machine was not closed")
+	}
+	d.pool.mu.Lock()
+	_, k2parked := d.pool.entries[k2]
+	d.pool.mu.Unlock()
+	if !k2parked {
+		t.Fatal("most-recent entry missing from pool")
+	}
+}
+
+// cancelOnFirstWrite cancels a context the first time a progress line is
+// emitted, so cancellation lands deterministically mid-campaign.
+type cancelOnFirstWrite struct {
+	cancel context.CancelFunc
+}
+
+func (w *cancelOnFirstWrite) Write(p []byte) (int, error) {
+	w.cancel()
+	return len(p), nil
+}
+
+func TestCancelMidCampaignReturnsPartialAndPoolStaysHealthy(t *testing.T) {
+	d := New(Config{})
+	defer d.Shutdown(context.Background())
+	d.mu.Lock()
+	ten := d.tenantFor("t")
+	d.mu.Unlock()
+
+	params, _ := json.Marshal(AttackParams{
+		Scheme: "p-ssp", Budget: 64, Repeats: 64, Workers: 1, Seed: 9,
+	})
+	run, err := d.jobFor(Request{Method: "attack", Params: params}, ten)
+	if err != nil {
+		t.Fatalf("jobFor: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The campaign emits its first progress event after replication 1; the
+	// event write cancels the job, so it stops mid-campaign by construction.
+	ev := newEventStream(&connWriter{enc: json.NewEncoder(&cancelOnFirstWrite{cancel: cancel})}, 1)
+	result, cost, err := run(ctx, ev)
+	if err != nil {
+		t.Fatalf("canceled campaign should return a partial result, got error %v", err)
+	}
+	rep, ok := result.(AttackReport)
+	if !ok {
+		t.Fatalf("result type %T", result)
+	}
+	if !rep.Canceled {
+		t.Fatal("partial report not flagged canceled")
+	}
+	if rep.Completed == 0 || rep.Completed >= 64 {
+		t.Fatalf("completed = %d, want mid-campaign partial", rep.Completed)
+	}
+	if rep.Completed != len(rep.Outcomes) {
+		t.Fatalf("malformed partial: %d outcomes for %d completed", len(rep.Outcomes), rep.Completed)
+	}
+	if cost == 0 {
+		t.Fatal("partial campaign charged no cycles")
+	}
+
+	// The pool survived: the entry is parked again and the next job for the
+	// same key is a warm hit that runs to completion.
+	if st := d.pool.stats(); st.Entries != 1 {
+		t.Fatalf("pool entries after cancel = %d, want 1", st.Entries)
+	}
+	params2, _ := json.Marshal(AttackParams{Scheme: "p-ssp", Budget: 64, Repeats: 2, Workers: 1, Seed: 9})
+	run2, err := d.jobFor(Request{Method: "attack", Params: params2}, ten)
+	if err != nil {
+		t.Fatalf("jobFor 2: %v", err)
+	}
+	result2, _, err := run2(context.Background(), discardEvents(2))
+	if err != nil {
+		t.Fatalf("follow-up job on recovered pool: %v", err)
+	}
+	if rep2 := result2.(AttackReport); rep2.Completed != 2 || rep2.Canceled {
+		t.Fatalf("follow-up report completed=%d canceled=%v", rep2.Completed, rep2.Canceled)
+	}
+	if st := d.pool.stats(); st.Hits == 0 {
+		t.Fatal("follow-up job missed the warm pool")
+	}
+}
+
+// TestKilledMachineRespawnIsolation kills one tenant's parked machine while
+// another tenant's job is mid-flight: the victim tenant's next job respawns
+// and still produces the seed-determined report, and the bystander's result
+// is byte-identical to an undisturbed run.
+func TestKilledMachineRespawnIsolation(t *testing.T) {
+	attackJSON := func(d *Daemon, tenant string, p AttackParams) []byte {
+		res, _, err := runJob(t, d, tenant, "attack", p)
+		if err != nil {
+			t.Fatalf("attack job: %v", err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+		return raw
+	}
+	pa := AttackParams{Scheme: "ssp", Budget: 2048, Repeats: 1, Workers: 1, Seed: 11}
+	pb := AttackParams{Scheme: "p-ssp", Budget: 256, Repeats: 4, Workers: 1, Seed: 22}
+
+	// Baseline reports from an undisturbed daemon.
+	base := New(Config{})
+	defer base.Shutdown(context.Background())
+	wantA := attackJSON(base, "a", pa)
+	wantB := attackJSON(base, "b", pb)
+
+	d := New(Config{})
+	defer d.Shutdown(context.Background())
+	if got := attackJSON(d, "a", pa); string(got) != string(wantA) {
+		t.Fatal("tenant a's first report diverges from baseline")
+	}
+
+	// Start tenant b's job, then kill tenant a's parked machine while it runs.
+	bDone := make(chan []byte, 1)
+	go func() { bDone <- attackJSON(d, "b", pb) }()
+	keyA := poolKey{imageKey{app: "nginx-vuln", scheme: pssp.SchemeSSP}, 11}
+	d.pool.mu.Lock()
+	parked := d.pool.entries[keyA]
+	d.pool.mu.Unlock()
+	if parked == nil {
+		t.Fatal("tenant a's machine not parked after its job")
+	}
+	parked.srv.Close()
+
+	// Tenant a's next job respawns the machine and reproduces the report.
+	if got := attackJSON(d, "a", pa); string(got) != string(wantA) {
+		t.Fatal("respawned machine changed tenant a's report")
+	}
+	if st := d.pool.stats(); st.Respawns == 0 {
+		t.Fatal("killed machine was not respawned")
+	}
+	// The bystander tenant's concurrent job is untouched.
+	if got := <-bDone; string(got) != string(wantB) {
+		t.Fatal("tenant b's report diverged while tenant a's machine was killed")
+	}
+}

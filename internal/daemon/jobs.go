@@ -1,0 +1,309 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+
+	"repro/pssp"
+)
+
+// jobRun executes one admitted job: it returns the result object for the
+// terminal response, the victim-cycle cost to charge the tenant, and an
+// error. A canceled job that still produced a partial report returns it as
+// a result (flagged Canceled) rather than an error — partial data is the
+// point of graceful cancellation.
+type jobRun func(ctx context.Context, ev *eventStream) (result any, cost uint64, err error)
+
+// jobFor validates a request into a runnable job. Validation errors (bad
+// method, unknown scheme/arrivals) surface before admission, so they never
+// consume a queue slot.
+func (d *Daemon) jobFor(req Request, t *tenant) (jobRun, error) {
+	switch req.Method {
+	case "compile":
+		var p CompileParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.compileJob(p)
+	case "boot":
+		var p BootParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.bootJob(p, t)
+	case "attack":
+		var p AttackParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.attackJob(p, t)
+	case "loadtest":
+		var p LoadParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.loadJob(p, t)
+	case "fuzz":
+		var p FuzzParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.fuzzJob(p, t)
+	default:
+		return nil, badRequest("unknown method %q", req.Method)
+	}
+}
+
+// parseScheme maps a wire scheme name (with a per-method default for "")
+// onto pssp.Scheme as a bad-request on failure.
+func parseScheme(name, dflt string) (pssp.Scheme, error) {
+	if name == "" {
+		name = dflt
+	}
+	s, err := pssp.ParseScheme(name)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+	return s, nil
+}
+
+// canceledPartial reports whether err is a cancellation that still left a
+// usable partial report.
+func canceledPartial(err error, hasReport bool) bool {
+	return hasReport &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+func (d *Daemon) compileJob(p CompileParams) (jobRun, error) {
+	if p.App == "" {
+		p.App = "nginx-vuln"
+	}
+	s, err := parseScheme(p.Scheme, "ssp")
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, _ *eventStream) (any, uint64, error) {
+		_, cached, err := d.pool.image(imageKey{app: p.App, scheme: s})
+		if err != nil {
+			return nil, 0, err
+		}
+		return CompileResult{App: p.App, Scheme: s.String(), Cached: cached}, 0, nil
+	}, nil
+}
+
+func (d *Daemon) bootJob(p BootParams, t *tenant) (jobRun, error) {
+	if p.App == "" {
+		p.App = "nginx-vuln"
+	}
+	s, err := parseScheme(p.Scheme, "ssp")
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, _ *eventStream) (any, uint64, error) {
+		seed := d.jobSeed(t, p.Seed)
+		e, err := d.pool.checkout(ctx, poolKey{imageKey{app: p.App, scheme: s}, seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		res := BootResult{
+			App: p.App, Scheme: s.String(), Seed: seed,
+			FootprintBytes: e.srv.Footprint(),
+		}
+		d.pool.checkin(d.ctx, e)
+		return res, 0, nil
+	}, nil
+}
+
+// attackJob is psspattack's campaign as a daemon job. The campaign's
+// victims are replicas derived purely from the job seed, so running it on
+// a pooled machine is byte-identical to the CLI building a fresh one.
+func (d *Daemon) attackJob(p AttackParams, t *tenant) (jobRun, error) {
+	if p.Target == "" {
+		p.Target = "nginx-vuln"
+	}
+	s, err := parseScheme(p.Scheme, "ssp")
+	if err != nil {
+		return nil, err
+	}
+	if p.Budget <= 0 {
+		p.Budget = 4096
+	}
+	if p.Repeats <= 0 {
+		p.Repeats = 1
+	}
+	return func(ctx context.Context, ev *eventStream) (any, uint64, error) {
+		seed := d.jobSeed(t, p.Seed)
+		e, err := d.pool.checkout(ctx, poolKey{imageKey{app: p.Target, scheme: s}, seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer d.pool.checkin(d.ctx, e)
+		res, err := e.m.Campaign(ctx, e.img, pssp.CampaignConfig{
+			Strategy:     p.Strategy,
+			Replications: p.Repeats,
+			Workers:      p.Workers,
+			Seed:         seed,
+			Attack:       pssp.AttackConfig{MaxTrials: p.Budget},
+			Progress: func(cp pssp.CampaignProgress) {
+				ev.progress(ProgressEvent{Kind: "attack", Campaign: &cp})
+			},
+		})
+		var cost uint64
+		if res != nil {
+			cost = res.Cycles
+		}
+		if err != nil {
+			if canceledPartial(err, res != nil && res.Completed > 0) {
+				rep := BuildAttackReport(p.Target, s, seed, p.Budget, p.Repeats, p.Workers, res)
+				rep.Canceled = true
+				return rep, cost, nil
+			}
+			return nil, cost, err
+		}
+		return BuildAttackReport(p.Target, s, seed, p.Budget, p.Repeats, p.Workers, res), cost, nil
+	}, nil
+}
+
+func (d *Daemon) loadJob(p LoadParams, t *tenant) (jobRun, error) {
+	if p.App == "" {
+		p.App = "nginx"
+	}
+	s, err := parseScheme(p.Scheme, "p-ssp")
+	if err != nil {
+		return nil, err
+	}
+	var kind pssp.ArrivalKind
+	switch p.Arrivals {
+	case "", "poisson":
+		kind = pssp.ArrivalsOpenPoisson
+	case "uniform":
+		kind = pssp.ArrivalsOpenUniform
+	case "closed":
+		kind = pssp.ArrivalsClosedLoop
+	default:
+		return nil, badRequest("unknown arrival model %q (want poisson, uniform or closed)", p.Arrivals)
+	}
+	// Zero-value params take psspload's flag defaults, so an API job and a
+	// CLI invocation agree on the scenario.
+	if p.Rate == 0 {
+		p.Rate = 10
+	}
+	if p.Clients == 0 {
+		p.Clients = 8
+	}
+	if p.Requests == 0 && p.DurationCycles == 0 {
+		p.Requests = 256
+	}
+	if p.Budget <= 0 {
+		p.Budget = 64
+	}
+	mix := make([]pssp.RequestClass, len(p.Mix))
+	for i, c := range p.Mix {
+		mix[i] = pssp.RequestClass{Name: c.Name, Weight: c.Weight, Payload: c.Payload, Probe: c.Probe}
+	}
+	return func(ctx context.Context, ev *eventStream) (any, uint64, error) {
+		seed := d.jobSeed(t, p.Seed)
+		e, err := d.pool.checkout(ctx, poolKey{imageKey{app: p.App, scheme: s}, seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer d.pool.checkin(d.ctx, e)
+		cfg := pssp.WorkloadConfig{
+			Label:          p.App,
+			Mix:            mix,
+			Arrivals:       kind,
+			RatePerMcycle:  p.Rate,
+			Clients:        p.Clients,
+			ThinkCycles:    p.ThinkCycles,
+			Requests:       p.Requests,
+			DurationCycles: p.DurationCycles,
+			Shards:         p.Shards,
+			Workers:        p.Workers,
+			Seed:           seed,
+			Attack:         pssp.AttackConfig{MaxTrials: p.Budget},
+			Progress: func(lp pssp.LoadProgress) {
+				ev.progress(ProgressEvent{Kind: "loadtest", Load: &lp})
+			},
+		}
+		if len(p.Sweep) > 0 {
+			sw, err := e.m.LoadSweep(ctx, e.img, cfg, p.Sweep)
+			var cost uint64
+			if sw != nil {
+				for _, pt := range sw.Points {
+					cost += loadCost(pt.Report)
+				}
+			}
+			if err != nil {
+				if canceledPartial(err, sw != nil && len(sw.Points) > 0) {
+					return LoadResult{Sweep: sw, Canceled: true}, cost, nil
+				}
+				return nil, cost, err
+			}
+			return LoadResult{Sweep: sw}, cost, nil
+		}
+		rep, err := e.m.LoadTest(ctx, e.img, cfg)
+		var cost uint64
+		if rep != nil {
+			cost = loadCost(rep)
+		}
+		if err != nil {
+			if canceledPartial(err, rep != nil && rep.Requests > 0) {
+				return LoadResult{Report: rep, Canceled: true}, cost, nil
+			}
+			return nil, cost, err
+		}
+		return LoadResult{Report: rep}, cost, nil
+	}, nil
+}
+
+// loadCost approximates a workload's victim-cycle cost: the virtual-time
+// horizon times the shard count (each shard is one victim machine running
+// for the horizon). Loadgen reports don't carry per-request victim totals,
+// so machine-time is the honest upper bound to charge.
+func loadCost(rep *pssp.LoadReport) uint64 {
+	if rep == nil {
+		return 0
+	}
+	return rep.DurationCycles * uint64(rep.Shards)
+}
+
+func (d *Daemon) fuzzJob(p FuzzParams, t *tenant) (jobRun, error) {
+	if p.App == "" {
+		p.App = "nginx-vuln"
+	}
+	s, err := parseScheme(p.Scheme, "ssp")
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, ev *eventStream) (any, uint64, error) {
+		seed := d.jobSeed(t, p.Seed)
+		e, err := d.pool.checkout(ctx, poolKey{imageKey{app: p.App, scheme: s}, seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer d.pool.checkin(d.ctx, e)
+		rep, err := e.m.Fuzz(ctx, e.img, pssp.FuzzConfig{
+			Seeds:    p.Seeds,
+			Dict:     p.Dict,
+			Execs:    p.Execs,
+			Shards:   p.Shards,
+			Workers:  p.Workers,
+			Seed:     seed,
+			MaxInput: p.MaxInput,
+			Progress: func(fp pssp.FuzzProgress) {
+				ev.progress(ProgressEvent{Kind: "fuzz", Fuzz: &fp})
+			},
+		})
+		var cost uint64
+		if rep != nil {
+			cost = rep.Cycles
+		}
+		if err != nil {
+			if canceledPartial(err, rep != nil && rep.Execs > 0) {
+				return FuzzResult{FuzzReport: rep, Canceled: true}, cost, nil
+			}
+			return nil, cost, err
+		}
+		return FuzzResult{FuzzReport: rep}, cost, nil
+	}, nil
+}

@@ -1,0 +1,219 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/pssp"
+)
+
+// imageKey identifies a compiled image: compilation is deterministic in
+// (app, scheme), so one cache entry serves every seed.
+type imageKey struct {
+	app    string
+	scheme pssp.Scheme
+}
+
+// poolKey identifies a warm machine: the image plus the machine seed. Jobs
+// with the same key are interchangeable — a parked entry serves any of
+// them with CLI-identical results.
+type poolKey struct {
+	imageKey
+	seed uint64
+}
+
+// entry is one parked machine: a fresh-booted fork server (zero requests
+// served) on a machine seeded with key.seed, plus the image it serves.
+// Campaign/loadtest/fuzz jobs run on the machine (their victims are
+// replicas derived purely from the job seed, so they leave the entry
+// pristine); boot jobs read the parked server. An entry whose server has
+// served requests is dirty: its kernel state has diverged from a fresh
+// boot, so check-in replaces it to keep the determinism contract.
+type entry struct {
+	key poolKey
+	m   *pssp.Machine
+	img *pssp.Image
+	srv *pssp.Server
+}
+
+// pool is the warm machine pool: parked entries keyed by (app, scheme,
+// seed) with LRU eviction, over a compiled-image cache keyed by (app,
+// scheme). Checkout is exclusive — an entry is either parked here or owned
+// by exactly one job.
+type pool struct {
+	mu  sync.Mutex
+	cap int
+
+	entries map[poolKey]*entry
+	order   []poolKey // LRU, oldest first
+
+	images map[imageKey]*pssp.Image
+
+	hits, misses, evictions, respawns uint64
+}
+
+func newPool(capacity int) *pool {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &pool{
+		cap:     capacity,
+		entries: make(map[poolKey]*entry),
+		images:  make(map[imageKey]*pssp.Image),
+	}
+}
+
+// image returns the cached compiled image for key, compiling on miss. The
+// compile runs outside the lock (it dominates cold-job latency); two
+// concurrent misses may both compile, but compilation is deterministic so
+// either result is the same image and the second simply wins the store.
+func (p *pool) image(key imageKey) (*pssp.Image, bool, error) {
+	p.mu.Lock()
+	if img, ok := p.images[key]; ok {
+		p.mu.Unlock()
+		return img, true, nil
+	}
+	p.mu.Unlock()
+
+	m := pssp.NewMachine(pssp.WithScheme(key.scheme))
+	img, err := m.Pipeline().CompileApp(key.app).Image()
+	if err != nil {
+		return nil, false, err
+	}
+	p.mu.Lock()
+	if cached, ok := p.images[key]; ok {
+		img = cached
+	} else {
+		p.images[key] = img
+	}
+	p.mu.Unlock()
+	return img, false, nil
+}
+
+// build boots a fresh entry for key: a new machine seeded with key.seed
+// serving the (cached) image, parked at its accept point.
+func (p *pool) build(ctx context.Context, key poolKey) (*entry, error) {
+	img, _, err := p.image(key.imageKey)
+	if err != nil {
+		return nil, err
+	}
+	m := pssp.NewMachine(pssp.WithSeed(key.seed), pssp.WithScheme(key.scheme))
+	srv, err := m.Serve(ctx, img)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: booting %s/%s seed %d: %w", key.app, key.scheme, key.seed, err)
+	}
+	return &entry{key: key, m: m, img: img, srv: srv}, nil
+}
+
+// checkout hands the caller exclusive ownership of a warm entry for key,
+// building one on miss. A parked entry that fails its health check — the
+// parent no longer alive and waiting in accept — is respawned from the
+// image instead of handed out.
+func (p *pool) checkout(ctx context.Context, key poolKey) (*entry, error) {
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	if ok {
+		delete(p.entries, key)
+		p.removeOrder(key)
+		if e.srv.Parked() {
+			p.hits++
+			p.mu.Unlock()
+			return e, nil
+		}
+		// Crashed or otherwise un-parked entry: retire it and fall through
+		// to a fresh build.
+		p.respawns++
+		p.mu.Unlock()
+		e.m.Close()
+		p.mu.Lock()
+	}
+	p.misses++
+	p.mu.Unlock()
+	return p.build(ctx, key)
+}
+
+// checkin returns an entry to the pool. A dirty entry — its parked server
+// has handled requests or was closed, so its kernel state no longer
+// matches a fresh boot — is replaced by a rebuilt one (the old machine's
+// buffers are released on Close). Inserting may LRU-evict the
+// least-recently-used entry, whose machine is closed too.
+func (p *pool) checkin(ctx context.Context, e *entry) {
+	if e == nil {
+		return
+	}
+	if e.srv.Closed() || e.srv.Requests() > 0 || !e.srv.Parked() {
+		e.m.Close()
+		fresh, err := p.build(ctx, e.key)
+		if err != nil {
+			// Cancellation mid-rebuild (or a boot failure): drop the slot;
+			// the next checkout for this key rebuilds.
+			return
+		}
+		p.mu.Lock()
+		p.respawns++
+		p.mu.Unlock()
+		e = fresh
+	}
+	p.mu.Lock()
+	if _, dup := p.entries[e.key]; dup {
+		// Another job already parked an equivalent entry (possible after a
+		// concurrent rebuild). Keep the parked one, retire this one.
+		p.mu.Unlock()
+		e.m.Close()
+		return
+	}
+	p.entries[e.key] = e
+	p.order = append(p.order, e.key)
+	var evicted []*entry
+	for len(p.order) > p.cap {
+		victim := p.order[0]
+		p.order = p.order[1:]
+		if ev, ok := p.entries[victim]; ok {
+			delete(p.entries, victim)
+			evicted = append(evicted, ev)
+			p.evictions++
+		}
+	}
+	p.mu.Unlock()
+	for _, ev := range evicted {
+		ev.m.Close()
+	}
+}
+
+// removeOrder drops key from the LRU order (caller holds p.mu).
+func (p *pool) removeOrder(key poolKey) {
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// close retires every parked entry, releasing their buffers.
+func (p *pool) close() {
+	p.mu.Lock()
+	entries := p.entries
+	p.entries = make(map[poolKey]*entry)
+	p.order = nil
+	p.mu.Unlock()
+	for _, e := range entries {
+		e.m.Close()
+	}
+}
+
+// stats snapshots the pool's counters.
+func (p *pool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Entries:   len(p.entries),
+		Capacity:  p.cap,
+		Images:    len(p.images),
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+		Respawns:  p.respawns,
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/rng"
 	"repro/internal/vm"
@@ -40,6 +41,33 @@ type Config struct {
 	// MinimizeBudget bounds the extra executions triage spends minimizing
 	// each unique crash (default 96).
 	MinimizeBudget int
+	// Progress, when non-nil, receives a running tally roughly every
+	// ProgressEvery executions and at every shard completion, serialized by
+	// the engine. It observes wall-clock order, so the snapshot sequence
+	// varies with scheduling — only the final Report is deterministic. The
+	// nil path costs one pointer check per execution.
+	Progress func(Progress)
+	// ProgressEvery is the number of executions between Progress calls
+	// (default 256).
+	ProgressEvery int
+}
+
+// Progress is a fuzzing run's running tally, cumulative over the executions
+// performed so far in wall-clock order.
+type Progress struct {
+	// ShardsDone counts shards that finished, out of Shards.
+	ShardsDone, Shards int
+	// Execs counts every execution so far; Crashes the crashing subset
+	// (crash-minimization probes included, so it can exceed the final
+	// report's main-loop tally); Findings the unique crash sites found
+	// (per shard, before cross-shard dedup).
+	Execs, Crashes, Findings int
+	// Edges sums each shard's newly-covered edge buckets — the coverage
+	// frontier's growth signal. Shards chart frontiers independently, so
+	// this running figure can exceed the final report's deduplicated count.
+	Edges int
+	// CorpusSize counts inputs admitted across shards so far.
+	CorpusSize int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -72,7 +100,75 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MinimizeBudget <= 0 {
 		c.MinimizeBudget = 96
 	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 256
+	}
 	return c, nil
+}
+
+// progressMeter is the wall-clock observability tap behind Config.Progress.
+// A nil meter (no listener) makes every method a single pointer check,
+// keeping the default hot path allocation-free.
+type progressMeter struct {
+	mu        sync.Mutex
+	fn        func(Progress)
+	every     int
+	sinceTick int
+	prog      Progress
+}
+
+// newProgressMeter returns nil when no callback listens — the nil receiver
+// IS the disabled state.
+func newProgressMeter(cfg Config) *progressMeter {
+	if cfg.Progress == nil {
+		return nil
+	}
+	return &progressMeter{fn: cfg.Progress, every: cfg.ProgressEvery, prog: Progress{Shards: cfg.Shards}}
+}
+
+// exec folds one execution into the tally and fires the callback on the
+// tick boundary. Minimization probes count here too — they are real victim
+// executions.
+func (m *progressMeter) exec(crashed bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.prog.Execs++
+	if crashed {
+		m.prog.Crashes++
+	}
+	m.sinceTick++
+	if m.sinceTick >= m.every {
+		m.sinceTick = 0
+		m.fn(m.prog)
+	}
+	m.mu.Unlock()
+}
+
+// advance accumulates frontier/corpus/finding growth without forcing a tick
+// — the next exec boundary carries it out.
+func (m *progressMeter) advance(newEdges, corpusAdd, findingAdd int) {
+	if m == nil || (newEdges|corpusAdd|findingAdd) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.prog.Edges += newEdges
+	m.prog.CorpusSize += corpusAdd
+	m.prog.Findings += findingAdd
+	m.mu.Unlock()
+}
+
+// shardDone marks one shard finished and fires the callback.
+func (m *progressMeter) shardDone() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.prog.ShardsDone++
+	m.sinceTick = 0
+	m.fn(m.prog)
+	m.mu.Unlock()
 }
 
 // bucket classifies a hit count into AFL's power-of-two bucket bit, so "ran
@@ -140,7 +236,7 @@ const minFiller = 'A'
 
 // runShard fuzzes one shard to its budget. The returned result is valid
 // even on error (partial, up to the failure).
-func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shardResult, err error) {
+func runShard(ctx context.Context, cfg Config, shard int, ex Executor, mt *progressMeter) (st *shardResult, err error) {
 	r := rng.NewStream(cfg.Seed, uint64(shard))
 	mut := &mutator{r: r, dict: cfg.Dict, max: cfg.MaxInput}
 	st = &shardResult{virgin: make([]byte, vm.CovMapSize)}
@@ -159,6 +255,7 @@ func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shar
 		st.execs++
 		st.cycles += out.Cycles
 		st.insts += out.Insts
+		mt.exec(out.Crashed)
 		return out, cov, nil
 	}
 
@@ -234,6 +331,7 @@ func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shar
 			return nil
 		}
 		seen[k] = true
+		mt.advance(0, 0, 1)
 		min, err := minimize(f.Input, k)
 		f.Minimized = min
 		st.findings = append(st.findings, f)
@@ -248,7 +346,7 @@ func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shar
 		if err != nil {
 			return st, err
 		}
-		mergeCov(st.virgin, cov)
+		mt.advance(mergeCov(st.virgin, cov), 0, 0)
 		if out.Crashed {
 			if err := triage(s, out); err != nil {
 				return st, err
@@ -256,6 +354,7 @@ func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shar
 			continue
 		}
 		st.corpus = append(st.corpus, append([]byte(nil), s...))
+		mt.advance(0, 1, 0)
 	}
 
 	// Mutation phase: pick a parent, mutate, execute; coverage novelty
@@ -273,6 +372,7 @@ func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shar
 			return st, err
 		}
 		news := mergeCov(st.virgin, cov)
+		mt.advance(news, 0, 0)
 		if out.Crashed {
 			if err := triage(input, out); err != nil {
 				return st, err
@@ -281,6 +381,7 @@ func runShard(ctx context.Context, cfg Config, shard int, ex Executor) (st *shar
 		}
 		if news > 0 {
 			st.corpus = append(st.corpus, input)
+			mt.advance(0, 1, 0)
 		}
 	}
 	return st, nil
@@ -301,6 +402,7 @@ func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
 	}
 
 	results := make([]*shardResult, cfg.Shards)
+	mt := newProgressMeter(cfg)
 	// Cancellation and fatal-error semantics live in workpool.Run; a shard
 	// stores its (possibly partial) result before reporting any error, so
 	// cancelled runs still merge the work done so far.
@@ -309,8 +411,11 @@ func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
 		if err != nil {
 			return fmt.Errorf("fuzz: boot shard %d: %w", shard, err)
 		}
-		st, err := runShard(ctx, cfg, shard, ex)
+		st, err := runShard(ctx, cfg, shard, ex, mt)
 		results[shard] = st // partial shard results still merge
+		if err == nil {
+			mt.shardDone()
+		}
 		return err
 	})
 	return merge(cfg, results), poolErr

@@ -232,3 +232,64 @@ type executorFunc func(ctx context.Context, input []byte) (Exec, *vm.CovMap, err
 func (f executorFunc) Execute(ctx context.Context, input []byte) (Exec, *vm.CovMap, error) {
 	return f(ctx, input)
 }
+
+func TestProgressStreamsExecsAndFindings(t *testing.T) {
+	// Per-execution ticks respect ProgressEvery, shard completions always
+	// fire, counters are monotone, and the callback leaves the
+	// deterministic report bit-identical.
+	cfg := Config{
+		Label:         "fake",
+		Seeds:         [][]byte{[]byte("GET /")},
+		Execs:         400,
+		Shards:        4,
+		Workers:       4,
+		Seed:          2018,
+		ProgressEvery: 32,
+	}
+	var snaps []Progress
+	cfg.Progress = func(p Progress) { snaps = append(snaps, p) }
+	rep, err := Run(context.Background(), cfg, fakeBoot(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Execs < snaps[i-1].Execs || snaps[i].ShardsDone < snaps[i-1].ShardsDone {
+			t.Fatalf("snapshot %d regressed: %+v after %+v", i, snaps[i], snaps[i-1])
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.ShardsDone != cfg.Shards || last.Shards != cfg.Shards {
+		t.Fatalf("final snapshot %+v: want all %d shards done", last, cfg.Shards)
+	}
+	// Execs agree exactly; Crashes and Findings are per-shard running
+	// figures — minimization probes included, pre-dedup — so they bound
+	// the report's tallies from above.
+	if last.Execs != rep.Execs || last.Crashes < rep.Crashes || last.Findings < len(rep.Findings) {
+		t.Fatalf("final snapshot %+v disagrees with report (%d execs, %d crashes, %d findings)",
+			last, rep.Execs, rep.Crashes, len(rep.Findings))
+	}
+	cfg.Progress, cfg.ProgressEvery = nil, 0
+	silent, err := Run(context.Background(), cfg, fakeBoot(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, silent) {
+		t.Fatal("attaching a progress callback changed the deterministic report")
+	}
+}
+
+func TestNilProgressMeterIsFree(t *testing.T) {
+	// Disabled metering is the nil receiver: the per-execution hot path
+	// must not allocate.
+	var m *progressMeter
+	if n := testing.AllocsPerRun(100, func() {
+		m.exec(true)
+		m.advance(1, 1, 1)
+		m.shardDone()
+	}); n != 0 {
+		t.Fatalf("nil meter allocated %.0f times per exec", n)
+	}
+}

@@ -2,11 +2,15 @@ package kernel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/binfmt"
 	"repro/internal/vm"
 )
+
+// ErrServerClosed is returned by Handle/HandleContext after Close.
+var ErrServerClosed = errors.New("kernel: fork server is closed")
 
 // ForkServer is the fork-per-request supervisor of the paper's threat model:
 // a parent process runs to its accept(2) point and parks there; every
@@ -20,6 +24,7 @@ import (
 type ForkServer struct {
 	kernel *Kernel
 	parent *Process
+	closed bool
 
 	// Requests counts Handle calls; Crashes counts children that died.
 	Requests int
@@ -106,9 +111,36 @@ func (s *ForkServer) Handle(req []byte) (Outcome, error) {
 	return s.HandleContext(context.Background(), req)
 }
 
+// Close retires the parked parent: its large private buffers — including
+// the ones still marked copy-on-write, whose only peers are this server's
+// dead single-shot workers — go back to the kernel's pool, so the next
+// server booted on the same kernel forks from recycled memory instead of
+// allocating. Subsequent Handle calls fail with ErrServerClosed; the
+// counters stay readable. Close is idempotent.
+func (s *ForkServer) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.parent.Space.ReleaseAll()
+}
+
+// Closed reports whether Close has retired the server.
+func (s *ForkServer) Closed() bool { return s.closed }
+
+// Parked reports whether the server is still serviceable: not closed, with
+// the parent alive and blocked in accept. The daemon's warm pool runs this
+// health check at checkout and respawns entries that fail it.
+func (s *ForkServer) Parked() bool {
+	return !s.closed && s.parent.State == StateWaiting
+}
+
 // HandleContext is Handle with cancellation plumbed into the worker's run.
 // On cancellation the half-run child is discarded and ctx.Err() returned.
 func (s *ForkServer) HandleContext(ctx context.Context, req []byte) (Outcome, error) {
+	if s.closed {
+		return Outcome{}, ErrServerClosed
+	}
 	child, err := s.kernel.Fork(s.parent)
 	if err != nil {
 		return Outcome{}, err

@@ -667,3 +667,64 @@ func TestReplicaDeterministicDerivedKernels(t *testing.T) {
 		t.Fatal("distinct streams produced the same canary")
 	}
 }
+
+func TestForkServerCloseRetiresParent(t *testing.T) {
+	k := New(11)
+	srv, err := NewForkServer(k, buildStatic(t, serverProg, "ssp"), SpawnOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Handle([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Closed() {
+		t.Fatal("server reports closed before Close")
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if !srv.Closed() {
+		t.Fatal("server does not report closed")
+	}
+	if _, err := srv.Handle([]byte("ping")); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Handle after Close: %v, want ErrServerClosed", err)
+	}
+	// The counters survive the teardown for post-mortem reads.
+	if srv.Requests != 1 {
+		t.Fatalf("requests = %d after Close, want 1", srv.Requests)
+	}
+}
+
+func TestForkServerCloseRecyclesIntoNextBoot(t *testing.T) {
+	// Serving, closing, and re-serving on one kernel must reach an
+	// allocation steady state: each new parent's stack materializes from
+	// the buffers its closed predecessor returned to the kernel pool.
+	k := New(12)
+	app := buildStatic(t, serverProg, "ssp")
+	cycle := func() {
+		srv, err := NewForkServer(k, app, SpawnOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Handle([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		srv.Close()
+	}
+	cycle() // warm the pool
+	warm := testing.AllocsPerRun(10, cycle)
+
+	k2 := New(13)
+	leaky := testing.AllocsPerRun(10, func() {
+		srv, err := NewForkServer(k2, app, SpawnOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Handle([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		// No Close: the parent's buffers are garbage, never recycled.
+	})
+	if warm >= leaky {
+		t.Fatalf("close/boot cycle allocates %.0f, no-close cycle %.0f — Close is not recycling", warm, leaky)
+	}
+}

@@ -5,10 +5,76 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/rng"
 	"repro/internal/workpool"
 )
+
+// progressMeter is the wall-clock observability tap behind Config.Progress:
+// every shard reports its served requests into it, and it invokes the
+// callback every ProgressEvery requests plus at each shard completion. A nil
+// meter (no listener) makes every method a single pointer check, keeping the
+// default path allocation-free.
+type progressMeter struct {
+	mu        sync.Mutex
+	fn        func(Progress)
+	every     int
+	sinceTick int
+	prog      Progress
+	lat       Hist
+}
+
+// newProgressMeter returns nil when no callback listens — the nil receiver
+// IS the disabled state.
+func newProgressMeter(cfg Config) *progressMeter {
+	if cfg.Progress == nil {
+		return nil
+	}
+	return &progressMeter{fn: cfg.Progress, every: cfg.ProgressEvery, prog: Progress{Shards: cfg.Shards}}
+}
+
+// request folds one served request into the tally and fires the callback on
+// the tick boundary.
+func (m *progressMeter) request(out Outcome) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.prog.Requests++
+	if out.Crashed {
+		m.prog.Crashes++
+		if out.Detected {
+			m.prog.Detections++
+		}
+	} else {
+		m.prog.OK++
+	}
+	m.sinceTick++
+	if m.sinceTick >= m.every {
+		m.sinceTick = 0
+		m.fn(m.prog)
+	}
+	m.mu.Unlock()
+}
+
+// shardDone merges a finished shard's latency histogram, refreshes the
+// quantile snapshot, and fires the callback.
+func (m *progressMeter) shardDone(lat *Hist) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.prog.ShardsDone++
+	if lat != nil {
+		m.lat.Merge(lat)
+	}
+	m.prog.P50Cycles = m.lat.Quantile(0.50)
+	m.prog.P99Cycles = m.lat.Quantile(0.99)
+	m.sinceTick = 0
+	m.fn(m.prog)
+	m.mu.Unlock()
+}
 
 // Outcome reports one served request from the engine's point of view.
 type Outcome struct {
@@ -58,7 +124,7 @@ func expDraw(r *rng.Source, mean float64) uint64 {
 
 // runShard simulates one shard's clients in virtual time against srv.
 // The returned stats are valid even on error (partial, up to the failure).
-func runShard(ctx context.Context, cfg Config, shard int, srv Server) (st *shardStats, err error) {
+func runShard(ctx context.Context, cfg Config, shard int, srv Server, mt *progressMeter) (st *shardStats, err error) {
 	r := rng.NewStream(cfg.Seed, uint64(shard))
 	st = &shardStats{classes: make([]classTally, len(cfg.Mix))}
 
@@ -157,6 +223,7 @@ func runShard(ctx context.Context, cfg Config, shard int, srv Server) (st *shard
 		} else {
 			st.ok++
 		}
+		mt.request(out)
 		return nil
 	}
 
@@ -283,6 +350,7 @@ func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
 	}
 
 	stats := make([]*shardStats, cfg.Shards)
+	mt := newProgressMeter(cfg)
 	// Cancellation and fatal-error semantics live in workpool.Run; a shard
 	// stores its (possibly partial) stats before reporting any error, so
 	// cancelled runs still merge the work done so far.
@@ -291,8 +359,11 @@ func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
 		if err != nil {
 			return fmt.Errorf("loadgen: boot shard %d: %w", shard, err)
 		}
-		st, err := runShard(ctx, cfg, shard, srv)
+		st, err := runShard(ctx, cfg, shard, srv, mt)
 		stats[shard] = st // partial shard results still merge
+		if err == nil {
+			mt.shardDone(&st.lat)
+		}
 		return err
 	})
 	return merge(cfg, stats), poolErr

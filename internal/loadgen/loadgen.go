@@ -133,6 +133,29 @@ type Config struct {
 	Workers int
 	// Seed drives all randomness: shard i draws from rng.NewStream(Seed, i).
 	Seed uint64
+	// Progress, when non-nil, receives a running tally roughly every
+	// ProgressEvery served requests and at every shard completion,
+	// serialized by the engine. It observes wall-clock order, so the
+	// snapshot sequence varies with scheduling — only the final Report is
+	// deterministic. The nil path costs one pointer check per request.
+	Progress func(Progress)
+	// ProgressEvery is the number of served requests between Progress calls
+	// (default 64).
+	ProgressEvery int
+}
+
+// Progress is a workload's running tally, cumulative over the requests
+// served so far in wall-clock order.
+type Progress struct {
+	// ShardsDone counts shards that finished, out of Shards.
+	ShardsDone, Shards int
+	// Requests, OK, Crashes and Detections accumulate served requests and
+	// their outcomes across all shards.
+	Requests, OK, Crashes, Detections int
+	// P50Cycles and P99Cycles are latency quantiles over the shards
+	// completed so far (0 until the first shard finishes — per-request
+	// quantile merges would dominate the engine's cost).
+	P50Cycles, P99Cycles uint64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -184,6 +207,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Workers > c.Shards {
 		c.Workers = c.Shards
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 64
 	}
 	// The virtual clock is integral cycles: a per-shard mean inter-arrival
 	// under one cycle would floor to a zero step — a uniform open loop

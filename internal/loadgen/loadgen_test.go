@@ -354,3 +354,58 @@ func TestRequestBudgetSplitsAcrossShards(t *testing.T) {
 		}
 	}
 }
+
+func TestProgressTicksAndShardCompletions(t *testing.T) {
+	// Every shard completion fires a snapshot (so the last one sees the
+	// full run), request ticks respect ProgressEvery, counters are
+	// monotone, and attaching the callback leaves the deterministic
+	// report bit-identical.
+	cfg := baseConfig(benignMix())
+	cfg.Workers = 4
+	cfg.ProgressEvery = 8
+	var snaps []Progress
+	cfg.Progress = func(p Progress) { snaps = append(snaps, p) }
+	rep, err := Run(context.Background(), cfg, fakeBoot(fakeBufLen, 0x41, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Requests < snaps[i-1].Requests || snaps[i].ShardsDone < snaps[i-1].ShardsDone {
+			t.Fatalf("snapshot %d regressed: %+v after %+v", i, snaps[i], snaps[i-1])
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.ShardsDone != cfg.Shards || last.Shards != cfg.Shards {
+		t.Fatalf("final snapshot %+v: want all %d shards done", last, cfg.Shards)
+	}
+	if last.Requests != rep.Requests || last.OK != rep.OK || last.Crashes != rep.Crashes {
+		t.Fatalf("final snapshot %+v disagrees with report (%d req, %d ok, %d crashes)",
+			last, rep.Requests, rep.OK, rep.Crashes)
+	}
+	if last.P50Cycles == 0 || last.P99Cycles < last.P50Cycles {
+		t.Fatalf("final latency quantiles p50=%d p99=%d", last.P50Cycles, last.P99Cycles)
+	}
+	cfg.Progress, cfg.ProgressEvery = nil, 0
+	silent, err := Run(context.Background(), cfg, fakeBoot(fakeBufLen, 0x41, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, silent) {
+		t.Fatal("attaching a progress callback changed the deterministic report")
+	}
+}
+
+func TestNilProgressMeterIsFree(t *testing.T) {
+	// The disabled state is the nil receiver: per-request metering on the
+	// hot path must not allocate or tick anything.
+	var m *progressMeter
+	if n := testing.AllocsPerRun(100, func() {
+		m.request(Outcome{Cycles: 123})
+		m.shardDone(nil)
+	}); n != 0 {
+		t.Fatalf("nil meter allocated %.0f times per request", n)
+	}
+}

@@ -256,6 +256,15 @@ func (p *BufPool) put(b []byte) {
 	p.bufs = append(p.bufs, b)
 }
 
+// Len reports how many buffers the pool currently retains — an
+// observability hook for teardown tests and the daemon's stats.
+func (p *BufPool) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.bufs)
+}
+
 // Space is a full address space. The zero value is an empty space.
 type Space struct {
 	segs []*Segment // sorted by Base
@@ -291,7 +300,20 @@ func (sp *Space) Map(name string, base uint64, size int, perm Perm) (*Segment, e
 				name, base, s.Name, s.Base, s.End())
 		}
 	}
-	seg := &Segment{Name: name, Base: base, Perm: perm, Data: make([]byte, size)}
+	// Large non-executable segments draw on the pool — this is how a closed
+	// server's stack reaches the next boot on the same machine. Pooled
+	// buffers come back dirty, and Map guarantees zeroed memory (program
+	// behaviour must never depend on pool history), so recycled buffers are
+	// cleared: an O(size) clear against a saved allocation, the same trade
+	// make itself pays.
+	var data []byte
+	if size >= cowLazyMin && perm&PermExec == 0 {
+		data = sp.pool.get(size)
+		clear(data)
+	} else {
+		data = make([]byte, size)
+	}
+	seg := &Segment{Name: name, Base: base, Perm: perm, Data: data}
 	sp.segs = append(sp.segs, seg)
 	sort.Slice(sp.segs, func(i, j int) bool { return sp.segs[i].Base < sp.segs[j].Base })
 	return seg, nil
@@ -521,6 +543,26 @@ func (sp *Space) Release() {
 		sp.pool.put(s.Data)
 		s.Data = nil
 		s.shadow = nil
+	}
+	sp.segs = nil
+	sp.last = nil
+}
+
+// ReleaseAll is Release for a space whose copy-on-write peers are all dead:
+// segments still marked shared are reclaimed too. The caller asserts that no
+// live space aliases this one's buffers — true for a parked fork-server
+// parent whose single-shot children have all been released, which is how a
+// closed server hands its stack and data buffers to the next boot on the
+// same machine. Executable segments are still skipped (decode caches key on
+// their backing identity), as are small segments the pool would not retain.
+func (sp *Space) ReleaseAll() {
+	for _, s := range sp.segs {
+		s.shadow = nil
+		if s.Perm&PermExec != 0 || len(s.Data) < cowLazyMin {
+			continue
+		}
+		sp.pool.put(s.Data)
+		s.Data = nil
 	}
 	sp.segs = nil
 	sp.last = nil

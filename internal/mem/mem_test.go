@@ -665,3 +665,55 @@ func TestReleaseSkipsSharedSegments(t *testing.T) {
 		t.Fatal("released space still readable")
 	}
 }
+
+// TestReleaseAllReclaimsSharedSegments: closing a fork-server parent whose
+// workers are all dead must reclaim even the still-cow-marked buffers —
+// that is ReleaseAll's contract — and the next materialization must take
+// the recycled array instead of allocating.
+func TestReleaseAllReclaimsSharedSegments(t *testing.T) {
+	pool := &BufPool{}
+	sp, base, _ := largeCOWSpace(t, pool)
+	// A write-free worker comes and goes: the parent's segment stays marked
+	// shared, which plain Release would skip forever.
+	w := sp.Clone()
+	w.Release()
+	if len(pool.bufs) != 0 {
+		t.Fatalf("pool holds %d buffers from a write-free worker, want 0", len(pool.bufs))
+	}
+	var parentBuf []byte
+	for _, s := range sp.segs {
+		if s.Name == "stack" {
+			parentBuf = s.Data
+		}
+	}
+	sp.ReleaseAll()
+	if len(pool.bufs) != 1 {
+		t.Fatalf("pool holds %d buffers after ReleaseAll, want 1", len(pool.bufs))
+	}
+	if _, err := sp.Read(base, 1); err == nil {
+		t.Fatal("released space still readable")
+	}
+	// The recycled buffer is the parent's old backing array.
+	got := pool.get(len(parentBuf))
+	if &got[0] != &parentBuf[0] {
+		t.Fatal("pool.get returned a different buffer than ReleaseAll reclaimed")
+	}
+}
+
+// TestReleaseAllSkipsExecAndSmall: executable segments (decode caches key on
+// their backing identity) and sub-threshold segments stay out of the pool.
+func TestReleaseAllSkipsExecAndSmall(t *testing.T) {
+	pool := &BufPool{}
+	sp := NewSpace()
+	sp.SetPool(pool)
+	if _, err := sp.Map("text", 0x1000, 4*cowChunk, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Map("tiny", 0x100000, cowLazyMin-1, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	sp.ReleaseAll()
+	if len(pool.bufs) != 0 {
+		t.Fatalf("pool holds %d buffers, want 0 (exec and small segments are not poolable)", len(pool.bufs))
+	}
+}

@@ -74,7 +74,14 @@ type CampaignConfig struct {
 	Seed uint64
 	// Attack describes the victim frame, as in Server.Attack.
 	Attack AttackConfig
+	// Progress, when non-nil, receives a running tally after every
+	// completed replication, serialized by the engine. Wall-clock
+	// observability only — it never affects the deterministic aggregate.
+	Progress func(CampaignProgress)
 }
+
+// CampaignProgress is a campaign's running tally; see campaign.Progress.
+type CampaignProgress = campaign.Progress
 
 // CampaignResult is a campaign's deterministic aggregate: success counts
 // and rate, trials-to-success order statistics, detection rate, total
@@ -170,6 +177,7 @@ func (m *Machine) Campaign(ctx context.Context, img *Image, cfg CampaignConfig) 
 		Replications: cfg.Replications,
 		Workers:      cfg.Workers,
 		Seed:         seed,
+		Progress:     cfg.Progress,
 	}, runner)
 	if err != nil {
 		return agg, err

@@ -25,6 +25,9 @@ var (
 	// ErrAwaitingRequest is returned by Process.Run when the program blocks
 	// in accept(2): it is a server and must be driven via Machine.Serve.
 	ErrAwaitingRequest = errors.New("pssp: process is blocked in accept awaiting a request")
+	// ErrServerClosed is returned by Server.Handle after Server.Close (or
+	// Machine.Close) retired the parked parent.
+	ErrServerClosed = kernel.ErrServerClosed
 )
 
 // CrashError reports an abnormal process termination with enough structure

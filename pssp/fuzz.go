@@ -36,7 +36,18 @@ type FuzzConfig struct {
 	Seed uint64
 	// MaxInput caps generated input length in bytes (default 1024).
 	MaxInput int
+	// Progress, when non-nil, receives a running tally roughly every
+	// ProgressEvery executions and at every shard completion, serialized by
+	// the engine. Wall-clock observability only — it never affects the
+	// deterministic report.
+	Progress func(FuzzProgress)
+	// ProgressEvery is the number of executions between Progress calls
+	// (default 256).
+	ProgressEvery int
 }
+
+// FuzzProgress is a fuzzing run's running tally; see fuzz.Progress.
+type FuzzProgress = fuzz.Progress
 
 // FuzzReport is a fuzzing run's deterministic aggregate: execution and crash
 // counts, the deduplicated findings, the coverage frontier (edge count +
@@ -128,13 +139,15 @@ func (m *Machine) Fuzz(ctx context.Context, img *Image, cfg FuzzConfig) (*FuzzRe
 		return &fuzzExecutor{srv: srv.srv, cov: srv.srv.EnableCoverage()}, nil
 	}
 	return fuzz.Run(ctx, fuzz.Config{
-		Label:    label,
-		Seeds:    seeds,
-		Dict:     cfg.Dict,
-		Execs:    cfg.Execs,
-		Shards:   cfg.Shards,
-		Workers:  cfg.Workers,
-		Seed:     seed,
-		MaxInput: cfg.MaxInput,
+		Label:         label,
+		Seeds:         seeds,
+		Dict:          cfg.Dict,
+		Execs:         cfg.Execs,
+		Shards:        cfg.Shards,
+		Workers:       cfg.Workers,
+		Seed:          seed,
+		MaxInput:      cfg.MaxInput,
+		Progress:      cfg.Progress,
+		ProgressEvery: cfg.ProgressEvery,
 	}, boot)
 }

@@ -91,7 +91,18 @@ type WorkloadConfig struct {
 	// Server.Attack. Its Strategy field must be empty — per-class Probe
 	// names select the adversaries.
 	Attack AttackConfig
+	// Progress, when non-nil, receives a running tally roughly every
+	// ProgressEvery served requests and at every shard completion,
+	// serialized by the engine. Wall-clock observability only — it never
+	// affects the deterministic report.
+	Progress func(LoadProgress)
+	// ProgressEvery is the number of served requests between Progress calls
+	// (default 64).
+	ProgressEvery int
 }
+
+// LoadProgress is a workload's running tally; see loadgen.Progress.
+type LoadProgress = loadgen.Progress
 
 // LoadReport is a workload's deterministic aggregate: tail-latency
 // histograms (p50/p90/p99/p99.9 over log-scaled buckets),
@@ -198,6 +209,8 @@ func (m *Machine) resolveWorkload(img *Image, cfg WorkloadConfig) (loadgen.Confi
 		Shards:         cfg.Shards,
 		Workers:        cfg.Workers,
 		Seed:           seed,
+		Progress:       cfg.Progress,
+		ProgressEvery:  cfg.ProgressEvery,
 	}, nil
 }
 

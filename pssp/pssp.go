@@ -141,6 +141,21 @@ func WithStats(s *Stats) Option { return func(c *config) { c.stats = s } }
 type Machine struct {
 	cfg config
 	k   *kernel.Kernel
+	// servers tracks every parked server booted on this machine so
+	// Machine.Close can retire them all (a machine is single-goroutine by
+	// design, so no lock guards the list).
+	servers []*Server
+}
+
+// Close retires every server the machine has booted (see Server.Close),
+// returning their parked parents' buffers to the machine's pool. The machine
+// itself stays usable — Close is the between-jobs reset a long-lived machine
+// needs (the daemon's warm pool closes before re-serving), not a destructor.
+func (m *Machine) Close() {
+	for _, s := range m.servers {
+		s.Close()
+	}
+	m.servers = nil
 }
 
 // NewMachine builds a machine from functional options.

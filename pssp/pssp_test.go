@@ -359,3 +359,51 @@ func TestPipelineLoadThenServe(t *testing.T) {
 		t.Fatal("late LoadOption on Serve accepted")
 	}
 }
+
+// TestMachineCloseRetiresServers: Machine.Close closes every server the
+// machine booted, Handle then fails with ErrServerClosed, and the machine
+// itself stays usable — a fresh Serve on it works and reuses the pool.
+func TestMachineCloseRetiresServers(t *testing.T) {
+	ctx := context.Background()
+	m := pssp.NewMachine(pssp.WithSeed(21), pssp.WithScheme(pssp.SchemeSSP))
+	img, err := m.Pipeline().CompileApp("nginx-vuln").Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := m.Serve(ctx, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := m.Serve(ctx, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Handle(ctx, []byte("GET /")); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	for i, srv := range []*pssp.Server{srv1, srv2} {
+		if !srv.Closed() {
+			t.Fatalf("server %d not closed by Machine.Close", i)
+		}
+		if _, err := srv.Handle(ctx, []byte("GET /")); !errors.Is(err, pssp.ErrServerClosed) {
+			t.Fatalf("server %d Handle after Close: %v, want ErrServerClosed", i, err)
+		}
+	}
+	// Counters survive for post-mortem reads.
+	if srv1.Requests() != 1 {
+		t.Fatalf("srv1 requests = %d after Close, want 1", srv1.Requests())
+	}
+	// The machine is still serviceable after Close.
+	srv3, err := m.Serve(ctx, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv3.Handle(ctx, []byte("GET /"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Crashed() {
+		t.Fatalf("benign request crashed on post-Close server: %v", resp.Err)
+	}
+}

@@ -51,8 +51,25 @@ func (m *Machine) serveLoaded(ctx context.Context, p *Process) (*Server, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Server{m: m, srv: srv}, nil
+	s := &Server{m: m, srv: srv}
+	m.servers = append(m.servers, s)
+	return s, nil
 }
+
+// Close retires the server: the parked parent's buffers — including ones
+// still marked copy-on-write, whose only peers are the server's dead
+// single-shot workers — return to the machine's pool so the next boot on
+// this machine forks from recycled memory. Subsequent Handle calls fail
+// with a transport-level error wrapping kernel.ErrServerClosed; the
+// counters (Requests, Crashes, totals) stay readable. Idempotent.
+func (s *Server) Close() { s.srv.Close() }
+
+// Closed reports whether Close has retired the server.
+func (s *Server) Closed() bool { return s.srv.Closed() }
+
+// Parked reports whether the server is serviceable: not closed, parent
+// alive and blocked in accept — the warm-pool health check.
+func (s *Server) Parked() bool { return s.srv.Parked() }
 
 // Handle serves one request with a freshly forked worker. The returned
 // error covers transport-level failures only (fork failure, cancellation);
