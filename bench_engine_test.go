@@ -32,6 +32,7 @@ var benchEngines = []struct {
 }{
 	{"predecoded", pssp.EnginePredecoded},
 	{"interpreter", pssp.EngineInterpreter},
+	{"compiled", pssp.EngineCompiled},
 }
 
 // parkedServerSpace builds the nginx analog's parent process, boots it to
@@ -197,14 +198,21 @@ func BenchmarkFuzz(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Sub-benchmark names stay dash-free: benchjson strips a trailing
-	// -N as the GOMAXPROCS suffix.
+	// -N as the GOMAXPROCS suffix. The compiled variant runs the same
+	// fixed-seed workload under the block-lowered engine; engine
+	// invariance keeps its report bit-identical too.
 	for _, cfg := range []struct {
 		name    string
 		workers int
-	}{{"sequential", 1}, {"workers4", 4}} {
+		engine  pssp.Engine
+	}{
+		{"sequential", 1, pssp.EnginePredecoded},
+		{"workers4", 4, pssp.EnginePredecoded},
+		{"compiledworkers4", 4, pssp.EngineCompiled},
+	} {
 		workers := cfg.workers
 		b.Run(cfg.name, func(b *testing.B) {
-			m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemeSSP))
+			m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemeSSP), pssp.WithEngine(cfg.engine))
 			b.ReportAllocs()
 			b.ResetTimer()
 			var execs int
@@ -241,14 +249,21 @@ func BenchmarkCampaign(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Sub-benchmark names stay dash-free: benchjson strips a trailing
-	// -N as the GOMAXPROCS suffix.
+	// -N as the GOMAXPROCS suffix. The compiled variant runs the same
+	// fixed-seed campaign under the block-lowered engine; engine
+	// invariance keeps its aggregates bit-identical too.
 	for _, cfg := range []struct {
 		name    string
 		workers int
-	}{{"sequential", 1}, {"workers4", 4}} {
+		engine  pssp.Engine
+	}{
+		{"sequential", 1, pssp.EnginePredecoded},
+		{"workers4", 4, pssp.EnginePredecoded},
+		{"compiledworkers4", 4, pssp.EngineCompiled},
+	} {
 		workers := cfg.workers
 		b.Run(cfg.name, func(b *testing.B) {
-			m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemePSSP))
+			m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemePSSP), pssp.WithEngine(cfg.engine))
 			b.ReportAllocs()
 			b.ResetTimer()
 			var trials int

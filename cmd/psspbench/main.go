@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/harness"
+	"repro/pssp"
 )
 
 func main() {
@@ -46,8 +47,14 @@ func main() {
 		workers      = flag.Int("workers", 0, "campaign worker shards (0 = GOMAXPROCS; results are worker-count invariant)")
 		loadRequests = flag.Int("load-requests", 96, "under-load experiment request budget")
 		loadClients  = flag.Int("load-clients", 8, "under-load experiment closed-loop clients")
+		engine       = flag.String("engine", "predecoded", "execution engine: interpreter, predecoded, or compiled (results are engine-invariant)")
 	)
 	flag.Parse()
+
+	eng, err := pssp.ParseEngine(*engine)
+	if err != nil {
+		cliutil.Fail("psspbench", err)
+	}
 
 	cfg := harness.Config{
 		Seed:         *seed,
@@ -58,6 +65,7 @@ func main() {
 		Workers:      *workers,
 		LoadRequests: *loadRequests,
 		LoadClients:  *loadClients,
+		Engine:       eng,
 	}
 
 	type driver struct {

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/daemon"
+	"repro/pssp"
 )
 
 func main() {
@@ -43,10 +44,16 @@ func main() {
 		tenantJobs = flag.Int("tenant-jobs", 0, "per-tenant concurrent job bound (0 = max-jobs)")
 		quota      = flag.Uint64("quota", 0, "per-tenant victim-cycle quota (0 = unlimited)")
 		poolSize   = flag.Int("pool", 8, "warm machine pool capacity")
+		engine     = flag.String("engine", "predecoded", "execution engine: interpreter, predecoded, or compiled")
 		drain      = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	)
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspd", err) }
+
+	eng, err := pssp.ParseEngine(*engine)
+	if err != nil {
+		fail(err)
+	}
 
 	network, target := "tcp", *listen
 	if strings.HasPrefix(*listen, "unix:") {
@@ -68,6 +75,7 @@ func main() {
 		TenantJobs:  *tenantJobs,
 		QuotaCycles: *quota,
 		PoolSize:    *poolSize,
+		Engine:      eng,
 	})
 
 	sigs := make(chan os.Signal, 1)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/rng"
+	"repro/pssp"
 )
 
 // Typed admission errors; the wire maps them to stable codes and the
@@ -47,6 +48,11 @@ type Config struct {
 	QuotaCycles uint64
 	// PoolSize bounds the warm machine pool (default 8).
 	PoolSize int
+	// Engine selects the execution engine for every machine the daemon
+	// boots (default pssp.EnginePredecoded, the zero value). All engines
+	// produce bit-identical results, so this is purely a throughput knob;
+	// pssp.EngineCompiled is the fast block-lowered tier.
+	Engine pssp.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -105,7 +111,7 @@ func New(cfg Config) *Daemon {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Daemon{
 		cfg:       cfg.withDefaults(),
-		pool:      newPool(cfg.PoolSize),
+		pool:      newPool(cfg.PoolSize, cfg.Engine),
 		ctx:       ctx,
 		cancel:    cancel,
 		wake:      make(chan struct{}),

@@ -42,8 +42,9 @@ type entry struct {
 // scheme). Checkout is exclusive — an entry is either parked here or owned
 // by exactly one job.
 type pool struct {
-	mu  sync.Mutex
-	cap int
+	mu     sync.Mutex
+	cap    int
+	engine pssp.Engine
 
 	entries map[poolKey]*entry
 	order   []poolKey // LRU, oldest first
@@ -53,12 +54,13 @@ type pool struct {
 	hits, misses, evictions, respawns uint64
 }
 
-func newPool(capacity int) *pool {
+func newPool(capacity int, engine pssp.Engine) *pool {
 	if capacity <= 0 {
 		capacity = 8
 	}
 	return &pool{
 		cap:     capacity,
+		engine:  engine,
 		entries: make(map[poolKey]*entry),
 		images:  make(map[imageKey]*pssp.Image),
 	}
@@ -76,7 +78,7 @@ func (p *pool) image(key imageKey) (*pssp.Image, bool, error) {
 	}
 	p.mu.Unlock()
 
-	m := pssp.NewMachine(pssp.WithScheme(key.scheme))
+	m := pssp.NewMachine(pssp.WithScheme(key.scheme), pssp.WithEngine(p.engine))
 	img, err := m.Pipeline().CompileApp(key.app).Image()
 	if err != nil {
 		return nil, false, err
@@ -98,7 +100,7 @@ func (p *pool) build(ctx context.Context, key poolKey) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := pssp.NewMachine(pssp.WithSeed(key.seed), pssp.WithScheme(key.scheme))
+	m := pssp.NewMachine(pssp.WithSeed(key.seed), pssp.WithScheme(key.scheme), pssp.WithEngine(p.engine))
 	srv, err := m.Serve(ctx, img)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: booting %s/%s seed %d: %w", key.app, key.scheme, key.seed, err)

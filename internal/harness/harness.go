@@ -58,8 +58,10 @@ type Config struct {
 	FuzzExecs int
 	// Engine selects the VM execution engine for every machine the drivers
 	// build. The zero value is the default decode-once engine
-	// (pssp.EnginePredecoded); the cross-engine golden tests run the full
-	// drivers under pssp.EngineInterpreter too and assert identical values.
+	// (pssp.EnginePredecoded); pssp.EngineCompiled is the fast
+	// block-lowered tier and pssp.EngineInterpreter the legacy reference.
+	// The cross-engine golden tests run the full drivers under all three
+	// and assert identical values, so the knob only changes wall-clock.
 	Engine pssp.Engine
 }
 

@@ -260,6 +260,57 @@ func (op Op) Cycles() uint64 {
 	return 1
 }
 
+// MemClass classifies how an opcode addresses memory. It is the
+// operand-class metadata the block-lowering execution tier keys on: the
+// class decides which cached segment view a lowered instruction's memory
+// operand resolves through, without re-deriving it from the shape at
+// dispatch time.
+type MemClass uint8
+
+// Memory operand classes.
+const (
+	// MemNone: no memory operand (pure register/immediate/branch work; LEA
+	// only computes an address and never dereferences it).
+	MemNone MemClass = iota
+	// MemStack: implicit stack access through RSP (PUSH/POP/CALL/CALLR/RET
+	// and the pop half of LEAVE).
+	MemStack
+	// MemFS: FS-segment addressing, fs:disp (the TLS canary words).
+	MemFS
+	// MemBase: explicit base register + 32-bit displacement.
+	MemBase
+)
+
+// memClassTab is the per-opcode operand-class table. Opcodes absent from
+// the literal default to MemNone.
+var memClassTab = [NumOps]MemClass{
+	PUSH:  MemStack,
+	POP:   MemStack,
+	CALL:  MemStack,
+	CALLR: MemStack,
+	RET:   MemStack,
+	LEAVE: MemStack,
+
+	LDFS:  MemFS,
+	STFS:  MemFS,
+	XORFS: MemFS,
+
+	LOAD:  MemBase,
+	STORE: MemBase,
+	MOVHX: MemBase,
+	STX:   MemBase,
+	LDX:   MemBase,
+	CMPX:  MemBase,
+}
+
+// MemClass returns the memory operand class of op.
+func (op Op) MemClass() MemClass {
+	if op < NumOps {
+		return memClassTab[op]
+	}
+	return MemNone
+}
+
 // EncodedLen returns the total encoded length of an instruction with opcode
 // op, including the opcode byte.
 func (op Op) EncodedLen() int { return 1 + payloadLen[op.Shape()] }

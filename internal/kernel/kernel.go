@@ -138,10 +138,10 @@ type Kernel struct {
 	MaxInsts uint64
 
 	// Engine selects the VM execution engine for every process the kernel
-	// spawns. The zero value is vm.EnginePredecoded; set
-	// vm.EngineInterpreter for the legacy decode-each-step path
-	// (differential testing). Forked children inherit the parent's engine
-	// with the rest of the CPU state.
+	// spawns. The zero value is vm.EnginePredecoded; vm.EngineCompiled is
+	// the fast block-lowered tier and vm.EngineInterpreter the legacy
+	// decode-each-step path (differential testing). Forked children inherit
+	// the parent's engine with the rest of the CPU state.
 	Engine vm.Engine
 
 	// now is global machine time in cycles, advanced by every Run. New
@@ -268,7 +268,8 @@ func (k *Kernel) Spawn(app *binfmt.Binary, opts SpawnOpts) (*Process, error) {
 //
 // The clone is cheap by design: no segment bytes are copied until parent or
 // child writes to them, and the copied CPU state carries the parent's
-// decode-once code cache, so a child costs O(segments written), not
+// decode-once code cache — including any basic blocks the compiled engine
+// has already lowered — so a child costs O(segments written), not
 // O(address-space size) — the fork-per-request oracle loop is the hottest
 // path of the byte-by-byte attack experiments.
 //

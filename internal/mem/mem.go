@@ -275,7 +275,17 @@ type Space struct {
 	// pool, when non-nil, supplies and reclaims large materialization
 	// buffers (see SetPool/Release). Clones inherit it.
 	pool *BufPool
+	// epoch counts sharing-topology changes: Clone (segments become
+	// copy-on-write), Map, Release and ReleaseAll. Execution tiers that
+	// cache direct segment views (View) key them to the epoch and drop
+	// them when it moves. Ordinary content writes never bump it — views
+	// alias the live backing array, so they observe those directly.
+	epoch uint64
 }
+
+// Epoch returns the space's sharing-topology generation. Any View acquired
+// at an earlier epoch must be discarded.
+func (sp *Space) Epoch() uint64 { return sp.epoch }
 
 // SetPool attaches a materialization buffer pool to the space. The kernel
 // gives every process space its machine-wide pool so fork-per-request
@@ -314,6 +324,7 @@ func (sp *Space) Map(name string, base uint64, size int, perm Perm) (*Segment, e
 		data = make([]byte, size)
 	}
 	seg := &Segment{Name: name, Base: base, Perm: perm, Data: data}
+	sp.epoch++
 	sp.segs = append(sp.segs, seg)
 	sort.Slice(sp.segs, func(i, j int) bool { return sp.segs[i].Base < sp.segs[j].Base })
 	return seg, nil
@@ -490,6 +501,41 @@ func (sp *Space) Fetch(addr uint64, size int) ([]byte, error) {
 	return seg.Data[off:end], nil
 }
 
+// View returns a direct window over the private backing bytes containing
+// addr: the byte slice plus the guest address of its first byte. Views are
+// the compiled engine's memory fast path — reads and writes through the
+// returned slice are equivalent to ReadU64/WriteU64 on addresses inside the
+// window, with every slow-path responsibility proven away at acquisition:
+//
+//   - only readable+writable, non-executable segments qualify, so there are
+//     no permission checks and no decode-generation bumps to perform;
+//   - copy-on-write segments are refused, so no materialization can swap
+//     the backing array out from under a live view (Clone, which re-marks
+//     segments shared, bumps the epoch and thereby retires issued views);
+//   - on a lazily materializing segment the window is the single filled
+//     chunk containing addr, so unfilled shadow bytes stay unreachable.
+//
+// ok=false means addr has no qualifying window right now; callers fall back
+// to the ordinary access paths (which also produce the faults).
+func (sp *Space) View(addr uint64) (data []byte, base uint64, ok bool) {
+	seg := sp.find(addr, 1)
+	if seg == nil || seg.cow || seg.Perm&PermExec != 0 ||
+		seg.Perm&(PermRead|PermWrite) != PermRead|PermWrite {
+		return nil, 0, false
+	}
+	if seg.shadow != nil {
+		off := addr - seg.Base
+		seg.ensure(off, 1)
+		lo := (int(off) / seg.chunk) * seg.chunk
+		hi := lo + seg.chunk
+		if hi > len(seg.Data) {
+			hi = len(seg.Data)
+		}
+		return seg.Data[lo:hi:hi], seg.Base + uint64(lo), true
+	}
+	return seg.Data, seg.Base, true
+}
+
 // Clone returns a copy-on-write copy of the space — the memory half of the
 // fork(2) model. The child gets an identical address space, including the
 // TLS segment (precisely the inheritance the byte-by-byte attack exploits),
@@ -499,6 +545,9 @@ func (sp *Space) Fetch(addr uint64, size int) ([]byte, error) {
 // not O(address-space size).
 func (sp *Space) Clone() *Space {
 	out := &Space{segs: make([]*Segment, len(sp.segs)), pool: sp.pool}
+	// Every parent segment flips to copy-on-write below, so any direct view
+	// of this space is now writable shared memory: retire them all.
+	sp.epoch++
 	// One backing array for all the child's segment headers: forks are the
 	// hot allocation site of the attack oracle loop.
 	headers := make([]Segment, len(sp.segs))
@@ -536,6 +585,7 @@ func (sp *Space) CloneDeep() *Space {
 // makes the steady-state oracle loop allocation-free for stack-sized
 // buffers.
 func (sp *Space) Release() {
+	sp.epoch++
 	for _, s := range sp.segs {
 		if s.cow || s.Perm&PermExec != 0 || len(s.Data) < cowLazyMin {
 			continue
@@ -556,6 +606,7 @@ func (sp *Space) Release() {
 // same machine. Executable segments are still skipped (decode caches key on
 // their backing identity), as are small segments the pool would not retain.
 func (sp *Space) ReleaseAll() {
+	sp.epoch++
 	for _, s := range sp.segs {
 		s.shadow = nil
 		if s.Perm&PermExec != 0 || len(s.Data) < cowLazyMin {

@@ -26,10 +26,10 @@ func covProg() []isa.Inst {
 // TestCoverageDoesNotPerturbExecution is the overhead guard of the coverage
 // map: an instrumented run must execute the identical instruction stream —
 // same final registers, same instruction and cycle counts — as an
-// uninstrumented one, under both engines. Coverage observes execution, it
+// uninstrumented one, under every engine. Coverage observes execution, it
 // never steers it.
 func TestCoverageDoesNotPerturbExecution(t *testing.T) {
-	for _, e := range []Engine{EnginePredecoded, EngineInterpreter} {
+	for _, e := range allEngines {
 		t.Run(e.String(), func(t *testing.T) {
 			plain := buildEngineCPU(t, e, covProg())
 			if err := plain.Run(1000); err != nil {

@@ -23,6 +23,19 @@ const (
 	// every step — the original execution model, kept as the reference
 	// semantics the predecoded engine is differentially tested against.
 	EngineInterpreter
+	// EngineCompiled lowers each predecoded segment, lazily and per entry
+	// point, into basic blocks of flat pre-resolved micro-ops (see
+	// compile.go): operands are direct register indices, memory operands go
+	// through cached segment views that skip the per-access segment walk,
+	// the canary prologue/epilogue sequences fuse into superinstructions,
+	// and budget/cycle/cancellation checks run once per block instead of
+	// per step. Blocks hang off the same segCode entries as the predecode
+	// cache, so they share the cache's generation-based invalidation and
+	// travel to forked children with it; anything the block tier cannot
+	// prove safe (traps, cold offsets, self-modified segments, instrumented
+	// runs, the sub-block budget tail) falls back to the per-step path,
+	// keeping all observable state bit-identical to the other engines.
+	EngineCompiled
 )
 
 // String names the engine.
@@ -32,6 +45,8 @@ func (e Engine) String() string {
 		return "predecoded"
 	case EngineInterpreter:
 		return "interpreter"
+	case EngineCompiled:
+		return "compiled"
 	default:
 		return "engine?"
 	}
@@ -63,6 +78,12 @@ type segCode struct {
 	// decoding, preserving exact interpreter semantics for mid-instruction
 	// jumps and illegal bytes.
 	idx []int32
+	// comp is the compiled engine's block-lowered tier over this predecode,
+	// built lazily on first compiled execution (see compile.go). Hanging it
+	// here means blocks share the predecode cache's invalidation — a
+	// generation bump discards the segCode and the blocks with it — and ride
+	// to forked children through the shared CodeCache.
+	comp *segCompiled
 }
 
 // predecode scans the segment once, decoding every instruction reachable by
@@ -162,4 +183,8 @@ func (c *CPU) SetMem(m *mem.Space) {
 	c.curSeg = nil
 	c.curGen = 0
 	c.curCode = nil
+	// Direct memory views alias the old space's buffers; a forked child must
+	// not write through them. They re-acquire lazily against the new space.
+	c.views = [numViews]memView{}
+	c.viewEpoch = 0
 }

@@ -31,37 +31,44 @@ func snap(c *CPU) snapshot {
 	return snapshot{GPR: c.GPR, X: c.X, RIP: c.RIP, ZF: c.ZF, CF: c.CF, Cycles: c.Cycles, Insts: c.Insts}
 }
 
-// runBothEngines executes the program to completion (or error) under each
+// allEngines is the full differential matrix; index 0 is the reference the
+// others are compared against.
+var allEngines = []Engine{EngineInterpreter, EnginePredecoded, EngineCompiled}
+
+// runBothEngines executes the program to completion (or error) under every
 // engine and asserts bit-identical final state and identical error shape.
+// (The name predates the third engine; "both" now means "all".)
 func runBothEngines(t *testing.T, prog []isa.Inst, maxInsts uint64) (snapshot, error) {
 	t.Helper()
-	pre := buildEngineCPU(t, EnginePredecoded, prog)
-	preErr := pre.Run(maxInsts)
-	itp := buildEngineCPU(t, EngineInterpreter, prog)
-	itpErr := itp.Run(maxInsts)
+	ref := buildEngineCPU(t, allEngines[0], prog)
+	refErr := ref.Run(maxInsts)
+	for _, e := range allEngines[1:] {
+		c := buildEngineCPU(t, e, prog)
+		cErr := c.Run(maxInsts)
 
-	if a, b := snap(pre), snap(itp); a != b {
-		t.Fatalf("engines diverged:\npredecoded:  %+v\ninterpreter: %+v", a, b)
+		if a, b := snap(ref), snap(c); a != b {
+			t.Fatalf("engines diverged:\n%s: %+v\n%s: %+v", allEngines[0], a, e, b)
+		}
+		switch {
+		case refErr == nil && cErr == nil:
+		case refErr == nil || cErr == nil:
+			t.Fatalf("engines disagree on error: %s=%v %s=%v", allEngines[0], refErr, e, cErr)
+		default:
+			if refErr.Error() != cErr.Error() {
+				t.Fatalf("engines disagree on error text:\n%s: %v\n%s: %v", allEngines[0], refErr, e, cErr)
+			}
+			// The unwrapped faults must be bit-identical too, not just the
+			// CrashError surface (which omits the cause).
+			var rf, cf *mem.Fault
+			if errors.As(refErr, &rf) != errors.As(cErr, &cf) {
+				t.Fatalf("engines disagree on fault presence: %s=%v %s=%v", allEngines[0], refErr, e, cErr)
+			}
+			if rf != nil && *rf != *cf {
+				t.Fatalf("engines disagree on fault detail:\n%s: %+v\n%s: %+v", allEngines[0], *rf, e, *cf)
+			}
+		}
 	}
-	switch {
-	case preErr == nil && itpErr == nil:
-	case preErr == nil || itpErr == nil:
-		t.Fatalf("engines disagree on error: predecoded=%v interpreter=%v", preErr, itpErr)
-	default:
-		if preErr.Error() != itpErr.Error() {
-			t.Fatalf("engines disagree on error text:\npredecoded:  %v\ninterpreter: %v", preErr, itpErr)
-		}
-		// The unwrapped faults must be bit-identical too, not just the
-		// CrashError surface (which omits the cause).
-		var pf, mf *mem.Fault
-		if errors.As(preErr, &pf) != errors.As(itpErr, &mf) {
-			t.Fatalf("engines disagree on fault presence: predecoded=%v interpreter=%v", preErr, itpErr)
-		}
-		if pf != nil && *pf != *mf {
-			t.Fatalf("engines disagree on fault detail:\npredecoded:  %+v\ninterpreter: %+v", *pf, *mf)
-		}
-	}
-	return snap(pre), preErr
+	return snap(ref), refErr
 }
 
 func TestEnginesAgreeOnStraightLineCode(t *testing.T) {
@@ -130,7 +137,7 @@ func TestEnginesAgreeOnFetchFault(t *testing.T) {
 }
 
 func TestEnginesAgreeOnIllegalInstruction(t *testing.T) {
-	for _, e := range []Engine{EnginePredecoded, EngineInterpreter} {
+	for _, e := range allEngines {
 		t.Run(e.String(), func(t *testing.T) {
 			sp := mem.NewSpace()
 			if _, err := sp.Map("text", mem.TextBase, 16, mem.PermRead|mem.PermExec); err != nil {
@@ -209,9 +216,12 @@ func TestPredecodedResyncPastDataIsland(t *testing.T) {
 		}
 		return c
 	}
-	pre, itp := run(EnginePredecoded), run(EngineInterpreter)
+	pre, itp, cmp := run(EnginePredecoded), run(EngineInterpreter), run(EngineCompiled)
 	if a, b := snap(pre), snap(itp); a != b {
 		t.Fatalf("engines diverged over data island:\npredecoded:  %+v\ninterpreter: %+v", a, b)
+	}
+	if a, b := snap(pre), snap(cmp); a != b {
+		t.Fatalf("engines diverged over data island:\npredecoded: %+v\ncompiled:   %+v", a, b)
 	}
 	if pre.GPR[isa.RAX] != 7 {
 		t.Fatalf("rax = %d, want 7", pre.GPR[isa.RAX])

@@ -82,7 +82,8 @@ type CPU struct {
 
 	// Engine selects the execution engine. The zero value is
 	// EnginePredecoded; set EngineInterpreter for the legacy
-	// fetch-decode-each-step path. Fork clones it with the CPU.
+	// fetch-decode-each-step path or EngineCompiled for the block-lowered
+	// tier. Fork clones it with the CPU.
 	Engine Engine
 
 	Mem  *mem.Space
@@ -112,6 +113,12 @@ type CPU struct {
 	// check in Step. Fork shares the map with the child via the CPU copy.
 	cov     *CovMap
 	covPrev uint64
+
+	// views are the compiled engine's cached direct memory windows, one per
+	// operand class (stack / FS / data), keyed to Mem's sharing epoch.
+	// SetMem and an epoch move drop them; see compile.go.
+	views     [numViews]memView
+	viewEpoch uint64
 }
 
 // New returns a CPU bound to the given memory and entropy source, running
@@ -160,7 +167,9 @@ func (c *CPU) Step() error {
 	}
 	var in isa.Inst
 	var n int
-	if c.Engine == EnginePredecoded {
+	// The compiled engine's single-step fallback rides the predecoded fetch:
+	// identical cache, identical fault shaping.
+	if c.Engine != EngineInterpreter {
 		var err error
 		in, n, err = c.fetchPredecoded()
 		if err != nil {
@@ -423,6 +432,12 @@ const cancelCheckMask = 1023
 // resumable with another RunContext call — and ctx.Err() is returned.
 // Budget exhaustion returns a *CrashError wrapping ErrBudget.
 func (c *CPU) RunContext(ctx context.Context, maxInsts uint64) error {
+	// Instrumented runs (tracer or cost-model override) need the per-step
+	// loop: every observable hook fires per instruction there. The block
+	// dispatcher reproduces identical final state but not per-step hooks.
+	if c.Engine == EngineCompiled && c.tracer == nil && c.CostModel == nil {
+		return c.runCompiled(ctx, maxInsts)
+	}
 	done := ctx.Done()
 	for i := uint64(0); i < maxInsts; i++ {
 		if done != nil && i&cancelCheckMask == 0 {

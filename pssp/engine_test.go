@@ -2,6 +2,7 @@ package pssp_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"testing"
@@ -10,9 +11,11 @@ import (
 	"repro/pssp"
 )
 
-var engines = []pssp.Engine{pssp.EnginePredecoded, pssp.EngineInterpreter}
+// engines is the full three-engine differential matrix. Index 0 is the
+// reference the others are compared against.
+var engines = pssp.Engines()
 
-// TestEngineGoldenBatch runs the batch program under both engines for every
+// TestEngineGoldenBatch runs the batch program under every engine for every
 // scheme and asserts bit-identical results: exit code, output bytes, and the
 // exact instruction and cycle counts.
 func TestEngineGoldenBatch(t *testing.T) {
@@ -24,7 +27,7 @@ func TestEngineGoldenBatch(t *testing.T) {
 				cycles, insts uint64
 				out           string
 			}
-			var got [2]outcome
+			got := make([]outcome, len(engines))
 			for i, e := range engines {
 				m := pssp.NewMachine(pssp.WithSeed(7), pssp.WithEngine(e))
 				res, err := m.Pipeline().Compile(batchProg(), pssp.CompileScheme(scheme)).Run(ctx)
@@ -33,15 +36,18 @@ func TestEngineGoldenBatch(t *testing.T) {
 				}
 				got[i] = outcome{res.ExitCode, res.Cycles, res.Insts, string(res.Output)}
 			}
-			if got[0] != got[1] {
-				t.Fatalf("engines diverged:\npredecoded:  %+v\ninterpreter: %+v", got[0], got[1])
+			for i := 1; i < len(engines); i++ {
+				if got[i] != got[0] {
+					t.Fatalf("engines diverged:\n%s: %+v\n%s: %+v",
+						engines[0], got[0], engines[i], got[i])
+				}
 			}
 		})
 	}
 }
 
 // TestEngineGoldenAttack runs the byte-by-byte attack against an
-// SSP-compiled vulnerable server under both engines with the same seed and
+// SSP-compiled vulnerable server under every engine with the same seed and
 // asserts identical attack outcomes: success, trial count, recovered canary,
 // and the per-request crash tally.
 func TestEngineGoldenAttack(t *testing.T) {
@@ -56,7 +62,7 @@ func TestEngineGoldenAttack(t *testing.T) {
 				crashes   int
 				cycles    uint64
 			}
-			var got [2]outcome
+			got := make([]outcome, len(engines))
 			for i, e := range engines {
 				m := pssp.NewMachine(
 					pssp.WithSeed(2018),
@@ -75,14 +81,17 @@ func TestEngineGoldenAttack(t *testing.T) {
 				got[i] = outcome{res.Success, res.Trials, res.RecoveredWord(), res.FailedAt,
 					srv.Crashes(), srv.TotalCycles()}
 			}
-			if got[0] != got[1] {
-				t.Fatalf("attack outcomes diverged:\npredecoded:  %+v\ninterpreter: %+v", got[0], got[1])
+			for i := 1; i < len(engines); i++ {
+				if got[i] != got[0] {
+					t.Fatalf("attack outcomes diverged:\n%s: %+v\n%s: %+v",
+						engines[0], got[0], engines[i], got[i])
+				}
 			}
 		})
 	}
 }
 
-// TestEngineGoldenTables regenerates every paper table under both engines
+// TestEngineGoldenTables regenerates every paper table under every engine
 // with a scaled-down config and asserts the machine-readable values are
 // identical, key for key.
 func TestEngineGoldenTables(t *testing.T) {
@@ -102,7 +111,7 @@ func TestEngineGoldenTables(t *testing.T) {
 	cfg := harness.Config{Seed: 2018, WebRequests: 4, DBQueries: 2, AttackBudget: 600}
 	for _, d := range drivers {
 		t.Run(d.name, func(t *testing.T) {
-			var vals [2]map[string]float64
+			vals := make([]map[string]float64, len(engines))
 			for i, e := range engines {
 				c := cfg
 				c.Engine = e
@@ -112,25 +121,58 @@ func TestEngineGoldenTables(t *testing.T) {
 				}
 				vals[i] = tab.Values
 			}
-			if len(vals[0]) != len(vals[1]) {
-				t.Fatalf("value sets differ in size: %d vs %d", len(vals[0]), len(vals[1]))
-			}
-			for k, v := range vals[0] {
-				w, ok := vals[1][k]
-				if !ok {
-					t.Errorf("interpreter run missing value %q", k)
-					continue
+			for i := 1; i < len(engines); i++ {
+				if len(vals[i]) != len(vals[0]) {
+					t.Fatalf("value sets differ in size: %s=%d %s=%d",
+						engines[0], len(vals[0]), engines[i], len(vals[i]))
 				}
-				if v != w {
-					t.Errorf("%s: predecoded=%v interpreter=%v", k, v, w)
+				for k, v := range vals[0] {
+					w, ok := vals[i][k]
+					if !ok {
+						t.Errorf("%s run missing value %q", engines[i], k)
+						continue
+					}
+					if v != w {
+						t.Errorf("%s: %s=%v %s=%v", k, engines[0], v, engines[i], w)
+					}
 				}
 			}
 		})
 	}
 }
 
+// TestEngineGoldenFuzz runs a short fixed-seed fuzzing session under every
+// engine and asserts the serialized reports are byte-identical — coverage
+// edges, corpus growth, crash findings and minimization included.
+func TestEngineGoldenFuzz(t *testing.T) {
+	ctx := context.Background()
+	reports := make([][]byte, len(engines))
+	for i, e := range engines {
+		m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemeSSP), pssp.WithEngine(e))
+		img, err := m.CompileApp("nginx-vuln")
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		rep, err := m.Fuzz(ctx, img, pssp.FuzzConfig{Execs: 400})
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", e, err)
+		}
+		reports[i] = b
+	}
+	for i := 1; i < len(engines); i++ {
+		if string(reports[i]) != string(reports[0]) {
+			t.Fatalf("fuzz reports diverged:\n%s: %s\n%s: %s",
+				engines[0], reports[0], engines[i], reports[i])
+		}
+	}
+}
+
 // TestEngineBudgetClassification pins the satellite fix: a watchdog kill is
-// classified as ErrBudgetExhausted by errors.Is from both engines.
+// classified as ErrBudgetExhausted by errors.Is from every engine.
 func TestEngineBudgetClassification(t *testing.T) {
 	ctx := context.Background()
 	for _, e := range engines {
@@ -144,5 +186,32 @@ func TestEngineBudgetClassification(t *testing.T) {
 				t.Fatal("budget kill must not match ErrCanaryDetected")
 			}
 		})
+	}
+}
+
+// TestParseEngine pins the engine-name parsing contract: every canonical
+// name round-trips (case-insensitively), and unknown names get an error
+// enumerating all engines, core.ParseScheme-style.
+func TestParseEngine(t *testing.T) {
+	for _, e := range pssp.Engines() {
+		got, err := pssp.ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Fatalf("ParseEngine(%q) = %v, %v; want %v", e.String(), got, err, e)
+		}
+		got, err = pssp.ParseEngine("  " + e.String() + " ")
+		if err != nil || got != e {
+			t.Fatalf("ParseEngine with whitespace = %v, %v; want %v", got, err, e)
+		}
+	}
+	if got, err := pssp.ParseEngine("Compiled"); err != nil || got != pssp.EngineCompiled {
+		t.Fatalf("ParseEngine(\"Compiled\") = %v, %v; want EngineCompiled", got, err)
+	}
+	_, err := pssp.ParseEngine("jit")
+	if err == nil {
+		t.Fatal("ParseEngine(\"jit\") succeeded, want error")
+	}
+	want := `pssp: unknown engine "jit" (engines: interpreter, predecoded, compiled)`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
 	}
 }
