@@ -52,6 +52,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent oracle shards (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		storeDir = flag.String("store", "", "content-addressed artifact store directory (local runs; empty = compile in-process)")
 		remote   = flag.String("remote", "", "run on a psspd daemon at this address (unix:/path or host:port)")
 		tenant   = flag.String("tenant", "", "tenant name for -remote (default \"default\")")
 	)
@@ -61,6 +62,9 @@ func main() {
 	s, err := pssp.ParseScheme(*scheme)
 	if err != nil {
 		fail(err)
+	}
+	if *remote != "" && *storeDir != "" {
+		fail(fmt.Errorf("-store applies to local runs; a psspd daemon manages its own store (psspd -store)"))
 	}
 
 	var rep daemon.AttackReport
@@ -82,11 +86,19 @@ func main() {
 			fail(err)
 		}
 	} else {
-		m := pssp.NewMachine(
+		opts := []pssp.Option{
 			pssp.WithSeed(*seed),
 			pssp.WithScheme(s),
 			pssp.WithAttackBudget(*budget),
-		)
+		}
+		if *storeDir != "" {
+			st, err := pssp.OpenStore(*storeDir)
+			if err != nil {
+				fail(err)
+			}
+			opts = append(opts, pssp.WithStore(st))
+		}
+		m := pssp.NewMachine(opts...)
 		ctx := context.Background()
 		img, err := m.Pipeline().CompileApp(*target).Image()
 		if err != nil {

@@ -48,12 +48,19 @@ func main() {
 		loadRequests = flag.Int("load-requests", 96, "under-load experiment request budget")
 		loadClients  = flag.Int("load-clients", 8, "under-load experiment closed-loop clients")
 		engine       = flag.String("engine", "predecoded", "execution engine: interpreter, predecoded, or compiled (results are engine-invariant)")
+		storeDir     = flag.String("store", "", "content-addressed artifact store directory (results are store-hit-invariant)")
 	)
 	flag.Parse()
 
 	eng, err := pssp.ParseEngine(*engine)
 	if err != nil {
 		cliutil.Fail("psspbench", err)
+	}
+	var st *pssp.Store
+	if *storeDir != "" {
+		if st, err = pssp.OpenStore(*storeDir); err != nil {
+			cliutil.Fail("psspbench", err)
+		}
 	}
 
 	cfg := harness.Config{
@@ -66,6 +73,7 @@ func main() {
 		LoadRequests: *loadRequests,
 		LoadClients:  *loadClients,
 		Engine:       eng,
+		Store:        st,
 	}
 
 	type driver struct {

@@ -14,6 +14,11 @@
 //	psspd -listen unix:/tmp/psspd.sock
 //	psspd -listen 127.0.0.1:7077 -max-jobs 8 -pool 16
 //	psspd -listen unix:/tmp/psspd.sock -quota 500000000 -tenant-jobs 2
+//	psspd -listen unix:/tmp/psspd.sock -store /var/cache/pssp
+//
+// -store attaches a content-addressed artifact store: cold pool misses
+// become store lookups (reported as store_hits/store_misses in `stats` and
+// the shutdown log line), and compiled images persist across restarts.
 //
 // SIGINT/SIGTERM drain the daemon: listeners close, running jobs are
 // canceled, the warm pool releases its machines, and psspd exits 0.
@@ -45,6 +50,7 @@ func main() {
 		quota      = flag.Uint64("quota", 0, "per-tenant victim-cycle quota (0 = unlimited)")
 		poolSize   = flag.Int("pool", 8, "warm machine pool capacity")
 		engine     = flag.String("engine", "predecoded", "execution engine: interpreter, predecoded, or compiled")
+		storeDir   = flag.String("store", "", "content-addressed artifact store directory (empty = compile in-process only)")
 		drain      = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	)
 	flag.Parse()
@@ -68,6 +74,13 @@ func main() {
 		fail(err)
 	}
 
+	var st *pssp.Store
+	if *storeDir != "" {
+		if st, err = pssp.OpenStore(*storeDir); err != nil {
+			fail(err)
+		}
+	}
+
 	d := daemon.New(daemon.Config{
 		Seed:        *seed,
 		MaxJobs:     *maxJobs,
@@ -76,6 +89,7 @@ func main() {
 		QuotaCycles: *quota,
 		PoolSize:    *poolSize,
 		Engine:      eng,
+		Store:       st,
 	})
 
 	sigs := make(chan os.Signal, 1)
@@ -91,6 +105,14 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := d.Shutdown(ctx)
 		cancel()
+		if st != nil {
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "psspd: store %s: store_hits=%d store_misses=%d (mem %d, disk %d, corrupt %d)\n",
+				*storeDir, ss.Hits, ss.Misses, ss.MemHits, ss.DiskHits, ss.Corrupt)
+			// The pool's machines are all closed once Shutdown returns, so no
+			// live address space aliases the store's mappings.
+			st.Close()
+		}
 		if network == "unix" {
 			os.Remove(target)
 		}

@@ -9,16 +9,27 @@
 //
 //	psspfuzz -app nginx-vuln -scheme ssp -execs 4096
 //	psspfuzz -app ali-vuln -scheme ssp -seed 7 -workers 8 -json
-//	psspfuzz -app nginx-vuln -corpus 'GET /:2,PING' -dict 'Host:,HTTP/1.1'
+//	psspfuzz -app nginx-vuln -seeds 'GET /:2,PING' -dict 'Host:,HTTP/1.1'
 //	psspfuzz -app nginx-vuln -duration 10s
+//	psspfuzz -app nginx-vuln -store /var/cache/pssp -corpus ./corpus
 //	psspfuzz -remote unix:/tmp/psspd.sock -tenant ci -execs 4096 -json
 //
-// -corpus and -dict use the shared weighted-spec grammar of psspload's -mix
-// ("item" or "item:weight" entries, comma-separated); a corpus/dict weight
+// -seeds and -dict use the shared weighted-spec grammar of psspload's -mix
+// ("item" or "item:weight" entries, comma-separated); a seeds/dict weight
 // replicates the entry, biasing uniform draws toward it. For a fixed -seed
 // an exec-bounded run's report is bit-identical at any -workers count;
 // -duration time-boxes the run in wall-clock time instead, trading that
 // determinism for a budget in seconds.
+//
+// -store names a content-addressed artifact store: the victim image is
+// compiled at most once per (app, scheme, toolchain) across every run and
+// process sharing the directory, served from mmap'd blobs afterwards.
+// -corpus names a persistent corpus directory, deduplicated by input
+// content hash and carrying the merged coverage frontier: a rerun loads the
+// saved inputs as extra seeds and resumes from the recorded frontier
+// instead of rediscovering it, then folds its own discoveries back in.
+// Store and corpus status go to stderr; the -json report shape never
+// changes, so fixed-seed runs stay byte-comparable.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/daemon"
 	"repro/internal/daemon/client"
+	"repro/internal/store"
 	"repro/pssp"
 )
 
@@ -39,7 +51,9 @@ func main() {
 	var (
 		app      = flag.String("app", "nginx-vuln", "built-in server app to fuzz (see pssp.Apps)")
 		scheme   = flag.String("scheme", "ssp", "protection scheme of the victim servers")
-		corpus   = flag.String("corpus", "", "seed corpus spec, e.g. 'GET /:2,PING' (empty = the app's built-in request)")
+		seedSpec = flag.String("seeds", "", "seed corpus spec, e.g. 'GET /:2,PING' (empty = the app's built-in request)")
+		corpus   = flag.String("corpus", "", "persistent corpus directory: saved inputs seed the run, discoveries and the coverage frontier are folded back (local runs only)")
+		storeDir = flag.String("store", "", "content-addressed artifact store directory (empty = compile in-process)")
 		dict     = flag.String("dict", "", "mutation dictionary spec, e.g. 'Host:,HTTP/1.1:2'")
 		execs    = flag.Int("execs", 4096, "total mutation budget across shards")
 		duration = flag.Duration("duration", 0, "wall-clock time box (0 = exec-bounded only; a timed run's report is partial, not worker-invariant)")
@@ -58,13 +72,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	seeds, err := cliutil.ParseByteItems(*corpus)
+	seeds, err := cliutil.ParseByteItems(*seedSpec)
 	if err != nil {
-		fail(fmt.Errorf("corpus %w", err))
+		fail(fmt.Errorf("seeds %w", err))
 	}
 	tokens, err := cliutil.ParseByteItems(*dict)
 	if err != nil {
 		fail(fmt.Errorf("dict %w", err))
+	}
+	if *remote != "" && (*corpus != "" || *storeDir != "") {
+		fail(errors.New("-corpus and -store apply to local runs; a psspd daemon manages its own store (psspd -store)"))
 	}
 
 	ctx := context.Background()
@@ -120,21 +137,68 @@ func main() {
 		// A canceled partial under -duration is the requested time box.
 		timedOut = fr.TimedOut || (*duration > 0 && fr.Canceled)
 	} else {
-		m := pssp.NewMachine(pssp.WithSeed(*seed), pssp.WithScheme(s))
+		machineOpts := []pssp.Option{pssp.WithSeed(*seed), pssp.WithScheme(s)}
+		var st *pssp.Store
+		if *storeDir != "" {
+			if st, err = pssp.OpenStore(*storeDir); err != nil {
+				fail(err)
+			}
+			machineOpts = append(machineOpts, pssp.WithStore(st))
+		}
+		var corp *store.Corpus
+		var baseVirgin []byte
+		if *corpus != "" {
+			if corp, err = store.OpenCorpus(*corpus); err != nil {
+				fail(err)
+			}
+			saved, frontier, err := corp.Load()
+			if err != nil {
+				fail(err)
+			}
+			// Saved inputs ride along as extra seeds (sorted by content hash,
+			// so the scenario is a function of the corpus set alone), and the
+			// saved frontier marks their coverage as already charted.
+			seeds = append(seeds, saved...)
+			baseVirgin = frontier
+			resumed := "fresh"
+			if frontier != nil {
+				resumed = "resumed"
+			}
+			fmt.Fprintf(os.Stderr, "psspfuzz: corpus %s: %d saved input(s), frontier %s\n",
+				*corpus, len(saved), resumed)
+		}
+		m := pssp.NewMachine(machineOpts...)
 		img, err := m.Pipeline().CompileApp(*app).Image()
 		if err != nil {
 			fail(err)
 		}
 		rep, err = m.Fuzz(ctx, img, pssp.FuzzConfig{
-			Seeds:    seeds,
-			Dict:     tokens,
-			Execs:    *execs,
-			Shards:   *shards,
-			Workers:  *workers,
-			Seed:     *seed,
-			MaxInput: *maxIn,
-			Progress: progress,
+			Seeds:      seeds,
+			Dict:       tokens,
+			Execs:      *execs,
+			Shards:     *shards,
+			Workers:    *workers,
+			Seed:       *seed,
+			MaxInput:   *maxIn,
+			Progress:   progress,
+			BaseVirgin: baseVirgin,
 		})
+		if rep != nil && corp != nil {
+			// Persist even a partial run's discoveries: content-hash dedup
+			// makes re-adding idempotent and the frontier only accumulates.
+			added, aerr := corp.Add(rep.CorpusInputs())
+			if aerr == nil {
+				aerr = corp.SaveFrontier(rep.Frontier())
+			}
+			if aerr != nil {
+				fail(aerr)
+			}
+			fmt.Fprintf(os.Stderr, "psspfuzz: corpus %s: +%d new input(s), frontier merged\n", *corpus, added)
+		}
+		if st != nil {
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "psspfuzz: store: hits=%d misses=%d\n", ss.Hits, ss.Misses)
+		}
 		if err != nil {
 			// A -duration deadline is the requested time box, not a failure:
 			// report the partial result like a stopped fuzzing session. The

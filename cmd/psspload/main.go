@@ -13,12 +13,21 @@
 //	psspload -app nginx-vuln -scheme p-ssp -mix 'benign:3,probe=adaptive:1'
 //	psspload -app nginx -arrivals uniform -rate 10 -sweep 0.5,1,2,4,8 -json
 //	psspload -remote unix:/tmp/psspd.sock -tenant ci -requests 256 -json
+//	psspload -remote unix:/tmp/psspd.sock -smoke 64 -conns 4
 //
 // The -mix grammar is comma-separated class:weight items, where a class is
 // either "benign" (the app's built-in request payload) or "probe=NAME" with
 // NAME a registered attack strategy (see psspattack's -strategy help). It is
 // parsed by the shared cliutil.ParseMix, the same weighted-spec grammar
-// psspfuzz's -corpus/-dict flags use.
+// psspfuzz's -seeds/-dict flags use.
+//
+// -smoke N load-tests the daemon itself rather than a simulated victim: it
+// opens -conns real client connections and pushes N boot jobs for one
+// (app, scheme, seed) triple through them, so after the first cold build
+// every job should be a warm pool hit. It reports wall-clock job latency
+// (p50/p99/max — real time, not virtual cycles, so the numbers are
+// machine-dependent) and the daemon's pool and store hit counters from
+// `stats`.
 package main
 
 import (
@@ -26,8 +35,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/daemon"
@@ -90,6 +103,119 @@ func printSweep(sw *pssp.LoadSweepReport, app, arrivals string, s pssp.Scheme) {
 	}
 }
 
+// smokeReport is the -smoke output: wall-clock job latency over real client
+// connections plus the daemon's pool/store effectiveness counters. Unlike
+// every other report in the stack it measures the serving daemon itself, in
+// real time, so the numbers are machine-dependent by design.
+type smokeReport struct {
+	App    string `json:"app"`
+	Scheme string `json:"scheme"`
+	Seed   uint64 `json:"seed"`
+	Jobs   int    `json:"jobs"`
+	Conns  int    `json:"conns"`
+	// Wall-clock job latency in microseconds, measured Call-to-return at
+	// the client (transport + queueing + job execution).
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	MaxMicros float64 `json:"max_micros"`
+	// ElapsedMicros is the whole smoke run; JobsPerSec the achieved rate.
+	ElapsedMicros float64 `json:"elapsed_micros"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	// PoolHitRate is warm checkouts / total checkouts over the daemon's
+	// lifetime (from `stats`, so prior traffic counts too).
+	PoolHitRate float64      `json:"pool_hit_rate"`
+	Stats       daemon.Stats `json:"stats"`
+}
+
+// runSmoke pushes jobs boot jobs for one (app, scheme, seed) triple through
+// nconns real client connections: the first checkout builds the machine
+// cold, every later one should be a warm pool hit, so the p99 approximates
+// the daemon's warm dispatch floor over a real transport.
+func runSmoke(remote, tenant, app string, s pssp.Scheme, seed uint64, jobs, nconns int, jsonOut bool) error {
+	if nconns <= 0 {
+		nconns = 1
+	}
+	if nconns > jobs {
+		nconns = jobs
+	}
+	clients := make([]*client.Client, nconns)
+	for i := range clients {
+		c, err := client.Dial(remote)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	ctx := context.Background()
+	durations := make([]time.Duration, jobs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	start := time.Now()
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs || firstErr.Load() != nil {
+					return
+				}
+				t0 := time.Now()
+				err := c.Call(ctx, "boot", daemon.BootParams{App: app, Scheme: s.String(), Seed: seed},
+					nil, client.WithTenant(tenant))
+				durations[i] = time.Since(t0)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return err
+	}
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	quantile := func(q float64) time.Duration {
+		i := int(q * float64(jobs-1))
+		return durations[i]
+	}
+	stats, err := clients[0].Stats(ctx)
+	if err != nil {
+		return err
+	}
+	rep := smokeReport{
+		App: app, Scheme: s.String(), Seed: seed, Jobs: jobs, Conns: nconns,
+		P50Micros:     float64(quantile(0.50)) / float64(time.Microsecond),
+		P99Micros:     float64(quantile(0.99)) / float64(time.Microsecond),
+		MaxMicros:     float64(durations[jobs-1]) / float64(time.Microsecond),
+		ElapsedMicros: float64(elapsed) / float64(time.Microsecond),
+		JobsPerSec:    float64(jobs) / elapsed.Seconds(),
+		Stats:         stats,
+	}
+	if total := stats.Pool.Hits + stats.Pool.Misses; total > 0 {
+		rep.PoolHitRate = float64(stats.Pool.Hits) / float64(total)
+	}
+	if jsonOut {
+		return cliutil.EmitJSON(os.Stdout, rep)
+	}
+	fmt.Printf("smoke %s (scheme %s, seed %d): %d boot jobs over %d connection(s) in %.1f ms (%.0f jobs/s)\n",
+		app, s, seed, jobs, nconns, rep.ElapsedMicros/1000, rep.JobsPerSec)
+	fmt.Printf("  wall-clock job latency: p50 %.0f µs  p99 %.0f µs  max %.0f µs\n",
+		rep.P50Micros, rep.P99Micros, rep.MaxMicros)
+	fmt.Printf("  pool: %d hits / %d misses (hit rate %.3f), %d parked, %d images\n",
+		stats.Pool.Hits, stats.Pool.Misses, rep.PoolHitRate, stats.Pool.Entries, stats.Pool.Images)
+	if stats.Pool.StoreHits+stats.Pool.StoreMisses > 0 {
+		fmt.Printf("  store: %d hits / %d misses\n", stats.Pool.StoreHits, stats.Pool.StoreMisses)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		app      = flag.String("app", "nginx", "built-in server app to load (see pssp.Apps)")
@@ -107,8 +233,11 @@ func main() {
 		sweep    = flag.String("sweep", "", "offered-load multipliers, e.g. '0.5,1,2,4' (locates the saturation knee)")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		storeDir = flag.String("store", "", "content-addressed artifact store directory (local runs; empty = compile in-process)")
 		remote   = flag.String("remote", "", "run on a psspd daemon at this address (unix:/path or host:port)")
 		tenant   = flag.String("tenant", "", "tenant name for -remote (default \"default\")")
+		smoke    = flag.Int("smoke", 0, "daemon smoke mode: push this many boot jobs over real connections and report wall-clock latency + pool hit rate (requires -remote)")
+		conns    = flag.Int("conns", 4, "client connections for -smoke")
 	)
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspload", err) }
@@ -135,6 +264,19 @@ func main() {
 	multipliers, err := parseSweep(*sweep)
 	if err != nil {
 		fail(err)
+	}
+	if *remote != "" && *storeDir != "" {
+		fail(fmt.Errorf("-store applies to local runs; a psspd daemon manages its own store (psspd -store)"))
+	}
+
+	if *smoke > 0 {
+		if *remote == "" {
+			fail(fmt.Errorf("-smoke requires -remote: it measures a live daemon over real connections"))
+		}
+		if err := runSmoke(*remote, *tenant, *app, s, *seed, *smoke, *conns, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *remote != "" {
@@ -183,11 +325,19 @@ func main() {
 		return
 	}
 
-	m := pssp.NewMachine(
+	opts := []pssp.Option{
 		pssp.WithSeed(*seed),
 		pssp.WithScheme(s),
 		pssp.WithAttackBudget(*budget),
-	)
+	}
+	if *storeDir != "" {
+		st, err := pssp.OpenStore(*storeDir)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, pssp.WithStore(st))
+	}
+	m := pssp.NewMachine(opts...)
 	ctx := context.Background()
 	img, err := m.Pipeline().CompileApp(*app).Image()
 	if err != nil {

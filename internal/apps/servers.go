@@ -1,6 +1,11 @@
 package apps
 
-import "repro/internal/cc"
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/cc"
+)
 
 // serverProgram builds a fork-per-request server in the canonical shape of
 // the paper's threat model:
@@ -130,9 +135,19 @@ func dbProgram(name string, queryOps, rowBuf int) *cc.Program {
 	}
 }
 
+// The registry builders below construct each IR program exactly once
+// (sync.OnceValue): resolving an app by name used to rebuild the entire
+// suite, which dominated warm boots once the artifact store made the compile
+// itself nearly free. The public functions return a fresh slice each call,
+// but the *cc.Program values are shared, immutable singletons — compile
+// them, never mutate them. (Nothing in the tree mutates a registry program;
+// the canonical derivation encoding would silently shift if anything did.)
+
 // WebServers returns the Apache2 and Nginx analogs of Table III (benign
 // request handling; not vulnerable).
-func WebServers() []App {
+func WebServers() []App { return slices.Clone(webServers()) }
+
+var webServers = sync.OnceValue(func() []App {
 	return []App{
 		{
 			Name:    "apache2",
@@ -147,10 +162,12 @@ func WebServers() []App {
 			Request: []byte("GET / HTTP/1.1\r\nHost: n\r\n\r\n"),
 		},
 	}
-}
+})
 
 // Databases returns the MySQL and SQLite analogs of Table IV.
-func Databases() []App {
+func Databases() []App { return slices.Clone(databases()) }
+
+var databases = sync.OnceValue(func() []App {
 	return []App{
 		{
 			Name:    "mysql",
@@ -165,7 +182,7 @@ func Databases() []App {
 			Request: []byte("SELECT c FROM t WHERE k=1"),
 		},
 	}
-}
+})
 
 // VulnServerBufSize is the stack buffer size of the vulnerable handler; the
 // canary sits VulnServerBufSize bytes past the buffer start.
@@ -174,7 +191,9 @@ const VulnServerBufSize = 16
 // VulnServers returns the attack targets of the effectiveness experiment
 // (§VI-C): nginx and "Ali", both with the read(fd, buf, attacker_len)
 // vulnerability in their request handlers.
-func VulnServers() []App {
+func VulnServers() []App { return slices.Clone(vulnServers()) }
+
+var vulnServers = sync.OnceValue(func() []App {
 	return []App{
 		{
 			Name:    "nginx-vuln",
@@ -189,7 +208,7 @@ func VulnServers() []App {
 			Request: []byte("PING"),
 		},
 	}
-}
+})
 
 // All returns every application in the suite.
 func All() []App {

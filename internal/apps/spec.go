@@ -13,6 +13,8 @@ package apps
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"repro/internal/cc"
 )
@@ -138,20 +140,24 @@ func buildSpec(p profile) *cc.Program {
 	}
 }
 
-// Spec returns the 28 SPEC CPU2006 analogs.
-func Spec() []App {
+// Spec returns the 28 SPEC CPU2006 analogs. As with the server registries,
+// the slice is fresh per call but the programs are shared immutable
+// singletons (see servers.go).
+func Spec() []App { return slices.Clone(spec()) }
+
+var spec = sync.OnceValue(func() []App {
 	out := make([]App, 0, len(specProfiles))
 	for _, p := range specProfiles {
 		out = append(out, App{Name: p.name, Kind: KindBatch, Prog: buildSpec(p)})
 	}
 	return out
-}
+})
 
 // SpecByName returns one SPEC analog.
 func SpecByName(name string) (App, error) {
-	for _, p := range specProfiles {
-		if p.name == name {
-			return App{Name: p.name, Kind: KindBatch, Prog: buildSpec(p)}, nil
+	for _, a := range spec() {
+		if a.Name == name {
+			return a, nil
 		}
 	}
 	return App{}, fmt.Errorf("apps: unknown SPEC program %q", name)

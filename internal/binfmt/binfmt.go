@@ -56,7 +56,17 @@ type Binary struct {
 	// Meta carries toolchain annotations, e.g. "scheme" (which protection
 	// pass produced the binary) and "linkage" ("dynamic" or "static").
 	Meta map[string]string
+
+	// shared marks section Data as aliasing caller-owned read-only bytes
+	// (UnmarshalShared over an artifact-store mmap). Load maps such
+	// binaries zero-copy via mem.MapShared, and no holder may mutate the
+	// section bytes.
+	shared bool
 }
+
+// SharedBacking reports whether the binary's section data aliases external
+// read-only bytes (see UnmarshalShared); Load maps such binaries zero-copy.
+func (b *Binary) SharedBacking() bool { return b.shared }
 
 // New returns an empty binary.
 func New() *Binary {
@@ -157,9 +167,18 @@ func (b *Binary) Clone() *Binary {
 	return out
 }
 
-// Load maps every section of the binary into the address space.
+// Load maps every section of the binary into the address space. A binary
+// with shared backing (UnmarshalShared) is mapped zero-copy: each segment
+// aliases the section bytes copy-on-write, so N processes booted from one
+// store blob share one physical copy of every read-only segment.
 func Load(b *Binary, sp *mem.Space) error {
 	for _, s := range b.Sections {
+		if b.shared {
+			if _, err := sp.MapShared(s.Name, s.Addr, s.Data, s.Perm); err != nil {
+				return fmt.Errorf("binfmt: load: %w", err)
+			}
+			continue
+		}
 		seg, err := sp.Map(s.Name, s.Addr, len(s.Data), s.Perm)
 		if err != nil {
 			return fmt.Errorf("binfmt: load: %w", err)
@@ -182,6 +201,11 @@ func Load(b *Binary, sp *mem.Space) error {
 var magic = [4]byte{'P', 'S', 'S', 'P'}
 
 const version = 1
+
+// Version is the serialized container format's version — part of the
+// artifact store's derivation key, so bumping the format invalidates every
+// cached blob cleanly.
+const Version = version
 
 // ErrBadImage is returned by Unmarshal for malformed input.
 var ErrBadImage = errors.New("binfmt: malformed image")
@@ -288,8 +312,27 @@ func (r *reader) u64() uint64 {
 
 func (r *reader) str() string { return string(r.take(int(r.u32()))) }
 
-// Unmarshal parses a serialized binary.
+// Unmarshal parses a serialized binary. Section data is copied out of p, so
+// the caller may reuse the input buffer.
 func Unmarshal(p []byte) (*Binary, error) {
+	return unmarshal(p, true)
+}
+
+// UnmarshalShared parses a serialized binary without copying section data:
+// every Section.Data aliases p directly, and the result is marked
+// SharedBacking so Load maps it zero-copy. p must stay valid, unmodified and
+// effectively read-only (an artifact-store mmap) for the life of the binary
+// and every process loaded from it.
+func UnmarshalShared(p []byte) (*Binary, error) {
+	b, err := unmarshal(p, false)
+	if err != nil {
+		return nil, err
+	}
+	b.shared = true
+	return b, nil
+}
+
+func unmarshal(p []byte, copyData bool) (*Binary, error) {
 	r := &reader{p: p}
 	if m := r.take(4); m == nil || !bytes.Equal(m, magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
@@ -325,8 +368,11 @@ func Unmarshal(p []byte) (*Binary, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		d := make([]byte, len(data))
-		copy(d, data)
+		d := data
+		if copyData {
+			d = make([]byte, len(data))
+			copy(d, data)
+		}
 		b.AddSection(name, addr, perm, d)
 	}
 

@@ -53,6 +53,11 @@ type Config struct {
 	// produce bit-identical results, so this is purely a throughput knob;
 	// pssp.EngineCompiled is the fast block-lowered tier.
 	Engine pssp.Engine
+	// Store, when non-nil, is the content-addressed artifact store behind
+	// every compile: cold pool misses become store lookups, and compiled
+	// images persist across daemon restarts. The caller owns the store and
+	// closes it after Shutdown returns.
+	Store *pssp.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -111,7 +116,7 @@ func New(cfg Config) *Daemon {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Daemon{
 		cfg:       cfg.withDefaults(),
-		pool:      newPool(cfg.PoolSize, cfg.Engine),
+		pool:      newPool(cfg.PoolSize, cfg.Engine, cfg.Store),
 		ctx:       ctx,
 		cancel:    cancel,
 		wake:      make(chan struct{}),

@@ -45,6 +45,11 @@ type pool struct {
 	mu     sync.Mutex
 	cap    int
 	engine pssp.Engine
+	// store, when non-nil, backs every compile: an in-process image-cache
+	// miss becomes a store lookup before it becomes a compile, so images
+	// survive daemon restarts and are shared with other processes via the
+	// store's mmap'd blobs.
+	store *pssp.Store
 
 	entries map[poolKey]*entry
 	order   []poolKey // LRU, oldest first
@@ -54,16 +59,26 @@ type pool struct {
 	hits, misses, evictions, respawns uint64
 }
 
-func newPool(capacity int, engine pssp.Engine) *pool {
+func newPool(capacity int, engine pssp.Engine, store *pssp.Store) *pool {
 	if capacity <= 0 {
 		capacity = 8
 	}
 	return &pool{
 		cap:     capacity,
 		engine:  engine,
+		store:   store,
 		entries: make(map[poolKey]*entry),
 		images:  make(map[imageKey]*pssp.Image),
 	}
+}
+
+// machine builds a machine wired to the pool's engine and artifact store.
+func (p *pool) machine(opts ...pssp.Option) *pssp.Machine {
+	opts = append(opts, pssp.WithEngine(p.engine))
+	if p.store != nil {
+		opts = append(opts, pssp.WithStore(p.store))
+	}
+	return pssp.NewMachine(opts...)
 }
 
 // image returns the cached compiled image for key, compiling on miss. The
@@ -78,7 +93,7 @@ func (p *pool) image(key imageKey) (*pssp.Image, bool, error) {
 	}
 	p.mu.Unlock()
 
-	m := pssp.NewMachine(pssp.WithScheme(key.scheme), pssp.WithEngine(p.engine))
+	m := p.machine(pssp.WithScheme(key.scheme))
 	img, err := m.Pipeline().CompileApp(key.app).Image()
 	if err != nil {
 		return nil, false, err
@@ -100,7 +115,7 @@ func (p *pool) build(ctx context.Context, key poolKey) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := pssp.NewMachine(pssp.WithSeed(key.seed), pssp.WithScheme(key.scheme), pssp.WithEngine(p.engine))
+	m := p.machine(pssp.WithSeed(key.seed), pssp.WithScheme(key.scheme))
 	srv, err := m.Serve(ctx, img)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: booting %s/%s seed %d: %w", key.app, key.scheme, key.seed, err)
@@ -205,11 +220,12 @@ func (p *pool) close() {
 	}
 }
 
-// stats snapshots the pool's counters.
+// stats snapshots the pool's counters, including the artifact store's hit
+// and miss tallies when one is attached — these split a cold pool miss that
+// compiled from one the store served.
 func (p *pool) stats() PoolStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return PoolStats{
+	st := PoolStats{
 		Entries:   len(p.entries),
 		Capacity:  p.cap,
 		Images:    len(p.images),
@@ -218,4 +234,11 @@ func (p *pool) stats() PoolStats {
 		Evictions: p.evictions,
 		Respawns:  p.respawns,
 	}
+	store := p.store
+	p.mu.Unlock()
+	if store != nil {
+		ss := store.Stats()
+		st.StoreHits, st.StoreMisses = ss.Hits, ss.Misses
+	}
+	return st
 }

@@ -316,6 +316,12 @@ type PoolStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Respawns  uint64 `json:"respawns"`
+	// StoreHits/StoreMisses count artifact-store lookups behind the image
+	// cache (zero when no store is attached). They split a cold pool miss
+	// that recompiled from one the store served: a pool miss with a store
+	// hit skipped the compiler entirely.
+	StoreHits   uint64 `json:"store_hits"`
+	StoreMisses uint64 `json:"store_misses"`
 }
 
 // TenantStats reports one tenant's usage.

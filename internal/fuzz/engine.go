@@ -41,6 +41,12 @@ type Config struct {
 	// MinimizeBudget bounds the extra executions triage spends minimizing
 	// each unique crash (default 96).
 	MinimizeBudget int
+	// BaseVirgin, when exactly vm.CovMapSize bytes, seeds every shard's
+	// coverage frontier — the resume path for a persistent corpus: edges a
+	// previous run already charted are not "new", so the budget goes to the
+	// frontier instead of rediscovery. Part of the scenario: it changes
+	// corpus admission and the report. Other lengths are ignored.
+	BaseVirgin []byte
 	// Progress, when non-nil, receives a running tally roughly every
 	// ProgressEvery executions and at every shard completion, serialized by
 	// the engine. It observes wall-clock order, so the snapshot sequence
@@ -240,6 +246,9 @@ func runShard(ctx context.Context, cfg Config, shard int, ex Executor, mt *progr
 	r := rng.NewStream(cfg.Seed, uint64(shard))
 	mut := &mutator{r: r, dict: cfg.Dict, max: cfg.MaxInput}
 	st = &shardResult{virgin: make([]byte, vm.CovMapSize)}
+	if len(cfg.BaseVirgin) == vm.CovMapSize {
+		copy(st.virgin, cfg.BaseVirgin)
+	}
 	seen := make(map[crashKey]bool)
 
 	budget := workpool.Share(cfg.Execs, shard, cfg.Shards)
@@ -441,6 +450,7 @@ func merge(cfg Config, results []*shardResult) *Report {
 		}
 		for _, in := range st.corpus {
 			rep.CorpusHashes = append(rep.CorpusHashes, hash64(in))
+			rep.corpus = append(rep.corpus, in)
 		}
 		for _, f := range st.findings {
 			if k := f.key(); !seen[k] {
@@ -459,5 +469,6 @@ func merge(cfg Config, results []*shardResult) *Report {
 		}
 	}
 	rep.CoverageHash = hash64(union)
+	rep.virgin = union
 	return rep
 }

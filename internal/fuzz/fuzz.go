@@ -137,7 +137,24 @@ type Report struct {
 	// Cycles and Insts total the victim-side execution cost.
 	Cycles uint64 `json:"cycles"`
 	Insts  uint64 `json:"insts"`
+
+	// corpus holds the admitted inputs in shard-merge order and virgin the
+	// merged bucketed frontier — the persistence payload behind
+	// CorpusInputs/Frontier. Unexported so the report's JSON shape (and thus
+	// the fixed-seed byte-identity contract) is independent of persistence.
+	corpus [][]byte
+	virgin []byte
 }
+
+// CorpusInputs returns the admitted corpus inputs in shard-merge order —
+// what a persistent corpus directory stores between runs. Callers must not
+// mutate the returned inputs.
+func (r *Report) CorpusInputs() [][]byte { return r.corpus }
+
+// Frontier returns the merged bucketed coverage map (vm.CovMapSize bytes,
+// nil for an empty report) — feed it back as Config.BaseVirgin to resume
+// from this run's coverage instead of rediscovering it.
+func (r *Report) Frontier() []byte { return r.virgin }
 
 // hash64 is FNV-1a over b — the corpus/coverage fingerprint primitive.
 func hash64(b []byte) uint64 {

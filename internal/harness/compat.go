@@ -110,11 +110,11 @@ func GlobalBuffer(cfg Config) (*Table, error) {
 	target := apps.VulnServers()[0]
 
 	// Layout preservation: GB frames match SSP frames byte for byte.
-	sspBin, err := compileStatic(target.Prog, core.SchemeSSP)
+	sspBin, err := cfg.compileStatic(target.Prog, core.SchemeSSP)
 	if err != nil {
 		return nil, err
 	}
-	gbBin, err := compileStatic(target.Prog, core.SchemePSSPGB)
+	gbBin, err := cfg.compileStatic(target.Prog, core.SchemePSSPGB)
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,11 @@ type Config struct {
 	// The cross-engine golden tests run the full drivers under all three
 	// and assert identical values, so the knob only changes wall-clock.
 	Engine pssp.Engine
+	// Store, when non-nil, routes every compile the drivers perform through
+	// the content-addressed artifact store. Store hits are byte-identical to
+	// cold compiles, so every table and report is store-hit-invariant — the
+	// store-vs-cold golden tests assert exactly that.
+	Store *pssp.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -161,12 +166,12 @@ func (t *Table) set(key string, v float64) {
 // given options. Every driver constructs machines through it so one Config
 // knob switches the whole evaluation between engines.
 func (c Config) machine(opts ...pssp.Option) *pssp.Machine {
-	return pssp.NewMachine(append([]pssp.Option{pssp.WithEngine(c.Engine)}, opts...)...)
+	return pssp.NewMachine(append([]pssp.Option{pssp.WithEngine(c.Engine), pssp.WithStore(c.Store)}, opts...)...)
 }
 
 // compileStatic compiles an IR program as a statically linked image.
-func compileStatic(prog *cc.Program, scheme core.Scheme) (*pssp.Image, error) {
-	return pssp.NewMachine(pssp.WithScheme(scheme)).Compile(prog)
+func (c Config) compileStatic(prog *cc.Program, scheme core.Scheme) (*pssp.Image, error) {
+	return pssp.NewMachine(pssp.WithScheme(scheme), pssp.WithStore(c.Store)).Compile(prog)
 }
 
 // runToExit runs the image to completion on a fresh machine, returning the
@@ -187,7 +192,7 @@ func specSuiteCycles(ctx context.Context, cfg Config, build func(m *pssp.Machine
 	cycles := make([]uint64, len(suite))
 	err := pssp.RunSessions(ctx, len(suite),
 		func(int) []pssp.Option {
-			return []pssp.Option{pssp.WithSeed(cfg.Seed), pssp.WithEngine(cfg.Engine)}
+			return []pssp.Option{pssp.WithSeed(cfg.Seed), pssp.WithEngine(cfg.Engine), pssp.WithStore(cfg.Store)}
 		},
 		func(ctx context.Context, s *pssp.Session) error {
 			app := suite[s.ID()]

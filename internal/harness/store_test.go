@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/pssp"
+)
+
+// TestTablesStoreHitInvariant runs every table driver cold and then twice
+// against one artifact store — the second store pass serving every compile
+// from cache — and asserts the rendered tables and JSON values are
+// byte-identical. This is the paper-facing face of the store's bit-identity
+// contract: caching compiled images must never move a single cell of
+// Table I–V.
+func TestTablesStoreHitInvariant(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func(Config) (*Table, error)
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"table4", Table4},
+		{"table5", func(c Config) (*Table, error) { return Table5(c, false) }},
+	}
+
+	st, err := pssp.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	encode := func(cfg Config, run func(Config) (*Table, error)) []byte {
+		t.Helper()
+		tab, err := run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(j, tab.Render()...)
+	}
+
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			cold := encode(fastCfg, d.run)
+			withStore := fastCfg
+			withStore.Store = st
+			// First store pass populates, second must serve hits only; both
+			// must match the cold run bit for bit.
+			populate := encode(withStore, d.run)
+			before := st.Stats()
+			hits := encode(withStore, d.run)
+			after := st.Stats()
+			if !bytes.Equal(populate, cold) {
+				t.Errorf("store-populate run diverged from cold run:\n%s\nvs\n%s", populate, cold)
+			}
+			if !bytes.Equal(hits, cold) {
+				t.Errorf("store-hit run diverged from cold run:\n%s\nvs\n%s", hits, cold)
+			}
+			if after.Misses != before.Misses {
+				t.Errorf("second store pass compiled %d time(s); every image should already be cached",
+					after.Misses-before.Misses)
+			}
+			if after.Hits == before.Hits {
+				t.Error("second store pass never hit the store")
+			}
+		})
+	}
+	t.Run("stats", func(t *testing.T) {
+		s := st.Stats()
+		if s.Misses == 0 || s.Hits == 0 {
+			t.Fatalf("store saw no traffic: %+v", s)
+		}
+		t.Log(fmt.Sprintf("store traffic across tables: %+v", s))
+	})
+}

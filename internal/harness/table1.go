@@ -146,7 +146,7 @@ func Table1(cfg Config) (*Table, error) {
 // BROP cell ("prevented" means no replication recovered a canary).
 func measureSecurityProfile(ctx context.Context, cfg Config, s core.Scheme) (bropPrevented, correct bool, err error) {
 	target := apps.VulnServers()[0] // nginx-vuln
-	img, err := compileStatic(target.Prog, s)
+	img, err := cfg.compileStatic(target.Prog, s)
 	if err != nil {
 		return false, false, err
 	}

@@ -32,7 +32,7 @@ func threeWayServer(cfg Config, app apps.App, requests int) (avg [3]float64, mem
 	}
 	err = pssp.RunSessions(context.Background(), len(builds),
 		func(i int) []pssp.Option {
-			return []pssp.Option{pssp.WithSeed(cfg.Seed + uint64(i)), pssp.WithEngine(cfg.Engine)}
+			return []pssp.Option{pssp.WithSeed(cfg.Seed + uint64(i)), pssp.WithEngine(cfg.Engine), pssp.WithStore(cfg.Store)}
 		},
 		func(ctx context.Context, s *pssp.Session) error {
 			i := s.ID()

@@ -32,7 +32,7 @@ func probeProgram(criticals int) *cc.Program {
 func prologueEpilogueDelta(cfg Config, scheme core.Scheme, criticals int) (uint64, error) {
 	prog := probeProgram(criticals)
 	ctx := context.Background()
-	unprot, err := compileStatic(prog, core.SchemeNone)
+	unprot, err := cfg.compileStatic(prog, core.SchemeNone)
 	if err != nil {
 		return 0, err
 	}
@@ -40,7 +40,7 @@ func prologueEpilogueDelta(cfg Config, scheme core.Scheme, criticals int) (uint6
 	if err != nil {
 		return 0, err
 	}
-	prot, err := compileStatic(prog, scheme)
+	prot, err := cfg.compileStatic(prog, scheme)
 	if err != nil {
 		return 0, err
 	}

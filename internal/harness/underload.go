@@ -55,7 +55,7 @@ func threeWayLoad(cfg Config, app apps.App) (reports [3]*pssp.LoadReport, err er
 	}
 	err = pssp.RunSessions(context.Background(), len(builds),
 		func(i int) []pssp.Option {
-			return []pssp.Option{pssp.WithSeed(cfg.Seed + uint64(i)), pssp.WithEngine(cfg.Engine)}
+			return []pssp.Option{pssp.WithSeed(cfg.Seed + uint64(i)), pssp.WithEngine(cfg.Engine), pssp.WithStore(cfg.Store)}
 		},
 		func(ctx context.Context, s *pssp.Session) error {
 			i := s.ID()

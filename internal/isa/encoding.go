@@ -5,6 +5,12 @@ import (
 	"fmt"
 )
 
+// EncodingVersion identifies the instruction byte encoding. It is part of
+// the artifact store's derivation key: any change to opcode numbering,
+// operand shapes or payload layout must bump it so cached image blobs built
+// under the old encoding miss cleanly instead of decoding garbage.
+const EncodingVersion = 1
+
 // Encode appends the byte encoding of in to dst and returns the extended
 // slice. The encoding is opcode byte followed by the shape's operand
 // payload; multi-byte values are little-endian.

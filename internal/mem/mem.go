@@ -97,6 +97,13 @@ type Segment struct {
 	// cow marks Data as shared with at least one other Space after a Clone;
 	// the next write through prepareWrite materializes a private copy.
 	cow bool
+	// ext marks Data as externally backed (MapShared): the bytes belong to
+	// the caller — typically a read-only mmap of an artifact-store blob
+	// shared across OS processes — so they must never be written in place
+	// and never be recycled into the buffer pool. ext segments are born cow,
+	// which routes every write through prepareWrite's materialization; once
+	// a private copy exists the flag clears.
+	ext bool
 	// gen counts content changes to executable segments. Decoded-instruction
 	// caches record the generation they were built at and rebuild on
 	// mismatch, which is how self-modifying writes to exec pages invalidate
@@ -199,6 +206,7 @@ func (s *Segment) prepareWrite(pool *BufPool, off uint64, size int) {
 			s.Data = d
 		}
 		s.cow = false
+		s.ext = false // Data (and, on the lazy path, its chunks) is private now
 	}
 	if s.shadow != nil {
 		s.ensure(off, size)
@@ -324,6 +332,34 @@ func (sp *Space) Map(name string, base uint64, size int, perm Perm) (*Segment, e
 		data = make([]byte, size)
 	}
 	seg := &Segment{Name: name, Base: base, Perm: perm, Data: data}
+	sp.epoch++
+	sp.segs = append(sp.segs, seg)
+	sort.Slice(sp.segs, func(i, j int) bool { return sp.segs[i].Base < sp.segs[j].Base })
+	return seg, nil
+}
+
+// MapShared maps data as a segment whose backing aliases the caller's bytes
+// instead of copying them — the loader's zero-copy path for artifact-store
+// blobs, where the same read-only mmap backs every process booted from one
+// image. The segment is born copy-on-write with an external-backing mark, so
+// the first guest write materializes a private buffer (lazily, chunk by
+// chunk, for large non-executable segments) and the shared bytes themselves
+// are never written and never recycled into the pool. data must stay valid
+// and unmodified for the life of every space (and clone) that aliases it.
+func (sp *Space) MapShared(name string, base uint64, data []byte, perm Perm) (*Segment, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("mem: map shared %q: empty backing", name)
+	}
+	if base+uint64(len(data)) < base {
+		return nil, fmt.Errorf("mem: map shared %q: region wraps address space", name)
+	}
+	for _, s := range sp.segs {
+		if base < s.End() && s.Base < base+uint64(len(data)) {
+			return nil, fmt.Errorf("mem: map shared %q at 0x%x overlaps segment %q [0x%x,0x%x)",
+				name, base, s.Name, s.Base, s.End())
+		}
+	}
+	seg := &Segment{Name: name, Base: base, Perm: perm, Data: data, cow: true, ext: true}
 	sp.epoch++
 	sp.segs = append(sp.segs, seg)
 	sort.Slice(sp.segs, func(i, j int) bool { return sp.segs[i].Base < sp.segs[j].Base })
@@ -609,7 +645,10 @@ func (sp *Space) ReleaseAll() {
 	sp.epoch++
 	for _, s := range sp.segs {
 		s.shadow = nil
-		if s.Perm&PermExec != 0 || len(s.Data) < cowLazyMin {
+		// Externally backed bytes (MapShared) belong to the artifact store's
+		// mapping, not to this space: recycling them would hand read-only
+		// mmap pages to the pool's clear().
+		if s.ext || s.Perm&PermExec != 0 || len(s.Data) < cowLazyMin {
 			continue
 		}
 		sp.pool.put(s.Data)

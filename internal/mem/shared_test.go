@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sharedBacking builds a backing slice big enough to take the lazy-COW path
+// (>= cowLazyMin) with a recognizable fill.
+func sharedBacking(fill byte) []byte {
+	b := make([]byte, cowLazyMin)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestMapSharedAliasesBacking(t *testing.T) {
+	backing := sharedBacking(0xab)
+	sp := NewSpace()
+	if _, err := sp.MapShared("blob", 0x1000, backing, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.Read(0x1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, backing[:8]) {
+		t.Fatalf("read through shared segment = % x, want % x", got, backing[:8])
+	}
+
+	// A guest write must materialize a private copy, never touch the backing.
+	if err := sp.Write(0x1000, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if backing[0] != 0xab {
+		t.Fatalf("guest write reached the shared backing: backing[0] = %#x", backing[0])
+	}
+	got, err = sp.Read(0x1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("read after write = % x, want 01 02 03 04", got)
+	}
+}
+
+func TestMapSharedClonePropagatesSharing(t *testing.T) {
+	backing := sharedBacking(0x5a)
+	sp := NewSpace()
+	if _, err := sp.MapShared("blob", 0x1000, backing, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	child := sp.Clone()
+	if err := child.Write(0x1000, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if backing[0] != 0x5a {
+		t.Fatalf("clone write reached the shared backing: backing[0] = %#x", backing[0])
+	}
+	got, err := sp.Read(0x1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x5a {
+		t.Fatalf("clone write leaked into parent: parent[0] = %#x", got[0])
+	}
+}
+
+// TestMapSharedReleaseAllKeepsBacking is the regression test for the store's
+// safety contract: ReleaseAll must never recycle externally backed bytes into
+// the buffer pool (the pool clears buffers on reuse, which would scribble on
+// a read-only mmap).
+func TestMapSharedReleaseAllKeepsBacking(t *testing.T) {
+	backing := sharedBacking(0xcd)
+	sp := NewSpace()
+	pool := &BufPool{}
+	sp.SetPool(pool)
+	if _, err := sp.MapShared("blob", 0x1000, backing, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	// Map a same-sized private segment alongside: it SHOULD be pooled, which
+	// proves ReleaseAll visited segments of this size class.
+	if _, err := sp.Map("private", 0x100000, cowLazyMin, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	sp.ReleaseAll()
+	for i, b := range backing {
+		if b != 0xcd {
+			t.Fatalf("ReleaseAll disturbed shared backing at %d: %#x", i, b)
+		}
+	}
+	// Drain the pool: every buffer it hands back must be the private one, not
+	// the shared backing.
+	for i := 0; i < 4; i++ {
+		if buf := pool.get(cowLazyMin); buf != nil && &buf[0] == &backing[0] {
+			t.Fatal("shared backing was recycled into the pool")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Corpus is a persistent, content-hash-deduplicated fuzz corpus directory:
+//
+//	<dir>/inputs/<sha256 of input>   one file per distinct input
+//	<dir>/frontier                   merged bucketed coverage map
+//	<dir>/corpus.lock                writer lock for frontier merges
+//
+// Inputs are addressed by their own content hash, so re-adding an input a
+// previous run already discovered is a no-op and concurrent runs converge
+// on one copy. The frontier file carries the OR-merge of every run's virgin
+// coverage map; seeding the next run's shards with it turns "rediscover all
+// known edges" into "resume from the recorded frontier".
+type Corpus struct {
+	dir string
+}
+
+// OpenCorpus opens (creating if needed) the corpus rooted at dir.
+func OpenCorpus(dir string) (*Corpus, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "inputs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open corpus %s: %w", dir, err)
+	}
+	return &Corpus{dir: dir}, nil
+}
+
+// Dir returns the corpus root directory.
+func (c *Corpus) Dir() string { return c.dir }
+
+func (c *Corpus) inputsDir() string    { return filepath.Join(c.dir, "inputs") }
+func (c *Corpus) frontierPath() string { return filepath.Join(c.dir, "frontier") }
+func (c *Corpus) lockPath() string     { return filepath.Join(c.dir, "corpus.lock") }
+
+// Load returns every saved input (sorted by content hash, so the order is a
+// function of the set alone) and the saved coverage frontier, nil when no
+// frontier has been recorded. Files whose name does not match their content
+// hash — a torn write or manual edit — are skipped.
+func (c *Corpus) Load() (inputs [][]byte, frontier []byte, err error) {
+	ents, err := os.ReadDir(c.inputsDir())
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: load corpus %s: %w", c.dir, err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(c.inputsDir(), name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: load corpus %s: %w", c.dir, err)
+		}
+		if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != name || len(data) == 0 {
+			continue
+		}
+		inputs = append(inputs, data)
+	}
+	frontier, err = os.ReadFile(c.frontierPath())
+	if os.IsNotExist(err) {
+		return inputs, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: load corpus %s: %w", c.dir, err)
+	}
+	return inputs, frontier, nil
+}
+
+// Add stores every input not already present, addressing each by its
+// content hash, and returns how many were new. Empty inputs are ignored.
+func (c *Corpus) Add(inputs [][]byte) (added int, err error) {
+	for _, in := range inputs {
+		if len(in) == 0 {
+			continue
+		}
+		sum := sha256.Sum256(in)
+		path := filepath.Join(c.inputsDir(), hex.EncodeToString(sum[:]))
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		tmp, err := os.CreateTemp(c.inputsDir(), ".tmp-*")
+		if err != nil {
+			return added, fmt.Errorf("store: corpus add: %w", err)
+		}
+		_, werr := tmp.Write(in)
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), path)
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return added, fmt.Errorf("store: corpus add: %w", werr)
+		}
+		added++
+	}
+	return added, nil
+}
+
+// SaveFrontier merges frontier into the saved coverage frontier under the
+// corpus writer lock: coverage bits only accumulate (bitwise OR), so
+// concurrent runs cannot regress each other's discoveries. A saved frontier
+// of a different length (coverage map geometry changed) is replaced.
+func (c *Corpus) SaveFrontier(frontier []byte) error {
+	if len(frontier) == 0 {
+		return nil
+	}
+	unlock, err := lockFile(c.lockPath())
+	if err != nil {
+		return fmt.Errorf("store: corpus frontier: %w", err)
+	}
+	defer unlock()
+	merged := append([]byte(nil), frontier...)
+	if old, err := os.ReadFile(c.frontierPath()); err == nil && len(old) == len(merged) {
+		for i, v := range old {
+			merged[i] |= v
+		}
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-frontier-*")
+	if err != nil {
+		return fmt.Errorf("store: corpus frontier: %w", err)
+	}
+	_, werr := tmp.Write(merged)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), c.frontierPath())
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: corpus frontier: %w", werr)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"time"
+)
+
+// mapping is one read-only view of a blob file. Without mmap support the
+// contents are simply read into the heap; correctness is identical, only
+// the cross-process page sharing is lost.
+type mapping struct {
+	data []byte
+}
+
+func mapFile(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) close() error {
+	m.data = nil
+	return nil
+}
+
+// lockFile emulates an exclusive lock by spinning on O_EXCL creation of
+// path. Coarser than flock (a crashed holder leaves the file behind until
+// it goes stale), but preserves the at-most-one-builder property on
+// platforms without advisory locks.
+func lockFile(path string) (func(), error) {
+	const stale = 30 * time.Second
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > stale {
+			os.Remove(path)
+			continue
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,74 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is one read-only view of a blob file. On unix it is a shared
+// PROT_READ mmap, so every process mapping the same blob shares one
+// physical copy of its pages.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapFile opens path read-only and maps its full contents. The file
+// descriptor is closed before returning; the mapping keeps the pages.
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		// mmap of length 0 fails; an empty blob is malformed anyway — hand
+		// decodeBlob an empty slice so it reports corruption.
+		return &mapping{data: nil}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("blob too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	return &mapping{data: data, mapped: true}, nil
+}
+
+func (m *mapping) close() error {
+	if !m.mapped {
+		return nil
+	}
+	m.mapped = false
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// lockFile takes an exclusive advisory flock on path. Each call opens its
+// own descriptor, so it also excludes other goroutines in this process, not
+// just other processes. The returned func releases the lock; the lock file
+// itself is left in place for reuse.
+func lockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("flock: %w", err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

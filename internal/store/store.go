@@ -1,0 +1,428 @@
+// Package store is a content-addressed artifact store for compiled images.
+//
+// Artifacts are keyed by a derivation hash — SHA-256 over (source bytes,
+// scheme, compiler pass config, toolchain version), the zbstore idiom — so
+// a compiled image is built exactly once per distinct input and any input
+// change misses cleanly. On disk each artifact is one blob file under
+// <dir>/blobs/<hash> written via atomic rename, guarded by a per-key file
+// lock so concurrent writers (goroutines or separate processes) race to at
+// most one build. On the read side blobs are mmap'd and parsed zero-copy
+// (binfmt.UnmarshalShared), so N fuzz shards or daemon workers booting the
+// same image in separate processes share one physical copy of its read-only
+// segments.
+//
+// An in-process LRU sits in front of the disk tier. Evicted entries keep
+// their mappings alive on a retained list — images handed out earlier may
+// still alias the mapped bytes — and everything is unmapped only at Close,
+// which must not be called while any machine booted from the store is live.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/binfmt"
+)
+
+// Key is a derivation hash naming one artifact.
+type Key [32]byte
+
+// String returns the key as lowercase hex — the blob's on-disk name.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Derivation captures every input to a compilation. Its hash is the
+// artifact's key: flipping any field — one source byte, the protection
+// scheme, a pass option, a toolchain component version — changes the key,
+// so stale artifacts can never be served for changed inputs.
+type Derivation struct {
+	// Source is the canonical encoding of the program being compiled.
+	Source []byte
+	// Scheme names the protection scheme applied (e.g. "pssp").
+	Scheme string
+	// Config is the canonical encoding of the compiler pass options.
+	Config []byte
+	// Version identifies the toolchain (compiler pass / ISA encoding /
+	// container format versions).
+	Version string
+}
+
+// Key hashes the derivation. Fields are length-prefixed so no two distinct
+// derivations can serialize to the same byte stream.
+func (d Derivation) Key() Key {
+	h := sha256.New()
+	var n [8]byte
+	field := func(p []byte) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	field(d.Source)
+	field([]byte(d.Scheme))
+	field(d.Config)
+	field([]byte(d.Version))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Blob format:
+//
+//	magic "PSAR" | u16 version | 32B sha256(payload) | u64 payload len | payload
+//
+// where payload is the binfmt serialization of the image. The embedded
+// checksum lets open detect corrupt or truncated blobs and fall back to a
+// rebuild instead of booting garbage.
+var blobMagic = [4]byte{'P', 'S', 'A', 'R'}
+
+const (
+	blobVersion    = 1
+	blobHeaderSize = 4 + 2 + 32 + 8
+)
+
+// Stats is a snapshot of store traffic.
+type Stats struct {
+	// Hits counts lookups served without a build (memory or disk tier).
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran the build function.
+	Misses uint64 `json:"misses"`
+	// MemHits and DiskHits split Hits by serving tier.
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	// Corrupt counts blobs rejected by checksum/format verification (each
+	// one was deleted and rebuilt).
+	Corrupt uint64 `json:"corrupt"`
+	// Evictions counts LRU evictions from the in-process tier.
+	Evictions uint64 `json:"evictions"`
+}
+
+// entry is one resident artifact in the in-process tier.
+type entry struct {
+	key Key
+	bin *binfmt.Binary
+	// mapping is the blob mmap backing bin's sections, nil for entries
+	// cached straight from a local build (heap-backed).
+	mapping *mapping
+	// LRU list links.
+	prev, next *entry
+}
+
+// Store is one handle on an artifact directory. Multiple Stores — in one
+// process or many — may share a directory; on-disk consistency comes from
+// per-key locks and atomic renames, not from coordination between handles.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	cache    map[Key]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	capacity int
+	// retained holds mappings of evicted entries: images handed out while
+	// the entry was resident may still alias the mapped bytes, so they stay
+	// mapped until Close.
+	retained []*mapping
+	stats    Stats
+	closed   bool
+}
+
+// DefaultCapacity is the in-process LRU size used by Open.
+const DefaultCapacity = 64
+
+// Open opens (creating if needed) the artifact store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{blobsDir(dir), locksDir(dir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{dir: dir, cache: make(map[Key]*entry), capacity: DefaultCapacity}, nil
+}
+
+func blobsDir(dir string) string  { return filepath.Join(dir, "blobs") }
+func locksDir(dir string) string  { return filepath.Join(dir, "locks") }
+func indexPath(dir string) string { return filepath.Join(dir, "index") }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) blobPath(k Key) string { return filepath.Join(blobsDir(s.dir), k.String()) }
+
+// lockKey takes the per-key builder lock under dir.
+func lockKey(dir string, k Key) (func(), error) {
+	return lockFile(filepath.Join(dir, k.String()+".lock"))
+}
+
+// GetOrBuild returns the artifact for k, building and storing it with build
+// on a miss. hit reports whether the build was avoided — served from the
+// in-process tier, from an mmap'd on-disk blob, or from a blob a racing
+// writer finished first. name and scheme are recorded in the store index
+// for humans; they do not affect addressing.
+func (s *Store) GetOrBuild(k Key, name, scheme string, build func() (*binfmt.Binary, error)) (*binfmt.Binary, bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("store: %s: use after Close", s.dir)
+	}
+	if e, ok := s.cache[k]; ok {
+		s.touch(e)
+		s.stats.Hits++
+		s.stats.MemHits++
+		bin := e.bin
+		s.mu.Unlock()
+		return bin, true, nil
+	}
+	s.mu.Unlock()
+
+	// Disk tier, optimistic (no lock): the common warm-start path.
+	if bin, err := s.tryLoad(k); err != nil {
+		return nil, false, err
+	} else if bin != nil {
+		return bin, true, nil
+	}
+
+	// Miss: serialize builders of this key across goroutines and processes.
+	unlock, err := lockKey(locksDir(s.dir), k)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: lock %s: %w", k, err)
+	}
+	defer unlock()
+
+	// A racing writer may have finished while we waited for the lock.
+	if bin, err := s.tryLoad(k); err != nil {
+		return nil, false, err
+	} else if bin != nil {
+		return bin, true, nil
+	}
+
+	bin, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := s.writeBlob(k, name, scheme, binfmt.Marshal(bin)); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.insert(&entry{key: k, bin: bin})
+	s.mu.Unlock()
+	return bin, false, nil
+}
+
+// Get returns the artifact for k if present (memory or disk), or (nil,
+// false) on a miss. It never builds.
+func (s *Store) Get(k Key) (*binfmt.Binary, bool, error) {
+	s.mu.Lock()
+	if e, ok := s.cache[k]; ok {
+		s.touch(e)
+		s.stats.Hits++
+		s.stats.MemHits++
+		bin := e.bin
+		s.mu.Unlock()
+		return bin, true, nil
+	}
+	s.mu.Unlock()
+	bin, err := s.tryLoad(k)
+	if err != nil || bin == nil {
+		return nil, false, err
+	}
+	return bin, true, nil
+}
+
+// tryLoad maps and verifies the on-disk blob for k. It returns (nil, nil)
+// when the blob does not exist, and treats a corrupt or truncated blob as
+// absent after deleting it (counted in Stats.Corrupt).
+func (s *Store) tryLoad(k Key) (*binfmt.Binary, error) {
+	m, err := mapFile(s.blobPath(k))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open blob %s: %w", k, err)
+	}
+	bin, err := decodeBlob(m.data)
+	if err != nil {
+		// Corrupt: drop the blob so the next lookup rebuilds it.
+		m.close()
+		os.Remove(s.blobPath(k))
+		s.mu.Lock()
+		s.stats.Corrupt++
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		m.close()
+		return nil, fmt.Errorf("store: %s: use after Close", s.dir)
+	}
+	if e, ok := s.cache[k]; ok {
+		// Raced with another goroutine loading the same key: serve the
+		// resident copy, retire our duplicate mapping immediately.
+		s.touch(e)
+		s.stats.Hits++
+		s.stats.MemHits++
+		bin = e.bin
+		s.mu.Unlock()
+		m.close()
+		return bin, nil
+	}
+	s.stats.Hits++
+	s.stats.DiskHits++
+	s.insert(&entry{key: k, bin: bin, mapping: m})
+	s.mu.Unlock()
+	return bin, nil
+}
+
+// decodeBlob verifies the blob envelope and checksum and parses the payload
+// zero-copy: the returned binary's sections alias p.
+func decodeBlob(p []byte) (*binfmt.Binary, error) {
+	if len(p) < blobHeaderSize || !bytes.Equal(p[:4], blobMagic[:]) {
+		return nil, fmt.Errorf("store: bad blob header")
+	}
+	if v := binary.LittleEndian.Uint16(p[4:6]); v != blobVersion {
+		return nil, fmt.Errorf("store: unsupported blob version %d", v)
+	}
+	var want [32]byte
+	copy(want[:], p[6:38])
+	n := binary.LittleEndian.Uint64(p[38:46])
+	payload := p[blobHeaderSize:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("store: truncated blob: header says %d payload bytes, have %d", n, len(payload))
+	}
+	if sha256.Sum256(payload) != want {
+		return nil, fmt.Errorf("store: blob checksum mismatch")
+	}
+	return binfmt.UnmarshalShared(payload)
+}
+
+// writeBlob writes the blob for k atomically: temp file in the blobs
+// directory, fsync-free write, rename over the final name. Caller holds the
+// key lock.
+func (s *Store) writeBlob(k Key, name, scheme string, payload []byte) error {
+	hdr := make([]byte, 0, blobHeaderSize)
+	hdr = append(hdr, blobMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, blobVersion)
+	sum := sha256.Sum256(payload)
+	hdr = append(hdr, sum[:]...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
+
+	dir := blobsDir(s.dir)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+k.String()+"-*")
+	if err != nil {
+		return fmt.Errorf("store: write blob %s: %w", k, err)
+	}
+	_, werr := tmp.Write(hdr)
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write blob %s: %w", k, werr)
+	}
+	if err := os.Rename(tmp.Name(), s.blobPath(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write blob %s: %w", k, err)
+	}
+	// Append a human-readable index line; best-effort, the blob itself is
+	// the source of truth.
+	if f, err := os.OpenFile(indexPath(s.dir), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644); err == nil {
+		fmt.Fprintf(f, "%s %s %s %d\n", k, name, scheme, len(payload))
+		f.Close()
+	}
+	return nil
+}
+
+// touch moves e to the LRU front. Caller holds s.mu.
+func (s *Store) touch(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.head == e {
+		s.head = e.next
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// insert adds e at the LRU front, evicting from the tail past capacity.
+// Caller holds s.mu.
+func (s *Store) insert(e *entry) {
+	s.cache[e.key] = e
+	s.touch(e)
+	for len(s.cache) > s.capacity && s.tail != nil && s.tail != e {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.cache, victim.key)
+		s.stats.Evictions++
+		if victim.mapping != nil {
+			// Images already handed out may alias the mapped bytes; keep
+			// the mapping alive until Close.
+			s.retained = append(s.retained, victim.mapping)
+		}
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close releases every mapping the store holds. It must only be called once
+// no machine booted from a store-served image is still live: their address
+// spaces alias the mapped bytes.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, e := range s.cache {
+		if e.mapping != nil {
+			if err := e.mapping.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, m := range s.retained {
+		if err := m.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.cache = make(map[Key]*entry)
+	s.head, s.tail, s.retained = nil, nil, nil
+	return first
+}

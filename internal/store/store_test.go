@@ -1,0 +1,345 @@
+package store_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/binfmt"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// testProg is a minimal compilable program; name varies the derivation key.
+func testProg(name string) *cc.Program {
+	return &cc.Program{
+		Name: name,
+		Funcs: []*cc.Func{{
+			Name:   "main",
+			Locals: []cc.Local{{Name: "x", Size: 8}},
+			Body: []cc.Stmt{
+				cc.SetConst{Dst: "x", Value: 5},
+				cc.Return{},
+			},
+		}},
+	}
+}
+
+func testOpts() cc.Options {
+	return cc.Options{Scheme: core.SchemeSSP, Linkage: abi.LinkStatic}
+}
+
+func testKey(name string) store.Key {
+	return cc.Derivation(testProg(name), testOpts()).Key()
+}
+
+func compileProg(t *testing.T, name string) *binfmt.Binary {
+	t.Helper()
+	bin, err := cc.Compile(testProg(name), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestDerivationKeyInjective exercises the length-prefixed field encoding:
+// moving a byte across a field boundary must change the key, or two distinct
+// derivations could alias one artifact.
+func TestDerivationKeyInjective(t *testing.T) {
+	a := store.Derivation{Source: []byte("ab"), Scheme: "c"}
+	b := store.Derivation{Source: []byte("a"), Scheme: "bc"}
+	if a.Key() == b.Key() {
+		t.Fatal("field-boundary shift produced the same key")
+	}
+	base := store.Derivation{Source: []byte("src"), Scheme: "ssp", Config: []byte("cfg"), Version: "v1"}
+	flips := []store.Derivation{
+		{Source: []byte("srC"), Scheme: "ssp", Config: []byte("cfg"), Version: "v1"},
+		{Source: []byte("src"), Scheme: "sspx", Config: []byte("cfg"), Version: "v1"},
+		{Source: []byte("src"), Scheme: "ssp", Config: []byte("cfG"), Version: "v1"},
+		{Source: []byte("src"), Scheme: "ssp", Config: []byte("cfg"), Version: "v2"},
+	}
+	for i, d := range flips {
+		if d.Key() == base.Key() {
+			t.Errorf("flip %d did not change the key", i)
+		}
+	}
+	if base.Key() != base.Key() {
+		t.Error("Key is not deterministic")
+	}
+}
+
+// TestGetOrBuildTiers walks one artifact through all three tiers: cold build,
+// in-process memory hit, and (through a second handle on the same directory)
+// an mmap'd disk hit — asserting byte identity throughout.
+func TestGetOrBuildTiers(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	k := testKey("tiers")
+	builds := 0
+	build := func() (*binfmt.Binary, error) {
+		builds++
+		return compileProg(t, "tiers"), nil
+	}
+
+	cold, hit, err := s.GetOrBuild(k, "tiers", "ssp", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || builds != 1 {
+		t.Fatalf("cold lookup: hit=%v builds=%d, want miss and one build", hit, builds)
+	}
+	want := binfmt.Marshal(cold)
+
+	warm, hit, err := s.GetOrBuild(k, "tiers", "ssp", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || builds != 1 {
+		t.Fatalf("memory lookup: hit=%v builds=%d, want hit and no new build", hit, builds)
+	}
+	if !bytes.Equal(binfmt.Marshal(warm), want) {
+		t.Fatal("memory hit is not byte-identical to the cold build")
+	}
+
+	// Fresh handle on the same directory: must come off disk, zero-copy.
+	s2 := openStore(t, dir)
+	disk, hit, err := s2.GetOrBuild(k, "tiers", "ssp", func() (*binfmt.Binary, error) {
+		t.Fatal("disk hit ran the build function")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second handle missed an on-disk blob")
+	}
+	if !bytes.Equal(binfmt.Marshal(disk), want) {
+		t.Fatal("disk hit is not byte-identical to the cold build")
+	}
+	if !disk.SharedBacking() {
+		t.Error("disk hit is not backed by the shared mapping")
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("second handle stats = %+v, want exactly one disk hit", st)
+	}
+}
+
+// TestCorruptBlobRebuilds flips and truncates on-disk blob bytes and asserts
+// the store detects both, deletes the blob, and transparently rebuilds.
+func TestCorruptBlobRebuilds(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(p []byte) []byte
+	}{
+		{"bitflip", func(p []byte) []byte { p[len(p)-1] ^= 0x01; return p }},
+		{"truncated", func(p []byte) []byte { return p[:len(p)/2] }},
+		{"empty", func(p []byte) []byte { return nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			k := testKey("corrupt")
+			s := openStore(t, dir)
+			if _, _, err := s.GetOrBuild(k, "corrupt", "ssp", func() (*binfmt.Binary, error) {
+				return compileProg(t, "corrupt"), nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			blob := filepath.Join(dir, "blobs", k.String())
+			raw, err := os.ReadFile(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(blob, tc.corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh handle (no memory tier) must reject the blob and rebuild.
+			s2 := openStore(t, dir)
+			builds := 0
+			bin, hit, err := s2.GetOrBuild(k, "corrupt", "ssp", func() (*binfmt.Binary, error) {
+				builds++
+				return compileProg(t, "corrupt"), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit || builds != 1 || bin == nil {
+				t.Fatalf("corrupt blob: hit=%v builds=%d, want rebuild", hit, builds)
+			}
+			if st := s2.Stats(); st.Corrupt != 1 {
+				t.Errorf("Corrupt stat = %d, want 1", st.Corrupt)
+			}
+			// The rebuild replaced the blob: a third handle hits clean.
+			s3 := openStore(t, dir)
+			if _, hit, err := s3.Get(k); err != nil || !hit {
+				t.Fatalf("post-rebuild lookup: hit=%v err=%v", hit, err)
+			}
+		})
+	}
+}
+
+// TestConcurrentWritersBuildOnce races many goroutines, each with its own
+// Store handle on one directory, at the same key: the per-key lock must
+// collapse them to exactly one build, and every caller must get a
+// byte-identical artifact.
+func TestConcurrentWritersBuildOnce(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey("race")
+	const writers = 8
+	var builds atomic.Int64
+	outs := make([][]byte, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := store.Open(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			bin, _, err := s.GetOrBuild(k, "race", "ssp", func() (*binfmt.Binary, error) {
+				builds.Add(1)
+				return cc.Compile(testProg("race"), testOpts())
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[i] = binfmt.Marshal(bin)
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds ran, want exactly 1", n)
+	}
+	for i := 1; i < writers; i++ {
+		if !bytes.Equal(outs[i], outs[0]) {
+			t.Fatalf("writer %d got a different artifact", i)
+		}
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := s.GetOrBuild(testKey("x"), "x", "ssp", func() (*binfmt.Binary, error) {
+		return compileProg(t, "x"), nil
+	}); err == nil {
+		t.Fatal("GetOrBuild after Close succeeded")
+	}
+}
+
+func TestCorpusDedupAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	c, err := store.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := [][]byte{[]byte("alpha"), []byte("beta"), []byte("alpha"), nil}
+	added, err := c.Add(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("Add added %d, want 2 (dedup + empty skip)", added)
+	}
+	// Re-adding is a no-op; a second handle sees the same set.
+	if added, err = c.Add(in); err != nil || added != 0 {
+		t.Fatalf("re-Add: added=%d err=%v, want 0", added, err)
+	}
+
+	// A file whose name is not its content hash must be skipped on load.
+	if err := os.WriteFile(filepath.Join(dir, "inputs", hex.EncodeToString(bytes.Repeat([]byte{0xaa}, 32))), []byte("forged"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := store.OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, frontier, err := c2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontier != nil {
+		t.Errorf("frontier = %d bytes, want none recorded", len(frontier))
+	}
+	if len(inputs) != 2 {
+		t.Fatalf("Load returned %d inputs, want 2", len(inputs))
+	}
+	// Hash-sorted order is a function of the set alone.
+	ha := sha256.Sum256([]byte("alpha"))
+	hb := sha256.Sum256([]byte("beta"))
+	want := [][]byte{[]byte("alpha"), []byte("beta")}
+	if hex.EncodeToString(hb[:]) < hex.EncodeToString(ha[:]) {
+		want = [][]byte{[]byte("beta"), []byte("alpha")}
+	}
+	for i := range want {
+		if !bytes.Equal(inputs[i], want[i]) {
+			t.Fatalf("input %d = %q, want %q (hash order)", i, inputs[i], want[i])
+		}
+	}
+}
+
+func TestCorpusFrontierMerge(t *testing.T) {
+	c, err := store.OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFrontier([]byte{0x01, 0x00, 0x10, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFrontier([]byte{0x00, 0x02, 0x10, 0x80}); err != nil {
+		t.Fatal(err)
+	}
+	_, frontier, err := c.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{0x01, 0x02, 0x10, 0x80}; !bytes.Equal(frontier, want) {
+		t.Fatalf("merged frontier = % x, want % x (bitwise OR)", frontier, want)
+	}
+	// A geometry change (different length) replaces rather than merges.
+	if err := c.SaveFrontier([]byte{0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if _, frontier, err = c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{0xff, 0xff}; !bytes.Equal(frontier, want) {
+		t.Fatalf("resized frontier = % x, want % x (replace)", frontier, want)
+	}
+	// Saving an empty frontier is a no-op, never a wipe.
+	if err := c.SaveFrontier(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, frontier, _ = c.Load(); len(frontier) != 2 {
+		t.Fatal("empty SaveFrontier wiped the recorded frontier")
+	}
+}

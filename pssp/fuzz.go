@@ -44,6 +44,12 @@ type FuzzConfig struct {
 	// ProgressEvery is the number of executions between Progress calls
 	// (default 256).
 	ProgressEvery int
+	// BaseVirgin seeds every shard's coverage frontier with a previous run's
+	// merged frontier (FuzzReport.Frontier) — the persistent-corpus resume
+	// path: known edges are no longer novel, so the budget chases new
+	// coverage. Part of the scenario. Ignored unless it is exactly the VM
+	// coverage-map size.
+	BaseVirgin []byte
 }
 
 // FuzzProgress is a fuzzing run's running tally; see fuzz.Progress.
@@ -149,5 +155,6 @@ func (m *Machine) Fuzz(ctx context.Context, img *Image, cfg FuzzConfig) (*FuzzRe
 		MaxInput:      cfg.MaxInput,
 		Progress:      cfg.Progress,
 		ProgressEvery: cfg.ProgressEvery,
+		BaseVirgin:    cfg.BaseVirgin,
 	}, boot)
 }

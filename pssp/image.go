@@ -213,7 +213,7 @@ func (m *Machine) Compile(prog *cc.Program, opts ...CompileOption) (*Image, erro
 	if cfg.libc != nil {
 		ccOpts.Libc = cfg.libc.bin
 	}
-	bin, err := cc.Compile(prog, ccOpts)
+	bin, _, err := cc.CachedCompile(prog, ccOpts, m.cfg.store)
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/kernel"
+	"repro/internal/store"
 	"repro/internal/vm"
 )
 
@@ -125,6 +126,7 @@ type config struct {
 	traceW       io.Writer
 	traceLimit   uint64
 	stats        *Stats
+	store        *store.Store
 }
 
 func defaultConfig() config {

@@ -1,0 +1,31 @@
+package pssp
+
+import "repro/internal/store"
+
+// Store is a content-addressed artifact store (see internal/store): compiled
+// images keyed by a derivation hash over (source bytes, scheme, compiler
+// pass config, toolchain version), cached in-process behind an LRU and on
+// disk as mmap-shared blobs. Attach one to a Machine with WithStore and
+// every Compile — and everything built on it: Pipeline.CompileApp, campaign
+// replications, fuzz shard boots, daemon pool fills — consults the store
+// before invoking the compiler.
+//
+// A Store may be shared by any number of Machines and goroutines, and the
+// same directory may be shared by separate processes. Close it only after
+// every Machine booted from it is done: store-hit images alias the store's
+// mappings.
+type Store = store.Store
+
+// StoreStats is a snapshot of store traffic; see Store.Stats.
+type StoreStats = store.Stats
+
+// OpenStore opens (creating if needed) the artifact store rooted at dir.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// WithStore routes the machine's compilations through st: Compile serves
+// byte-identical images from the store on hit and populates it on miss. A
+// nil st is allowed and means no caching.
+func WithStore(st *Store) Option { return func(c *config) { c.store = st } }
+
+// Store returns the machine's artifact store, nil when none is attached.
+func (m *Machine) Store() *Store { return m.cfg.store }

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Regenerates BENCH_engine.json: runs the execution-engine micro-benchmarks
-# (fork clone, step loop, fork-server request, campaign, loadgen, fuzzer
-# and daemon job-dispatch throughput) with -benchmem and appends a labelled
-# run to the document,
+# (fork clone, step loop, fork-server request, campaign, loadgen, fuzzer,
+# daemon job-dispatch throughput and artifact-store image acquisition) with
+# -benchmem and appends a labelled run to the document,
 # preserving earlier PRs' entries so the perf trajectory stays visible in
 # one file.
 #
@@ -19,7 +19,7 @@ label="${1:-current}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 go test -run '^$' \
-	-bench 'BenchmarkForkClone|BenchmarkStepLoop|BenchmarkForkServerRequest|BenchmarkCampaign|BenchmarkLoadgen|BenchmarkFuzz|BenchmarkDaemonRequest' \
+	-bench 'BenchmarkForkClone|BenchmarkStepLoop|BenchmarkForkServerRequest|BenchmarkCampaign|BenchmarkLoadgen|BenchmarkFuzz|BenchmarkDaemonRequest|BenchmarkStoreBoot' \
 	-benchmem -benchtime "${BENCHTIME:-400x}" . | tee /dev/stderr |
 	go run ./scripts/benchjson -label "$label" -in BENCH_engine.json >"$tmp"
 mv "$tmp" BENCH_engine.json
