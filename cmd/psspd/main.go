@@ -15,6 +15,13 @@
 //	psspd -listen 127.0.0.1:7077 -max-jobs 8 -pool 16
 //	psspd -listen unix:/tmp/psspd.sock -quota 500000000 -tenant-jobs 2
 //	psspd -listen unix:/tmp/psspd.sock -store /var/cache/pssp
+//	psspd -worker -join unix:/tmp/psspctl.sock -name w0 -store /var/cache/pssp
+//
+// -worker runs the daemon as a fabric worker instead of a listener: it
+// dials the coordinator at -join (a psspctl -listen address), registers
+// under -name, and serves shard-lease requests over that one connection,
+// rejoining with capped backoff whenever it drops. Everything else —
+// warm pool, engine, store, drain — behaves identically.
 //
 // -store attaches a content-addressed artifact store: cold pool misses
 // become store lookups (reported as store_hits/store_misses in `stats` and
@@ -52,6 +59,9 @@ func main() {
 		engine     = flag.String("engine", "predecoded", "execution engine: interpreter, predecoded, or compiled")
 		storeDir   = flag.String("store", "", "content-addressed artifact store directory (empty = compile in-process only)")
 		drain      = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+		workerMode = flag.Bool("worker", false, "run as a fabric worker: dial -join and serve shard leases instead of listening")
+		join       = flag.String("join", "", "coordinator address to register with (-worker mode): unix:/path or host:port")
+		name       = flag.String("name", "", "worker name in coordinator stats (-worker mode; default pid-based)")
 	)
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspd", err) }
@@ -59,6 +69,24 @@ func main() {
 	eng, err := pssp.ParseEngine(*engine)
 	if err != nil {
 		fail(err)
+	}
+	if *workerMode {
+		if *join == "" {
+			fail(fmt.Errorf("-worker requires -join: the coordinator address to register with"))
+		}
+		runWorker(*join, *name, *storeDir, *drain, daemon.Config{
+			Seed:        *seed,
+			MaxJobs:     *maxJobs,
+			MaxQueue:    *maxQueue,
+			TenantJobs:  *tenantJobs,
+			QuotaCycles: *quota,
+			PoolSize:    *poolSize,
+			Engine:      eng,
+		}, fail)
+		return
+	}
+	if *join != "" {
+		fail(fmt.Errorf("-join requires -worker"))
 	}
 
 	network, target := "tcp", *listen
@@ -121,6 +149,51 @@ func main() {
 		}
 	case err := <-errc:
 		if err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runWorker is the -worker mode body: one daemon, no listener, a join loop
+// against the coordinator, and the same signal-drain exit as serve mode.
+func runWorker(join, name, storeDir string, drain time.Duration, cfg daemon.Config, fail func(error)) {
+	var st *pssp.Store
+	var err error
+	if storeDir != "" {
+		if st, err = pssp.OpenStore(storeDir); err != nil {
+			fail(err)
+		}
+		cfg.Store = st
+	}
+	d := daemon.New(cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- d.Worker(ctx, join, name) }()
+	fmt.Fprintf(os.Stderr, "psspd: worker joining %s (seed %d, %d job slots, pool %d)\n",
+		join, cfg.Seed, cfg.MaxJobs, cfg.PoolSize)
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "psspd: %s, draining...\n", sig)
+		cancel()
+		dctx, dcancel := context.WithTimeout(context.Background(), drain)
+		err := d.Shutdown(dctx)
+		dcancel()
+		if st != nil {
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "psspd: store %s: store_hits=%d store_misses=%d (mem %d, disk %d, corrupt %d)\n",
+				storeDir, ss.Hits, ss.Misses, ss.MemHits, ss.DiskHits, ss.Corrupt)
+			st.Close()
+		}
+		if err != nil {
+			fail(fmt.Errorf("drain: %w", err))
+		}
+	case err := <-errc:
+		if err != nil && err != context.Canceled {
 			fail(err)
 		}
 	}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/daemon"
 	"repro/internal/daemon/client"
+	"repro/internal/rng"
 	"repro/internal/store"
 	"repro/pssp"
 )
@@ -60,6 +61,7 @@ func main() {
 		shards   = flag.Int("shards", 4, "self-contained fuzzing shards, one replica victim each (part of the scenario)")
 		workers  = flag.Int("workers", 0, "concurrent shard executors (0 = GOMAXPROCS; wall-clock only)")
 		maxIn    = flag.Int("max-input", 1024, "generated input length cap in bytes")
+		stall    = flag.Int("until-stall", 0, "continuous mode: rerun exec-bounded rounds, reseeded from the growing corpus, until the coverage frontier is unchanged for this many consecutive rounds (0 = single run)")
 		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		remote   = flag.String("remote", "", "run on a psspd daemon at this address (unix:/path or host:port)")
@@ -82,6 +84,12 @@ func main() {
 	}
 	if *remote != "" && (*corpus != "" || *storeDir != "") {
 		fail(errors.New("-corpus and -store apply to local runs; a psspd daemon manages its own store (psspd -store)"))
+	}
+	if *stall > 0 && *remote != "" {
+		fail(errors.New("-until-stall is a local loop; for distributed continuous fuzzing use psspctl -job fuzz -until-stall"))
+	}
+	if *stall > 0 && *duration > 0 {
+		fail(errors.New("-until-stall rounds are exec-bounded; combine with -execs, not -duration"))
 	}
 
 	ctx := context.Background()
@@ -109,6 +117,7 @@ func main() {
 	}
 
 	var rep *pssp.FuzzReport
+	var stallSum *pssp.FuzzStallSummary
 	timedOut := false
 	if *remote != "" {
 		c, err := client.Dial(*remote)
@@ -145,6 +154,7 @@ func main() {
 			}
 			machineOpts = append(machineOpts, pssp.WithStore(st))
 		}
+		baseSeeds := seeds
 		var corp *store.Corpus
 		var baseVirgin []byte
 		if *corpus != "" {
@@ -171,6 +181,25 @@ func main() {
 		img, err := m.Pipeline().CompileApp(*app).Image()
 		if err != nil {
 			fail(err)
+		}
+		if *stall > 0 {
+			// Continuous mode reseeds itself each round, so the base seed
+			// corpus (pre-corpus-append) and the corpus handle go in raw; the
+			// loop folds and reloads the corpus between rounds itself.
+			cfg := pssp.FuzzConfig{
+				Seeds: baseSeeds, Dict: tokens, Execs: *execs, Shards: *shards,
+				Workers: *workers, Seed: *seed, MaxInput: *maxIn,
+			}
+			rep, stallSum, err = fuzzUntilStall(ctx, m, img, cfg, corp, *stall)
+			if err != nil {
+				fail(err)
+			}
+			if st != nil {
+				ss := st.Stats()
+				fmt.Fprintf(os.Stderr, "psspfuzz: store: hits=%d misses=%d\n", ss.Hits, ss.Misses)
+			}
+			emit(*jsonOut, rep, s, 0, false, stallSum, fail)
+			return
 		}
 		rep, err = m.Fuzz(ctx, img, pssp.FuzzConfig{
 			Seeds:      seeds,
@@ -212,14 +241,22 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
+	emit(*jsonOut, rep, s, *duration, timedOut, stallSum, fail)
+}
+
+// emit renders the report — the one output path of every psspfuzz mode, so
+// local, remote, single-run, and continuous runs stay byte-comparable.
+func emit(jsonOut bool, rep *pssp.FuzzReport, s pssp.Scheme, duration time.Duration, timedOut bool, stallSum *pssp.FuzzStallSummary, fail func(error)) {
+	if jsonOut {
 		// A completed run keeps the bare FuzzReport shape; a time-boxed
 		// partial adds "timed_out": true so scripts cannot mistake a
-		// truncated frontier for a full one.
+		// truncated frontier for a full one, and a continuous run adds its
+		// "until_stall" convergence summary.
 		out := struct {
 			*pssp.FuzzReport
-			TimedOut bool `json:"timed_out,omitempty"`
-		}{rep, timedOut}
+			TimedOut   bool                   `json:"timed_out,omitempty"`
+			UntilStall *pssp.FuzzStallSummary `json:"until_stall,omitempty"`
+		}{rep, timedOut, stallSum}
 		if err := cliutil.EmitJSON(os.Stdout, out); err != nil {
 			fail(err)
 		}
@@ -227,9 +264,13 @@ func main() {
 	}
 	fmt.Printf("%s (scheme %s): %d execs over %d shard(s)", rep.Label, s, rep.Execs, rep.Shards)
 	if timedOut {
-		fmt.Printf(" [time box %v hit]", *duration)
+		fmt.Printf(" [time box %v hit]", duration)
 	}
 	fmt.Println()
+	if stallSum != nil {
+		fmt.Printf("  continuous: frontier stalled after %d round(s), %d total execs\n",
+			stallSum.Rounds, stallSum.TotalExecs)
+	}
 	fmt.Printf("  coverage: %d edges (frontier %016x), corpus %d entries\n",
 		rep.Edges, rep.CoverageHash, rep.CorpusSize)
 	fmt.Printf("  crashes: %d executions, %d unique site(s)", rep.Crashes, len(rep.Findings))
@@ -245,5 +286,70 @@ func main() {
 		fmt.Printf("  finding %d: rip=0x%x %s\n", i, f.CrashPC, kind)
 		fmt.Printf("    shard %d exec %d, input %d bytes, minimized %d bytes -> overflow after %d bytes\n",
 			f.Shard, f.Exec, len(f.Input), len(f.Minimized), f.OverflowLen())
+	}
+}
+
+// fuzzUntilStall is -until-stall's round loop — the local twin of the
+// fabric coordinator's continuous mode, with identical round semantics so
+// the two stay byte-comparable: round r>0 re-derives its mutation seed as
+// rng.Mix(seed, r) and seeds itself with every input discovered so far
+// (reloaded through the persistent corpus when -corpus is set, in memory
+// otherwise), with the accumulated frontier as the round's base virgin map.
+// The frontier is monotone and bounded, so the loop terminates.
+func fuzzUntilStall(ctx context.Context, m *pssp.Machine, img *pssp.Image, cfg pssp.FuzzConfig, corp *store.Corpus, stall int) (*pssp.FuzzReport, *pssp.FuzzStallSummary, error) {
+	baseSeeds := cfg.Seeds
+	seeds := baseSeeds
+	var baseVirgin []byte
+	sum := &pssp.FuzzStallSummary{StallRounds: stall}
+	var rep *pssp.FuzzReport
+	var lastHash uint64
+	same, started := 0, false
+	for {
+		rc := cfg
+		if sum.Rounds > 0 {
+			rc.Seed = rng.Mix(cfg.Seed, uint64(sum.Rounds))
+		}
+		if corp != nil {
+			// Reload between rounds: concurrent runs sharing the corpus
+			// contribute seeds and frontier too.
+			saved, frontier, err := corp.Load()
+			if err != nil {
+				return rep, sum, err
+			}
+			seeds = append(append([][]byte{}, baseSeeds...), saved...)
+			baseVirgin = frontier
+		}
+		rc.Seeds = seeds
+		rc.BaseVirgin = baseVirgin
+		r, err := m.Fuzz(ctx, img, rc)
+		if err != nil {
+			return rep, sum, err
+		}
+		rep = r
+		sum.Rounds++
+		sum.TotalExecs += r.Execs
+		if corp != nil {
+			if _, err := corp.Add(r.CorpusInputs()); err != nil {
+				return rep, sum, err
+			}
+			if err := corp.SaveFrontier(r.Frontier()); err != nil {
+				return rep, sum, err
+			}
+		} else {
+			seeds = append(append([][]byte{}, baseSeeds...), r.CorpusInputs()...)
+			baseVirgin = r.Frontier()
+		}
+		if started && r.CoverageHash == lastHash {
+			same++
+		} else {
+			same = 0
+		}
+		started = true
+		lastHash = r.CoverageHash
+		fmt.Fprintf(os.Stderr, "psspfuzz: round %d: %d edges, frontier %016x (%d/%d stalled)\n",
+			sum.Rounds, r.Edges, r.CoverageHash, same, stall)
+		if same >= stall {
+			return rep, sum, nil
+		}
 	}
 }

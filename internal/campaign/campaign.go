@@ -20,6 +20,8 @@ package campaign
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -85,32 +87,35 @@ func (c Config) withDefaults() Config {
 // classified per attack.WrapOracleErr.
 type Runner func(ctx context.Context, rep int, r *rng.Source) (Outcome, error)
 
-// Outcome reports one completed replication.
+// Outcome reports one completed replication. The JSON tags are its wire
+// form inside a Partial; campaign reports rendered for humans or CLIs use
+// their own shapes.
 type Outcome struct {
 	// Rep is the replication index (set by the engine).
-	Rep int
+	Rep int `json:"rep"`
 	// Success reports whether the replication's trial succeeded.
-	Success bool
+	Success bool `json:"success"`
 	// Verified reports that the success was confirmed against ground truth
 	// (e.g. the recovered canary matches the victim's TLS canary, ruling
 	// out a lucky-survival false success). Always false when !Success.
-	Verified bool
+	Verified bool `json:"verified"`
 	// Trials is the number of attack trials the replication spent.
-	Trials int
+	Trials int `json:"trials"`
 	// FailedAt is the byte position a positional attack gave up on
 	// (-1 when not applicable: success, or a non-positional trial).
-	FailedAt int
+	FailedAt int `json:"failed_at"`
 	// Restarts counts adaptive from-scratch restarts.
-	Restarts int
+	Restarts int `json:"restarts"`
 	// Detections counts trials the defence detected (worker crashes).
-	Detections int
+	Detections int `json:"detections"`
 	// OracleCalls is the number of oracle requests issued (>= Trials when
 	// the runner issues extra non-trial requests).
-	OracleCalls int
+	OracleCalls int `json:"oracle_calls"`
 	// Cycles and Insts are the victim-side execution cost.
-	Cycles, Insts uint64
+	Cycles uint64 `json:"cycles"`
+	Insts  uint64 `json:"insts"`
 	// Mem is the victim's memory footprint in bytes (0 if not measured).
-	Mem int
+	Mem int `json:"mem"`
 }
 
 // Summary is an order-statistics digest of one per-replication metric.
@@ -206,13 +211,19 @@ func (a *Aggregate) AvgCycles() float64 {
 // and is returned with the partial aggregate.
 func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 	cfg = cfg.withDefaults()
-
 	outcomes := make([]*Outcome, cfg.Replications)
 	infra := make([]error, cfg.Replications)
+	poolErr := runRange(ctx, cfg, 0, cfg.Replications, cfg.Workers, run, outcomes, infra)
+	return fold(cfg, outcomes, infra), poolErr
+}
 
+// runRange executes replications [lo, hi) into the outcome/infra slot
+// arrays (indexed by global replication number) — the shared core of Run
+// and RunShards.
+func runRange(ctx context.Context, cfg Config, lo, hi, workers int, run Runner, outcomes []*Outcome, infra []error) error {
 	// The running tally behind Config.Progress. Snapshots accumulate in
 	// wall-clock completion order under their own lock; the deterministic
-	// aggregate below never reads from it.
+	// aggregate folded afterwards never reads from it.
 	var (
 		progMu sync.Mutex
 		prog   Progress
@@ -222,7 +233,7 @@ func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 			return
 		}
 		progMu.Lock()
-		prog.Requested = cfg.Replications
+		prog.Requested = hi - lo
 		prog.Completed++
 		if out != nil {
 			if out.Success {
@@ -241,7 +252,7 @@ func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 	// workpool.Run); this runner only classifies: an oracle infrastructure
 	// failure is accounted in its replication's infra slot — a completed
 	// unit from the pool's point of view — never a fatal error.
-	poolErr := workpool.Run(ctx, cfg.Replications, cfg.Workers, func(ctx context.Context, rep int) error {
+	return workpool.RunRange(ctx, lo, hi, workers, func(ctx context.Context, rep int) error {
 		out, err := run(ctx, rep, rng.NewStream(cfg.Seed, uint64(rep)))
 		switch {
 		case err == nil:
@@ -256,7 +267,13 @@ func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 		}
 		return nil
 	})
+}
 
+// fold collapses outcome/infra slots into the aggregate, in replication
+// order. It is the single merge path: Run folds its own slots, and
+// MergePartials folds slots reassembled from wire partials, so the two are
+// bit-identical by construction.
+func fold(cfg Config, outcomes []*Outcome, infra []error) *Aggregate {
 	agg := &Aggregate{Label: cfg.Label, Requested: cfg.Replications}
 	var toSuccess []float64
 	for rep := 0; rep < cfg.Replications; rep++ {
@@ -290,5 +307,85 @@ func Run(ctx context.Context, cfg Config, run Runner) (*Aggregate, error) {
 		agg.Outcomes = append(agg.Outcomes, *out)
 	}
 	agg.TrialsToSuccess = summarize(toSuccess)
-	return agg, poolErr
+	return agg
+}
+
+// InfraError is the wire form of an oracle infrastructure failure: the
+// replication it cost and the error text. Reconstructed errors compare
+// equal by message, which is all report rendering uses.
+type InfraError struct {
+	Rep int    `json:"rep"`
+	Err string `json:"err"`
+}
+
+// Partial carries the raw results of a replication range [Lo, Hi) — the
+// per-shard aggregate a fabric worker ships back to its coordinator. It is
+// deliberately unfolded: outcomes and infra errors keep their replication
+// tags so MergePartials can reassemble the exact slot array Run would have
+// filled, making the distributed merge bit-identical to the local one.
+type Partial struct {
+	Lo       int          `json:"lo"`
+	Hi       int          `json:"hi"`
+	Outcomes []Outcome    `json:"outcomes,omitempty"`
+	Infra    []InfraError `json:"infra,omitempty"`
+}
+
+// RunShards executes only replications [lo, hi) of the campaign and
+// returns their partial. cfg must be the full campaign configuration —
+// replication indices keep their global meaning, so rng streams are
+// identical to the single-process run. On error the partial holds
+// whatever completed.
+func RunShards(ctx context.Context, cfg Config, lo, hi int, run Runner) (*Partial, error) {
+	cfg = cfg.withDefaults()
+	if lo < 0 || hi > cfg.Replications || lo >= hi {
+		return nil, fmt.Errorf("campaign: shard range [%d,%d) outside replications [0,%d)", lo, hi, cfg.Replications)
+	}
+	workers := cfg.Workers
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	outcomes := make([]*Outcome, cfg.Replications)
+	infra := make([]error, cfg.Replications)
+	poolErr := runRange(ctx, cfg, lo, hi, workers, run, outcomes, infra)
+
+	p := &Partial{Lo: lo, Hi: hi}
+	for rep := lo; rep < hi; rep++ {
+		if out := outcomes[rep]; out != nil {
+			p.Outcomes = append(p.Outcomes, *out)
+		}
+		if err := infra[rep]; err != nil {
+			p.Infra = append(p.Infra, InfraError{Rep: rep, Err: err.Error()})
+		}
+	}
+	return p, poolErr
+}
+
+// MergePartials reassembles partials into the aggregate Run would have
+// produced for the same cfg. Partials may arrive in any order and may
+// overlap (a lease that was reassigned after a worker loss delivers the
+// same replications twice) — slots are keyed by replication index, so a
+// duplicate overwrites with identical data and the merge stays
+// bit-identical. Missing replications are simply absent from the
+// aggregate, mirroring Run under cancellation.
+func MergePartials(cfg Config, parts []*Partial) *Aggregate {
+	cfg = cfg.withDefaults()
+	outcomes := make([]*Outcome, cfg.Replications)
+	infra := make([]error, cfg.Replications)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for i := range p.Outcomes {
+			out := p.Outcomes[i]
+			if out.Rep >= 0 && out.Rep < cfg.Replications {
+				outcomes[out.Rep] = &out
+			}
+		}
+		for _, ie := range p.Infra {
+			if ie.Rep >= 0 && ie.Rep < cfg.Replications {
+				infra[ie.Rep] = errors.New(ie.Err)
+			}
+		}
+	}
+	return fold(cfg, outcomes, infra)
 }

@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strings"
+	"os"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/daemon"
 )
@@ -86,20 +88,45 @@ type call struct {
 	final  chan daemon.Response
 }
 
+// Dial tuning: a daemon that is still binding its socket (or restarting
+// under a supervisor) refuses connections transiently, so Dial absorbs
+// refusals with capped backoff for a bounded window instead of failing the
+// first CLI invocation of a fresh deployment.
+const (
+	dialRetryWindow = 2 * time.Second
+	dialBackoffMin  = 10 * time.Millisecond
+	dialBackoffMax  = 250 * time.Millisecond
+)
+
 // Dial connects to a daemon address: "unix:/path/to.sock" or
-// "tcp:host:port" (a bare "host:port" defaults to TCP).
+// "tcp:host:port" (a bare "host:port" defaults to TCP). Transient refusals
+// — connection refused, or a unix socket path not created yet — are retried
+// with capped backoff for a bounded window; other errors fail immediately.
 func Dial(addr string) (*Client, error) {
-	network, target := "tcp", addr
-	switch {
-	case strings.HasPrefix(addr, "unix:"):
-		network, target = "unix", strings.TrimPrefix(addr, "unix:")
-	case strings.HasPrefix(addr, "tcp:"):
-		target = strings.TrimPrefix(addr, "tcp:")
+	network, target := daemon.SplitAddr(addr)
+	deadline := time.Now().Add(dialRetryWindow)
+	backoff := dialBackoffMin
+	for {
+		conn, err := net.Dial(network, target)
+		if err == nil {
+			return NewConn(conn), nil
+		}
+		transient := errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, os.ErrNotExist)
+		if !transient || time.Now().Add(backoff).After(deadline) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
 	}
-	conn, err := net.Dial(network, target)
-	if err != nil {
-		return nil, err
-	}
+}
+
+// NewConn wraps an established connection as a Client and starts its reader
+// goroutine. The fabric coordinator uses it to speak the protocol over
+// worker connections that dialed in (role-flipped `psspd -worker` joins);
+// everything else should use Dial.
+func NewConn(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
 		enc:     json.NewEncoder(conn),
@@ -107,7 +134,7 @@ func Dial(addr string) (*Client, error) {
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // Close tears the connection down; in-flight calls fail.

@@ -236,3 +236,53 @@ func TestShutdownLeaksNoGoroutines(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestDialRetriesTransientRefusal pins Dial's startup-race absorption: a
+// worker (or coordinator) dialing before its peer listens must succeed once
+// the listener appears within the retry window, instead of failing on the
+// first connection refusal.
+func TestDialRetriesTransientRefusal(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "late.sock")
+	d := daemon.New(daemon.Config{MaxJobs: 1, MaxQueue: 1, PoolSize: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+
+	// Bind the socket only after Dial has started (and failed) at least
+	// once: the file does not exist yet, so the first attempts see
+	// ENOENT/ECONNREFUSED — the transient class Dial must absorb.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		lis, err := net.Listen("unix", sock)
+		if err != nil {
+			return
+		}
+		d.Serve(lis)
+	}()
+
+	c, err := Dial("unix:" + sock)
+	if err != nil {
+		t.Fatalf("dial did not absorb the startup race: %v", err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after late bind: %v", err)
+	}
+}
+
+// TestDialFailsFastOnNonTransientError pins the other side: an address that
+// can never succeed (an out-of-range port) fails immediately, not after the
+// full retry window. (Connection refusal, by contrast, is deliberately
+// retried: a stale or not-yet-bound socket looks exactly like one about to
+// come up.)
+func TestDialFailsFastOnNonTransientError(t *testing.T) {
+	start := time.Now()
+	if _, err := Dial("tcp:127.0.0.1:99999"); err == nil {
+		t.Fatal("dial of an invalid port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("non-transient dial error burned %v in retries", elapsed)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -416,6 +417,14 @@ const maxLine = 8 << 20
 // its own goroutine, a per-connection cancel registry for the cancel
 // method, and connection teardown canceling everything it started.
 func (d *Daemon) serveConn(conn net.Conn) {
+	d.serveStream(conn, conn)
+}
+
+// serveStream is serveConn reading requests from r — which is conn itself
+// on accepted connections, and the join handshake's buffered reader on a
+// worker's outbound connection (so no bytes the handshake read ahead are
+// lost).
+func (d *Daemon) serveStream(conn net.Conn, r io.Reader) {
 	defer d.wg.Done()
 	defer func() {
 		d.lisMu.Lock()
@@ -437,7 +446,7 @@ func (d *Daemon) serveConn(conn net.Conn) {
 	)
 	defer reqWG.Wait()
 
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), maxLine)
 	for sc.Scan() {
 		line := sc.Bytes()

@@ -49,6 +49,24 @@ func (d *Daemon) jobFor(req Request, t *tenant) (jobRun, error) {
 			return nil, err
 		}
 		return d.fuzzJob(p, t)
+	case "campaignshard":
+		var p CampaignShardParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.campaignShardJob(p, t)
+	case "loadshard":
+		var p LoadShardParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.loadShardJob(p, t)
+	case "fuzzshard":
+		var p FuzzShardParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return d.fuzzShardJob(p, t)
 	default:
 		return nil, badRequest("unknown method %q", req.Method)
 	}
@@ -118,18 +136,10 @@ func (d *Daemon) bootJob(p BootParams, t *tenant) (jobRun, error) {
 // victims are replicas derived purely from the job seed, so running it on
 // a pooled machine is byte-identical to the CLI building a fresh one.
 func (d *Daemon) attackJob(p AttackParams, t *tenant) (jobRun, error) {
-	if p.Target == "" {
-		p.Target = "nginx-vuln"
-	}
+	p = NormalizeAttackParams(p)
 	s, err := parseScheme(p.Scheme, "ssp")
 	if err != nil {
 		return nil, err
-	}
-	if p.Budget <= 0 {
-		p.Budget = 4096
-	}
-	if p.Repeats <= 0 {
-		p.Repeats = 1
 	}
 	return func(ctx context.Context, ev *eventStream) (any, uint64, error) {
 		seed := d.jobSeed(t, p.Seed)
@@ -165,41 +175,16 @@ func (d *Daemon) attackJob(p AttackParams, t *tenant) (jobRun, error) {
 }
 
 func (d *Daemon) loadJob(p LoadParams, t *tenant) (jobRun, error) {
-	if p.App == "" {
-		p.App = "nginx"
-	}
+	// Zero-value params take psspload's flag defaults, so an API job and a
+	// CLI invocation agree on the scenario.
+	p = NormalizeLoadParams(p)
 	s, err := parseScheme(p.Scheme, "p-ssp")
 	if err != nil {
 		return nil, err
 	}
-	var kind pssp.ArrivalKind
-	switch p.Arrivals {
-	case "", "poisson":
-		kind = pssp.ArrivalsOpenPoisson
-	case "uniform":
-		kind = pssp.ArrivalsOpenUniform
-	case "closed":
-		kind = pssp.ArrivalsClosedLoop
-	default:
-		return nil, badRequest("unknown arrival model %q (want poisson, uniform or closed)", p.Arrivals)
-	}
-	// Zero-value params take psspload's flag defaults, so an API job and a
-	// CLI invocation agree on the scenario.
-	if p.Rate == 0 {
-		p.Rate = 10
-	}
-	if p.Clients == 0 {
-		p.Clients = 8
-	}
-	if p.Requests == 0 && p.DurationCycles == 0 {
-		p.Requests = 256
-	}
-	if p.Budget <= 0 {
-		p.Budget = 64
-	}
-	mix := make([]pssp.RequestClass, len(p.Mix))
-	for i, c := range p.Mix {
-		mix[i] = pssp.RequestClass{Name: c.Name, Weight: c.Weight, Payload: c.Payload, Probe: c.Probe}
+	// Validate arrivals before admission, so the error never costs a slot.
+	if _, err := ParseArrivals(p.Arrivals); err != nil {
+		return nil, err
 	}
 	return func(ctx context.Context, ev *eventStream) (any, uint64, error) {
 		seed := d.jobSeed(t, p.Seed)
@@ -208,22 +193,12 @@ func (d *Daemon) loadJob(p LoadParams, t *tenant) (jobRun, error) {
 			return nil, 0, err
 		}
 		defer d.pool.checkin(d.ctx, e)
-		cfg := pssp.WorkloadConfig{
-			Label:          p.App,
-			Mix:            mix,
-			Arrivals:       kind,
-			RatePerMcycle:  p.Rate,
-			Clients:        p.Clients,
-			ThinkCycles:    p.ThinkCycles,
-			Requests:       p.Requests,
-			DurationCycles: p.DurationCycles,
-			Shards:         p.Shards,
-			Workers:        p.Workers,
-			Seed:           seed,
-			Attack:         pssp.AttackConfig{MaxTrials: p.Budget},
-			Progress: func(lp pssp.LoadProgress) {
-				ev.progress(ProgressEvent{Kind: "loadtest", Load: &lp})
-			},
+		cfg, err := LoadWorkload(p, p.App, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.Progress = func(lp pssp.LoadProgress) {
+			ev.progress(ProgressEvent{Kind: "loadtest", Load: &lp})
 		}
 		if len(p.Sweep) > 0 {
 			sw, err := e.m.LoadSweep(ctx, e.img, cfg, p.Sweep)
@@ -268,9 +243,7 @@ func loadCost(rep *pssp.LoadReport) uint64 {
 }
 
 func (d *Daemon) fuzzJob(p FuzzParams, t *tenant) (jobRun, error) {
-	if p.App == "" {
-		p.App = "nginx-vuln"
-	}
+	p = NormalizeFuzzParams(p)
 	s, err := parseScheme(p.Scheme, "ssp")
 	if err != nil {
 		return nil, err

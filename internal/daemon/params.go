@@ -1,0 +1,111 @@
+package daemon
+
+import "repro/pssp"
+
+// Wire-param normalization shared by the whole-job handlers (attackJob,
+// loadJob, fuzzJob), the shard-lease handlers, and the fabric coordinator.
+// A coordinator plans a job from the same normalized params a worker
+// executes a lease from, so the two resolve the same scenario by
+// construction — the defaults here are psspattack/psspload/psspfuzz's flag
+// defaults, which is what keeps daemon jobs byte-identical to CLI runs.
+
+// NormalizeAttackParams applies psspattack's flag defaults (Seed excepted:
+// 0 keeps meaning "derive from the tenant stream" for whole jobs, and is
+// rejected by shard jobs).
+func NormalizeAttackParams(p AttackParams) AttackParams {
+	if p.Target == "" {
+		p.Target = "nginx-vuln"
+	}
+	if p.Scheme == "" {
+		p.Scheme = "ssp"
+	}
+	if p.Budget <= 0 {
+		p.Budget = 4096
+	}
+	if p.Repeats <= 0 {
+		p.Repeats = 1
+	}
+	return p
+}
+
+// NormalizeLoadParams applies psspload's flag defaults.
+func NormalizeLoadParams(p LoadParams) LoadParams {
+	if p.App == "" {
+		p.App = "nginx"
+	}
+	if p.Scheme == "" {
+		p.Scheme = "p-ssp"
+	}
+	if p.Rate == 0 {
+		p.Rate = 10
+	}
+	if p.Clients == 0 {
+		p.Clients = 8
+	}
+	if p.Requests == 0 && p.DurationCycles == 0 {
+		p.Requests = 256
+	}
+	if p.Budget <= 0 {
+		p.Budget = 64
+	}
+	return p
+}
+
+// NormalizeFuzzParams applies psspfuzz's flag defaults (the engine itself
+// defaults execs/shards/max-input).
+func NormalizeFuzzParams(p FuzzParams) FuzzParams {
+	if p.App == "" {
+		p.App = "nginx-vuln"
+	}
+	if p.Scheme == "" {
+		p.Scheme = "ssp"
+	}
+	return p
+}
+
+// ParseArrivals maps the wire arrival-model name ("" defaults to poisson)
+// onto the facade kind, as a bad-request on failure.
+func ParseArrivals(name string) (pssp.ArrivalKind, error) {
+	switch name {
+	case "", "poisson":
+		return pssp.ArrivalsOpenPoisson, nil
+	case "uniform":
+		return pssp.ArrivalsOpenUniform, nil
+	case "closed":
+		return pssp.ArrivalsClosedLoop, nil
+	default:
+		return 0, badRequest("unknown arrival model %q (want poisson, uniform or closed)", name)
+	}
+}
+
+// LoadWorkload builds the facade workload scenario from normalized load
+// params — the single params→WorkloadConfig mapping, shared so a lease
+// executes exactly the scenario the coordinator planned. label "" takes the
+// app name (psspload's local behaviour); Progress is the caller's to attach.
+func LoadWorkload(p LoadParams, label string, seed uint64) (pssp.WorkloadConfig, error) {
+	kind, err := ParseArrivals(p.Arrivals)
+	if err != nil {
+		return pssp.WorkloadConfig{}, err
+	}
+	if label == "" {
+		label = p.App
+	}
+	mix := make([]pssp.RequestClass, len(p.Mix))
+	for i, c := range p.Mix {
+		mix[i] = pssp.RequestClass{Name: c.Name, Weight: c.Weight, Payload: c.Payload, Probe: c.Probe}
+	}
+	return pssp.WorkloadConfig{
+		Label:          label,
+		Mix:            mix,
+		Arrivals:       kind,
+		RatePerMcycle:  p.Rate,
+		Clients:        p.Clients,
+		ThinkCycles:    p.ThinkCycles,
+		Requests:       p.Requests,
+		DurationCycles: p.DurationCycles,
+		Shards:         p.Shards,
+		Workers:        p.Workers,
+		Seed:           seed,
+		Attack:         pssp.AttackConfig{MaxTrials: p.Budget},
+	}, nil
+}

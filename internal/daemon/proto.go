@@ -135,6 +135,81 @@ type FuzzParams struct {
 	Seed     uint64   `json:"seed,omitempty"`
 }
 
+// RegisterParams is the first line a fabric worker sends after dialing a
+// coordinator (`psspd -worker -join`): it flips the connection's roles, so
+// the coordinator thereafter issues shard-lease requests against the
+// worker's warm pool.
+type RegisterParams struct {
+	// Name identifies the worker in coordinator stats (default: pid-based).
+	Name string `json:"name,omitempty"`
+	// Pid is the worker process id, for operator correlation.
+	Pid int `json:"pid,omitempty"`
+}
+
+// RegisterResult acks a worker registration.
+type RegisterResult struct {
+	OK bool `json:"ok"`
+	// Name echoes the name the coordinator registered the worker under.
+	Name string `json:"name"`
+}
+
+// CampaignShardParams run replications [Lo, Hi) of the attack campaign the
+// embedded AttackParams describe. Seed must be explicit and non-zero:
+// derived seeds would differ when a lost lease is re-issued, breaking the
+// fabric's bit-identical merge.
+type CampaignShardParams struct {
+	AttackParams
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// CampaignShardResult carries the shard range's wire partial back to the
+// coordinator for ordered merging.
+type CampaignShardResult struct {
+	Partial *pssp.CampaignPartial `json:"partial"`
+}
+
+// LoadShardParams run workload shards [Lo, Hi) of the scenario the embedded
+// LoadParams describe (Sweep must be empty — the coordinator scales and
+// leases each sweep point itself). Seed must be explicit and non-zero.
+type LoadShardParams struct {
+	LoadParams
+	// Label overrides the scenario label (sweep points re-label the base
+	// scenario, e.g. "nginx x1.5").
+	Label string `json:"label,omitempty"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+}
+
+// LoadShardResult carries the shard range's wire partials back to the
+// coordinator for ordered merging.
+type LoadShardResult struct {
+	Partials []*pssp.LoadPartial `json:"partials"`
+}
+
+// FuzzShardParams run fuzzing shards [Lo, Hi) of the campaign the embedded
+// FuzzParams describe. Seed must be explicit and non-zero. BaseVirgin, when
+// set, seeds every shard's coverage frontier with the coordinator's merged
+// frontier (the distributed frontier-sync path). CorpusDir, when set, names
+// a shared persistent corpus the worker flock-merges its findings into.
+type FuzzShardParams struct {
+	FuzzParams
+	Label      string `json:"label,omitempty"`
+	Lo         int    `json:"lo"`
+	Hi         int    `json:"hi"`
+	BaseVirgin []byte `json:"base_virgin,omitempty"`
+	CorpusDir  string `json:"corpus_dir,omitempty"`
+}
+
+// FuzzShardResult carries the shard range's wire partials back to the
+// coordinator for ordered merging.
+type FuzzShardResult struct {
+	Partials []*pssp.FuzzPartial `json:"partials"`
+	// CorpusAdded counts inputs newly written to the shared corpus
+	// (CorpusDir set only).
+	CorpusAdded int `json:"corpus_added,omitempty"`
+}
+
 // CompileParams name an image to compile into the daemon's cache.
 type CompileParams struct {
 	App    string `json:"app,omitempty"`

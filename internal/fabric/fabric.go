@@ -1,0 +1,323 @@
+// Package fabric is the distributed evaluation layer: a coordinator that
+// partitions a job's shard range into leases, dispatches them to psspd
+// workers over the newline-delimited JSON-RPC protocol, and merges the
+// returned per-shard partial aggregates in shard order — so a campaign,
+// load sweep, or fuzzing report produced across any number of worker
+// processes is byte-identical to the single-process run at the same seed.
+//
+// Workers attach two ways: the coordinator dials out to ordinary psspd
+// listeners (Connect, psspctl's -workers list), or workers dial in and
+// register (`psspd -worker -join addr` against a Serve listener). Either
+// way the coordinator ends up holding the client side of a protocol
+// connection and issues campaignshard/loadshard/fuzzshard requests against
+// the worker's warm machine pool.
+//
+// Determinism is inherited, not re-implemented: a lease [lo,hi) names
+// global shard indices, the worker runs them with the exact runner the
+// single-process engines use (shard i ⇒ rng.NewStream(seed, i)), and the
+// coordinator folds the wire partials with the engines' own merge code.
+// Lease loss is therefore harmless to the result: a re-issued lease
+// recomputes bit-identical partials on another worker.
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/daemon/client"
+)
+
+// Config tunes a Coordinator. The zero value is usable.
+type Config struct {
+	// Tenant names the coordinator to the workers' admission control
+	// (empty = "default").
+	Tenant string
+	// LeaseShards is the number of shards per lease (0 = auto: the shard
+	// range split four ways per live worker, so a straggler re-lease costs
+	// a quarter of a worker's share, not the whole job).
+	LeaseShards int
+	// LeaseTimeout evicts a worker whose lease has streamed no progress
+	// events for this long — the heartbeat: shard jobs stream engine
+	// progress, so silence means a hung or dead worker (default 60s).
+	LeaseTimeout time.Duration
+	// Retries bounds how many times one lease may be re-issued after
+	// worker loss before the job fails (default 3).
+	Retries int
+	// Backoff is the base delay before re-issuing a lost lease, doubling
+	// per retry (default 50ms).
+	Backoff time.Duration
+	// Logf, when non-nil, receives coordinator life-cycle lines (worker
+	// joins/deaths, lease reassignments).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) leaseTimeout() time.Duration {
+	if c.LeaseTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.LeaseTimeout
+}
+
+func (c Config) retries() int {
+	if c.Retries <= 0 {
+		return 3
+	}
+	return c.Retries
+}
+
+func (c Config) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.Backoff
+}
+
+// Coordinator owns a set of worker connections and runs fabric jobs over
+// them. Jobs (Campaign, LoadTest, LoadSweep, Fuzz) may run concurrently;
+// each worker executes one lease at a time.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	workers []*worker
+	wake    chan struct{} // buffered; signaled when a worker joins
+
+	statsMu          sync.Mutex
+	leasesIssued     uint64
+	leasesReassigned uint64
+	frontierEdges    int
+	jobs             *jobTable
+}
+
+// worker is one attached psspd.
+type worker struct {
+	name string
+	c    *client.Client
+
+	mu         sync.Mutex
+	dead       bool
+	busy       bool
+	leases     int
+	shardsDone int
+	busyTime   time.Duration
+}
+
+// New builds a Coordinator with no workers attached; Connect or Serve
+// attach them.
+func New(cfg Config) *Coordinator {
+	return &Coordinator{cfg: cfg, wake: make(chan struct{}, 1)}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Connect dials an ordinary psspd listener at addr and attaches it as a
+// worker (with Dial's transient-refusal retry, so workers racing the
+// coordinator's startup are absorbed).
+func (c *Coordinator) Connect(addr string) error {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("fabric: worker %s: %w", addr, err)
+	}
+	c.add(&worker{name: addr, c: cl})
+	return nil
+}
+
+// AttachConn attaches an established protocol connection as a named worker
+// — the Serve register path, and the test seam for in-process workers.
+func (c *Coordinator) AttachConn(conn net.Conn, name string) {
+	c.add(&worker{name: name, c: client.NewConn(conn)})
+}
+
+func (c *Coordinator) add(w *worker) {
+	c.mu.Lock()
+	c.workers = append(c.workers, w)
+	c.mu.Unlock()
+	c.logf("fabric: worker %s joined", w.name)
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// live returns the number of workers that have not been declared dead.
+func (c *Coordinator) live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.workers {
+		w.mu.Lock()
+		if !w.dead {
+			n++
+		}
+		w.mu.Unlock()
+	}
+	return n
+}
+
+// claimIdle claims an idle live worker (marking it busy), or nil.
+func (c *Coordinator) claimIdle() *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		w.mu.Lock()
+		if !w.dead && !w.busy {
+			w.busy = true
+			w.mu.Unlock()
+			return w
+		}
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// WaitWorkers blocks until at least n live workers are attached (or ctx
+// ends). psspctl's one-shot mode uses it to let `psspd -worker -join`
+// processes race the coordinator's listen.
+func (c *Coordinator) WaitWorkers(ctx context.Context, n int) error {
+	for {
+		if c.live() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fabric: waiting for %d worker(s): %w", n, ctx.Err())
+		case <-c.wake:
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// KillWorker closes the named worker's connection, as if its process died
+// mid-lease — the fault-injection seam the reassignment tests and the CI
+// smoke use. Returns false if no live worker has that name.
+func (c *Coordinator) KillWorker(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		w.mu.Lock()
+		dead := w.dead
+		w.mu.Unlock()
+		if w.name == name && !dead {
+			w.c.Close()
+			return true
+		}
+	}
+	return false
+}
+
+// Close tears down every worker connection.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		w.c.Close()
+	}
+}
+
+// markDead declares a worker lost: its connection is closed and it will
+// never be claimed again (a rejoining `psspd -worker` registers as a fresh
+// worker entry).
+func (c *Coordinator) markDead(w *worker) {
+	w.mu.Lock()
+	already := w.dead
+	w.dead = true
+	w.busy = false
+	w.mu.Unlock()
+	if !already {
+		w.c.Close()
+		c.logf("fabric: worker %s lost", w.name)
+	}
+}
+
+// release returns a worker to the idle pool after a finished lease.
+func (c *Coordinator) release(w *worker, shards int, elapsed time.Duration) {
+	w.mu.Lock()
+	w.busy = false
+	w.leases++
+	w.shardsDone += shards
+	w.busyTime += elapsed
+	w.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// WorkerStats is one worker's row in Stats.
+type WorkerStats struct {
+	Name  string `json:"name"`
+	Alive bool   `json:"alive"`
+	Busy  bool   `json:"busy"`
+	// Leases and ShardsDone count completed leases and the shards they
+	// covered.
+	Leases     int `json:"leases"`
+	ShardsDone int `json:"shards_done"`
+	// ShardsPerSec is shard throughput over the worker's busy wall-clock
+	// time (observability only — wall time never enters reports).
+	ShardsPerSec float64 `json:"shards_per_sec,omitempty"`
+}
+
+// Stats is the coordinator's observability snapshot.
+type Stats struct {
+	Workers []WorkerStats `json:"workers"`
+	// LeasesIssued counts every lease dispatch; LeasesReassigned the
+	// subset re-issued after worker loss or backpressure.
+	LeasesIssued     uint64 `json:"leases_issued"`
+	LeasesReassigned uint64 `json:"leases_reassigned"`
+	// FrontierEdges is the merged coverage-frontier size of the most
+	// recent fuzz job (0 before any).
+	FrontierEdges int `json:"frontier_edges,omitempty"`
+	// Jobs summarizes the control server's job table (serve mode only).
+	Jobs []JobStatus `json:"jobs,omitempty"`
+}
+
+// Stats snapshots the coordinator.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	ws := make([]WorkerStats, len(c.workers))
+	for i, w := range c.workers {
+		w.mu.Lock()
+		ws[i] = WorkerStats{
+			Name: w.name, Alive: !w.dead, Busy: w.busy,
+			Leases: w.leases, ShardsDone: w.shardsDone,
+		}
+		if secs := w.busyTime.Seconds(); secs > 0 {
+			ws[i].ShardsPerSec = float64(w.shardsDone) / secs
+		}
+		w.mu.Unlock()
+	}
+	c.mu.Unlock()
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return Stats{
+		Workers:          ws,
+		LeasesIssued:     c.leasesIssued,
+		LeasesReassigned: c.leasesReassigned,
+		FrontierEdges:    c.frontierEdges,
+	}
+}
+
+func (c *Coordinator) noteIssued() {
+	c.statsMu.Lock()
+	c.leasesIssued++
+	c.statsMu.Unlock()
+}
+
+func (c *Coordinator) noteReassigned() {
+	c.statsMu.Lock()
+	c.leasesReassigned++
+	c.statsMu.Unlock()
+}
+
+func (c *Coordinator) noteFrontier(edges int) {
+	c.statsMu.Lock()
+	c.frontierEdges = edges
+	c.statsMu.Unlock()
+}

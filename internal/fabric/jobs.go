@@ -1,0 +1,351 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/daemon"
+	"repro/internal/loadgen"
+	"repro/internal/rng"
+	"repro/internal/store"
+	"repro/pssp"
+)
+
+// Fabric jobs take the daemon wire params — the exact objects leases ship —
+// and require an explicit non-zero Seed: a lease must be re-executable
+// bit-identically on any worker, which a derived per-job seed is not.
+//
+// The coordinator resolves each job's engine plan itself (via the facade's
+// plan methods, the same resolution path workers run), leases shard ranges
+// of that plan, and folds the returned partials with the engines' own merge
+// code — so the reports here are byte-identical to psspattack/psspload/
+// psspfuzz at the same seed.
+
+var errSeed = errors.New("fabric: jobs require an explicit non-zero seed")
+
+// machineFor builds the coordinator's local planning machine for a job.
+func machineFor(scheme string, dflt string, seed uint64) (*pssp.Machine, pssp.Scheme, error) {
+	if scheme == "" {
+		scheme = dflt
+	}
+	s, err := pssp.ParseScheme(scheme)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pssp.NewMachine(pssp.WithSeed(seed), pssp.WithScheme(s)), s, nil
+}
+
+// Campaign fans an attack campaign's replications out across the workers
+// and returns the merged report — the exact shape psspattack -json emits.
+func (c *Coordinator) Campaign(ctx context.Context, p daemon.AttackParams) (*daemon.AttackReport, error) {
+	p = daemon.NormalizeAttackParams(p)
+	if p.Seed == 0 {
+		return nil, errSeed
+	}
+	m, s, err := machineFor(p.Scheme, "ssp", p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := m.CampaignPlan(pssp.CampaignConfig{
+		Strategy:     p.Strategy,
+		Replications: p.Repeats,
+		Workers:      p.Workers,
+		Seed:         p.Seed,
+		Attack:       pssp.AttackConfig{MaxTrials: p.Budget},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	var parts []*pssp.CampaignPartial
+	err = c.runLeases(ctx, plan.Replications, func(ctx context.Context, w *worker, lo, hi int) error {
+		var res daemon.CampaignShardResult
+		sp := daemon.CampaignShardParams{AttackParams: p, Lo: lo, Hi: hi}
+		if err := c.callLease(ctx, w, "campaignshard", sp, &res); err != nil {
+			return err
+		}
+		mu.Lock()
+		parts = append(parts, res.Partial)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := pssp.MergeCampaignPartials(plan, parts)
+	if agg.Completed == 0 && agg.OracleErr != nil {
+		return nil, agg.OracleErr
+	}
+	rep := daemon.BuildAttackReport(p.Target, s, p.Seed, p.Budget, p.Repeats, p.Workers, agg)
+	return &rep, nil
+}
+
+// loadPlan resolves the coordinator-side workload plan for p.
+func loadPlan(p daemon.LoadParams) (pssp.LoadPlan, error) {
+	m, _, err := machineFor(p.Scheme, "p-ssp", p.Seed)
+	if err != nil {
+		return pssp.LoadPlan{}, err
+	}
+	img, err := m.Pipeline().CompileApp(p.App).Image()
+	if err != nil {
+		return pssp.LoadPlan{}, err
+	}
+	cfg, err := daemon.LoadWorkload(p, p.App, p.Seed)
+	if err != nil {
+		return pssp.LoadPlan{}, err
+	}
+	return m.LoadPlan(img, cfg)
+}
+
+// runLoadPoint leases one (possibly sweep-scaled) workload's shards and
+// merges them. plan is the resolved-unnormalized scenario of the point;
+// the shipped params carry the point's label and scaled arrival knobs.
+func (c *Coordinator) runLoadPoint(ctx context.Context, p daemon.LoadParams, plan pssp.LoadPlan) (*pssp.LoadReport, error) {
+	norm, err := plan.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	sp := daemon.LoadShardParams{LoadParams: p, Label: plan.Label}
+	sp.Sweep = nil
+	sp.Rate = plan.Arrivals.RatePerMcycle
+	sp.Clients = plan.Arrivals.Clients
+
+	var mu sync.Mutex
+	var parts []*pssp.LoadPartial
+	err = c.runLeases(ctx, norm.Shards, func(ctx context.Context, w *worker, lo, hi int) error {
+		var res daemon.LoadShardResult
+		lp := sp
+		lp.Lo, lp.Hi = lo, hi
+		if err := c.callLease(ctx, w, "loadshard", lp, &res); err != nil {
+			return err
+		}
+		mu.Lock()
+		parts = append(parts, res.Partials...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pssp.MergeLoadPartials(plan, parts)
+}
+
+// LoadTest fans one workload's shards out across the workers and returns
+// the merged report — the exact shape psspload -json emits.
+func (c *Coordinator) LoadTest(ctx context.Context, p daemon.LoadParams) (*pssp.LoadReport, error) {
+	p = daemon.NormalizeLoadParams(p)
+	if p.Seed == 0 {
+		return nil, errSeed
+	}
+	if len(p.Sweep) > 0 {
+		return nil, errors.New("fabric: LoadTest takes a single workload; use LoadSweep")
+	}
+	plan, err := loadPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.runLoadPoint(ctx, p, plan)
+}
+
+// LoadSweep steps the scenario through p.Sweep's offered-load multipliers
+// (each point leased across the workers) and locates the saturation knee —
+// the exact report psspload -sweep -json emits.
+func (c *Coordinator) LoadSweep(ctx context.Context, p daemon.LoadParams) (*pssp.LoadSweepReport, error) {
+	p = daemon.NormalizeLoadParams(p)
+	if p.Seed == 0 {
+		return nil, errSeed
+	}
+	if len(p.Sweep) == 0 {
+		return nil, errors.New("fabric: sweep needs at least one multiplier")
+	}
+	base, err := loadPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	sw := &pssp.LoadSweepReport{Label: base.Label}
+	for _, m := range p.Sweep {
+		if !(m > 0) {
+			return sw, fmt.Errorf("fabric: non-positive sweep multiplier %g", m)
+		}
+		rep, err := c.runLoadPoint(ctx, p, loadgen.Scale(base, m))
+		if err != nil {
+			return sw, err
+		}
+		sw.Points = append(sw.Points, pssp.LoadSweepPoint{Multiplier: m, Report: rep})
+		if base.Arrivals.Kind != loadgen.ClosedLoop &&
+			rep.Efficiency() >= loadgen.KneeEfficiency && m > sw.KneeMultiplier {
+			sw.KneeMultiplier = m
+		}
+	}
+	return sw, nil
+}
+
+// fuzzPlan resolves the coordinator-side fuzzing plan: the normalized
+// engine scenario with the final shard count and the resolved seed corpus
+// the leases must ship.
+func fuzzPlan(p daemon.FuzzParams, seeds [][]byte, baseVirgin []byte) (pssp.FuzzPlan, error) {
+	m, _, err := machineFor(p.Scheme, "ssp", p.Seed)
+	if err != nil {
+		return pssp.FuzzPlan{}, err
+	}
+	img, err := m.Pipeline().CompileApp(p.App).Image()
+	if err != nil {
+		return pssp.FuzzPlan{}, err
+	}
+	return m.FuzzPlan(img, pssp.FuzzConfig{
+		Seeds:      seeds,
+		Dict:       p.Dict,
+		Execs:      p.Execs,
+		Shards:     p.Shards,
+		Workers:    p.Workers,
+		Seed:       p.Seed,
+		MaxInput:   p.MaxInput,
+		BaseVirgin: baseVirgin,
+	})
+}
+
+// Fuzz fans a fuzzing campaign's shards out across the workers and returns
+// the merged report — the exact shape psspfuzz -json emits. corpusDir,
+// when non-empty, mirrors psspfuzz -corpus: saved inputs seed the run, the
+// saved frontier marks their coverage charted, and every lease folds its
+// discoveries back in through the flock'd corpus.
+func (c *Coordinator) Fuzz(ctx context.Context, p daemon.FuzzParams, corpusDir string) (*pssp.FuzzReport, error) {
+	p = daemon.NormalizeFuzzParams(p)
+	if p.Seed == 0 {
+		return nil, errSeed
+	}
+	seeds := p.Seeds
+	var baseVirgin []byte
+	if corpusDir != "" {
+		corp, err := store.OpenCorpus(corpusDir)
+		if err != nil {
+			return nil, err
+		}
+		saved, frontier, err := corp.Load()
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(append([][]byte{}, seeds...), saved...)
+		baseVirgin = frontier
+	}
+	return c.fuzzRound(ctx, p, seeds, baseVirgin, corpusDir)
+}
+
+// fuzzRound is one lease-and-merge pass of Fuzz/FuzzUntilStall.
+func (c *Coordinator) fuzzRound(ctx context.Context, p daemon.FuzzParams, seeds [][]byte, baseVirgin []byte, corpusDir string) (*pssp.FuzzReport, error) {
+	plan, err := fuzzPlan(p, seeds, baseVirgin)
+	if err != nil {
+		return nil, err
+	}
+	sp := daemon.FuzzShardParams{
+		FuzzParams: p,
+		Label:      plan.Label,
+		BaseVirgin: baseVirgin,
+		CorpusDir:  corpusDir,
+	}
+	// Ship the resolved seed corpus, not the raw one: workers must mutate
+	// from exactly the seeds the plan resolved (built-in request default,
+	// corpus-loaded extras), or the scenario would drift.
+	sp.Seeds = plan.Seeds
+
+	var mu sync.Mutex
+	var parts []*pssp.FuzzPartial
+	err = c.runLeases(ctx, plan.Shards, func(ctx context.Context, w *worker, lo, hi int) error {
+		var res daemon.FuzzShardResult
+		fp := sp
+		fp.Lo, fp.Hi = lo, hi
+		if err := c.callLease(ctx, w, "fuzzshard", fp, &res); err != nil {
+			return err
+		}
+		mu.Lock()
+		parts = append(parts, res.Partials...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := pssp.MergeFuzzPartials(plan, parts)
+	if err != nil {
+		return nil, err
+	}
+	c.noteFrontier(rep.Edges)
+	return rep, nil
+}
+
+// StallSummary reports a continuous fuzzing run's convergence; shared with
+// psspfuzz -until-stall through the facade so both modes emit the same
+// shape.
+type StallSummary = pssp.FuzzStallSummary
+
+// FuzzUntilStall runs distributed fuzzing rounds until the merged coverage
+// frontier's hash is unchanged for stall consecutive rounds — the fabric's
+// continuous mode. Round r>0 re-derives its mutation seed as
+// rng.Mix(seed, r) and seeds itself with every input discovered so far
+// (through the shared corpus when corpusDir is set, in memory otherwise),
+// with the accumulated frontier rebroadcast as the round's base virgin
+// map. The frontier is monotone and bounded, so the loop terminates. The
+// returned report is the final round's (its frontier and corpus are
+// cumulative by construction).
+func (c *Coordinator) FuzzUntilStall(ctx context.Context, p daemon.FuzzParams, corpusDir string, stall int) (*pssp.FuzzReport, *StallSummary, error) {
+	p = daemon.NormalizeFuzzParams(p)
+	if p.Seed == 0 {
+		return nil, nil, errSeed
+	}
+	if stall <= 0 {
+		stall = 1
+	}
+	baseSeeds := p.Seeds
+	seeds := baseSeeds
+	var baseVirgin []byte
+	sum := &StallSummary{StallRounds: stall}
+	var rep *pssp.FuzzReport
+	var lastHash uint64
+	same, started := 0, false
+	for {
+		pp := p
+		if sum.Rounds > 0 {
+			pp.Seed = rng.Mix(p.Seed, uint64(sum.Rounds))
+		}
+		if corpusDir != "" {
+			// Reload between rounds: other coordinators or local psspfuzz
+			// runs sharing the corpus contribute seeds and frontier too.
+			corp, err := store.OpenCorpus(corpusDir)
+			if err != nil {
+				return rep, sum, err
+			}
+			saved, frontier, err := corp.Load()
+			if err != nil {
+				return rep, sum, err
+			}
+			seeds = append(append([][]byte{}, baseSeeds...), saved...)
+			baseVirgin = frontier
+		}
+		r, err := c.fuzzRound(ctx, pp, seeds, baseVirgin, corpusDir)
+		if err != nil {
+			return rep, sum, err
+		}
+		rep = r
+		sum.Rounds++
+		sum.TotalExecs += r.Execs
+		if corpusDir == "" {
+			seeds = append(append([][]byte{}, baseSeeds...), r.CorpusInputs()...)
+			baseVirgin = r.Frontier()
+		}
+		if started && r.CoverageHash == lastHash {
+			same++
+		} else {
+			same = 0
+		}
+		started = true
+		lastHash = r.CoverageHash
+		c.logf("fabric: fuzz round %d: %d edges, frontier %016x (%d/%d stalled)",
+			sum.Rounds, r.Edges, r.CoverageHash, same, stall)
+		if same >= stall {
+			return rep, sum, nil
+		}
+	}
+}

@@ -430,6 +430,121 @@ func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
 	return merge(cfg, results), poolErr
 }
 
+// Normalize resolves the run's defaults and clamps (shards to execs,
+// workers to shards, ...) and validates it — exactly what Run does
+// internally. The distributed fabric normalizes once on the coordinator so
+// every worker leases shards of the same final scenario. Idempotent.
+func (c Config) Normalize() (Config, error) {
+	return c.withDefaults()
+}
+
+// Partial is one shard's complete result in wire form — the unit a fabric
+// worker ships back. It mirrors shardResult exactly (corpus inputs and the
+// bucketed virgin map included, base64 on the wire), so MergePartials
+// reassembles the very slot array Run would have merged and the distributed
+// report is bit-identical to the local one.
+type Partial struct {
+	Shard         int       `json:"shard"`
+	Execs         int       `json:"execs"`
+	MutationExecs int       `json:"mutation_execs"`
+	Crashes       int       `json:"crashes"`
+	Cycles        uint64    `json:"cycles"`
+	Insts         uint64    `json:"insts"`
+	Corpus        [][]byte  `json:"corpus,omitempty"`
+	Virgin        []byte    `json:"virgin,omitempty"`
+	Findings      []Finding `json:"findings,omitempty"`
+}
+
+// partial converts a shard's internal result to wire form.
+func (st *shardResult) partial(shard int) *Partial {
+	return &Partial{
+		Shard:         shard,
+		Execs:         st.execs,
+		MutationExecs: st.mutationExecs,
+		Crashes:       st.crashes,
+		Cycles:        st.cycles,
+		Insts:         st.insts,
+		Corpus:        st.corpus,
+		Virgin:        st.virgin,
+		Findings:      st.findings,
+	}
+}
+
+// result converts a wire partial back to the engine's internal shard state.
+func (p *Partial) result() *shardResult {
+	return &shardResult{
+		execs:         p.Execs,
+		mutationExecs: p.MutationExecs,
+		crashes:       p.Crashes,
+		cycles:        p.Cycles,
+		insts:         p.Insts,
+		corpus:        p.Corpus,
+		virgin:        p.Virgin,
+		findings:      p.Findings,
+	}
+}
+
+// RunShards executes only shards [lo, hi) of the fuzzing campaign and
+// returns their partials in shard order. cfg must be the full (ideally
+// pre-Normalized) scenario — shard indices keep their global meaning, so
+// rng streams and budget shares are identical to the single-process run.
+func RunShards(ctx context.Context, cfg Config, boot Boot, lo, hi int) ([]*Partial, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > cfg.Shards || lo >= hi {
+		return nil, fmt.Errorf("fuzz: shard range [%d,%d) outside shards [0,%d)", lo, hi, cfg.Shards)
+	}
+	workers := cfg.Workers
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	results := make([]*shardResult, cfg.Shards)
+	mt := newProgressMeter(cfg)
+	poolErr := workpool.RunRange(ctx, lo, hi, workers, func(ctx context.Context, shard int) error {
+		ex, err := boot(ctx, shard)
+		if err != nil {
+			return fmt.Errorf("fuzz: boot shard %d: %w", shard, err)
+		}
+		st, err := runShard(ctx, cfg, shard, ex, mt)
+		results[shard] = st
+		if err == nil {
+			mt.shardDone()
+		}
+		return err
+	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	var parts []*Partial
+	for shard := lo; shard < hi; shard++ {
+		if st := results[shard]; st != nil {
+			parts = append(parts, st.partial(shard))
+		}
+	}
+	return parts, nil
+}
+
+// MergePartials folds wire partials into the report Run would have produced
+// for the same cfg. Partials may arrive in any order and may repeat a shard
+// (a reassigned lease): slots are keyed by shard index, so a duplicate
+// overwrites with identical data. Missing shards merge like a cancelled
+// run's.
+func MergePartials(cfg Config, parts []*Partial) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*shardResult, cfg.Shards)
+	for _, p := range parts {
+		if p != nil && p.Shard >= 0 && p.Shard < cfg.Shards {
+			results[p.Shard] = p.result()
+		}
+	}
+	return merge(cfg, results), nil
+}
+
 // merge folds per-shard results (in shard order) into the final report,
 // deduplicating findings across shards by triage key.
 func merge(cfg Config, results []*shardResult) *Report {

@@ -369,6 +369,143 @@ func Run(ctx context.Context, cfg Config, boot Boot) (*Report, error) {
 	return merge(cfg, stats), poolErr
 }
 
+// ClassPartial is one class's slice of a shard partial, in mix order. The
+// latency histogram travels in its lossless wire form (see Hist JSON).
+type ClassPartial struct {
+	Requests          int  `json:"requests"`
+	Crashes           int  `json:"crashes"`
+	Detections        int  `json:"detections"`
+	ProbeReplications int  `json:"probe_replications"`
+	ProbeSuccesses    int  `json:"probe_successes"`
+	Latency           Hist `json:"latency"`
+}
+
+// Partial is one shard's complete result in wire form — the unit a fabric
+// worker ships back. It mirrors the engine's internal shard state exactly
+// (histograms included), so MergePartials reassembles the very slot array
+// Run would have merged and the distributed report is bit-identical to the
+// local one.
+type Partial struct {
+	Shard      int            `json:"shard"`
+	Requests   int            `json:"requests"`
+	OK         int            `json:"ok"`
+	Crashes    int            `json:"crashes"`
+	Detections int            `json:"detections"`
+	Makespan   uint64         `json:"makespan"`
+	Latency    Hist           `json:"latency"`
+	Classes    []ClassPartial `json:"classes"`
+}
+
+// partial converts a shard's internal stats to wire form.
+func (st *shardStats) partial(shard int) *Partial {
+	p := &Partial{
+		Shard:      shard,
+		Requests:   st.requests,
+		OK:         st.ok,
+		Crashes:    st.crashes,
+		Detections: st.detections,
+		Makespan:   st.makespan,
+		Latency:    st.lat,
+	}
+	for i := range st.classes {
+		c := &st.classes[i]
+		p.Classes = append(p.Classes, ClassPartial{
+			Requests:          c.requests,
+			Crashes:           c.crashes,
+			Detections:        c.detections,
+			ProbeReplications: c.probeReps,
+			ProbeSuccesses:    c.probeSuccesses,
+			Latency:           c.lat,
+		})
+	}
+	return p
+}
+
+// stats converts a wire partial back to the engine's internal shard state.
+func (p *Partial) stats() *shardStats {
+	st := &shardStats{
+		requests:   p.Requests,
+		ok:         p.OK,
+		crashes:    p.Crashes,
+		detections: p.Detections,
+		makespan:   p.Makespan,
+		lat:        p.Latency,
+	}
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		st.classes = append(st.classes, classTally{
+			requests:       c.Requests,
+			crashes:        c.Crashes,
+			detections:     c.Detections,
+			probeReps:      c.ProbeReplications,
+			probeSuccesses: c.ProbeSuccesses,
+			lat:            c.Latency,
+		})
+	}
+	return st
+}
+
+// RunShards executes only shards [lo, hi) of the workload and returns their
+// partials in shard order. cfg must be the full (ideally pre-Normalized)
+// scenario — shard indices keep their global meaning, so rng streams and
+// budget shares are identical to the single-process run.
+func RunShards(ctx context.Context, cfg Config, boot Boot, lo, hi int) ([]*Partial, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > cfg.Shards || lo >= hi {
+		return nil, fmt.Errorf("loadgen: shard range [%d,%d) outside shards [0,%d)", lo, hi, cfg.Shards)
+	}
+	workers := cfg.Workers
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	stats := make([]*shardStats, cfg.Shards)
+	mt := newProgressMeter(cfg)
+	poolErr := workpool.RunRange(ctx, lo, hi, workers, func(ctx context.Context, shard int) error {
+		srv, err := boot(ctx, shard)
+		if err != nil {
+			return fmt.Errorf("loadgen: boot shard %d: %w", shard, err)
+		}
+		st, err := runShard(ctx, cfg, shard, srv, mt)
+		stats[shard] = st
+		if err == nil {
+			mt.shardDone(&st.lat)
+		}
+		return err
+	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	var parts []*Partial
+	for shard := lo; shard < hi; shard++ {
+		if st := stats[shard]; st != nil {
+			parts = append(parts, st.partial(shard))
+		}
+	}
+	return parts, nil
+}
+
+// MergePartials folds wire partials into the report Run would have produced
+// for the same cfg. Partials may arrive in any order and may repeat a shard
+// (a reassigned lease): slots are keyed by shard index, so a duplicate
+// overwrites with identical data. Missing shards merge like a cancelled
+// run's.
+func MergePartials(cfg Config, parts []*Partial) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]*shardStats, cfg.Shards)
+	for _, p := range parts {
+		if p != nil && p.Shard >= 0 && p.Shard < cfg.Shards {
+			stats[p.Shard] = p.stats()
+		}
+	}
+	return merge(cfg, stats), nil
+}
+
 // merge folds per-shard stats (in shard order) into the final report.
 func merge(cfg Config, stats []*shardStats) *Report {
 	rep := &Report{
@@ -460,6 +597,27 @@ type SweepReport struct {
 	KneeMultiplier float64 `json:"knee_multiplier"`
 }
 
+// Scale returns the scenario at sweep multiplier m: the offered rate (open
+// loop) or client population (closed loop) scaled, with the "x%g" label
+// suffix. It is the single sweep-point transform — RunSweep and the
+// distributed fabric's sweep both use it, so their per-point scenarios are
+// identical by construction. Scale applies to the unnormalized base
+// scenario; normalize after scaling (shard clamps depend on the scaled
+// population).
+func Scale(cfg Config, m float64) Config {
+	c := cfg
+	c.Label = fmt.Sprintf("%s x%g", cfg.Label, m)
+	if c.Arrivals.Kind == ClosedLoop {
+		c.Arrivals.Clients = int(math.Round(float64(cfg.Arrivals.Clients) * m))
+		if c.Arrivals.Clients < 1 {
+			c.Arrivals.Clients = 1
+		}
+	} else {
+		c.Arrivals.RatePerMcycle = cfg.Arrivals.RatePerMcycle * m
+	}
+	return c
+}
+
 // RunSweep steps the scenario's offered load through the multipliers
 // (ascending; each point re-boots fresh shard servers via boot) and locates
 // the saturation knee. On error the points completed so far are returned
@@ -473,17 +631,7 @@ func RunSweep(ctx context.Context, cfg Config, multipliers []float64, boot Boot)
 		if !(m > 0) {
 			return sw, fmt.Errorf("loadgen: non-positive sweep multiplier %g", m)
 		}
-		c := cfg
-		c.Label = fmt.Sprintf("%s x%g", cfg.Label, m)
-		if c.Arrivals.Kind == ClosedLoop {
-			c.Arrivals.Clients = int(math.Round(float64(cfg.Arrivals.Clients) * m))
-			if c.Arrivals.Clients < 1 {
-				c.Arrivals.Clients = 1
-			}
-		} else {
-			c.Arrivals.RatePerMcycle = cfg.Arrivals.RatePerMcycle * m
-		}
-		rep, err := Run(ctx, c, boot)
+		rep, err := Run(ctx, Scale(cfg, m), boot)
 		if err != nil {
 			return sw, err
 		}

@@ -1,6 +1,10 @@
 package loadgen
 
-import "math/bits"
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
 
 // Hist is a log-bucketed latency histogram in the HDR style: exact width-1
 // buckets for small values, then every power-of-two octave split into 32
@@ -145,6 +149,46 @@ func (h *Hist) Buckets() []Bucket {
 		}
 	}
 	return out
+}
+
+// histWire is Hist's JSON form: the sparse non-zero buckets by index plus
+// the exact scalar tallies. It is lossless — a decoded histogram merges
+// bit-identically to the original — which LatencySummary is not (its mean
+// is a rounded float and its buckets carry values, not indices). The
+// distributed fabric ships per-shard histograms in this form.
+type histWire struct {
+	Buckets [][2]uint64 `json:"buckets,omitempty"` // [bucket index, count] pairs, ascending
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Min     uint64      `json:"min,omitempty"`
+	Max     uint64      `json:"max,omitempty"`
+}
+
+// MarshalJSON encodes the histogram losslessly (see histWire).
+func (h Hist) MarshalJSON() ([]byte, error) {
+	w := histWire{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			w.Buckets = append(w.Buckets, [2]uint64{uint64(i), c})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a histogram encoded by MarshalJSON.
+func (h *Hist) UnmarshalJSON(b []byte) error {
+	var w histWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*h = Hist{count: w.Count, sum: w.Sum, min: w.Min, max: w.Max}
+	for _, bc := range w.Buckets {
+		if bc[0] >= histBuckets {
+			return fmt.Errorf("loadgen: histogram bucket index %d out of range", bc[0])
+		}
+		h.counts[bc[0]] += bc[1]
+	}
+	return nil
 }
 
 // LatencySummary is a histogram rendered for a report: sample count, exact

@@ -53,6 +53,15 @@ func WithProgress(fn func(Snapshot)) Option {
 // cancelled, or nil. Units that never ran simply left their slots untouched;
 // partial merges over those slots are the caller's cancellation story.
 func Run(ctx context.Context, units, workers int, run func(ctx context.Context, unit int) error, opts ...Option) error {
+	return RunRange(ctx, 0, units, workers, run, opts...)
+}
+
+// RunRange is Run over the unit subrange [lo, hi) — the leasing seam the
+// distributed fabric shards on. Unit indices keep their global meaning (a
+// worker handed the lease [8, 12) runs units 8..11, so per-unit derived
+// state like rng streams and budget shares is identical to the single-range
+// run); progress snapshots count within the lease (Total = hi-lo).
+func RunRange(ctx context.Context, lo, hi, workers int, run func(ctx context.Context, unit int) error, opts ...Option) error {
 	var cfg runConfig
 	for _, o := range opts {
 		o(&cfg)
@@ -80,7 +89,7 @@ func Run(ctx context.Context, units, workers int, run func(ctx context.Context, 
 					if cfg.progress != nil {
 						mu.Lock()
 						done++
-						snap := Snapshot{Done: done, Total: units}
+						snap := Snapshot{Done: done, Total: hi - lo}
 						cfg.progress(snap)
 						mu.Unlock()
 					}
@@ -100,7 +109,7 @@ func Run(ctx context.Context, units, workers int, run func(ctx context.Context, 
 		}()
 	}
 feed:
-	for unit := 0; unit < units; unit++ {
+	for unit := lo; unit < hi; unit++ {
 		select {
 		case jobs <- unit:
 		case <-ctx.Done():

@@ -100,6 +100,24 @@ type CampaignResult = campaign.Aggregate
 // On cancellation the partial aggregate of the completed replications is
 // returned alongside ctx.Err().
 func (m *Machine) Campaign(ctx context.Context, img *Image, cfg CampaignConfig) (*CampaignResult, error) {
+	plan, runner, err := m.campaignPlan(img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := campaign.Run(ctx, plan, runner)
+	if err != nil {
+		return agg, err
+	}
+	if agg.Completed == 0 && agg.OracleErr != nil {
+		return agg, agg.OracleErr
+	}
+	return agg, nil
+}
+
+// campaignPlan resolves cfg into the engine configuration and the
+// per-replication runner — the shared front half of Campaign,
+// CampaignShards, and (plan only, img may be nil) CampaignPlan.
+func (m *Machine) campaignPlan(img *Image, cfg CampaignConfig) (campaign.Config, campaign.Runner, error) {
 	// The strategy may arrive on either level — CampaignConfig.Strategy or
 	// the embedded AttackConfig (the field Server.Attack honours). They
 	// must resolve to the same adversary (aliases like "bbb" and
@@ -110,14 +128,14 @@ func (m *Machine) Campaign(ctx context.Context, img *Image, cfg CampaignConfig) 
 		if attackCfg.Strategy != "" {
 			outer, err := attack.StrategyByName(cfg.Strategy)
 			if err != nil {
-				return nil, err
+				return campaign.Config{}, nil, err
 			}
 			inner, err := attack.StrategyByName(attackCfg.Strategy)
 			if err != nil {
-				return nil, err
+				return campaign.Config{}, nil, err
 			}
 			if outer.Name() != inner.Name() {
-				return nil, fmt.Errorf("pssp: conflicting strategies %q (CampaignConfig.Strategy) and %q (Attack.Strategy)",
+				return campaign.Config{}, nil, fmt.Errorf("pssp: conflicting strategies %q (CampaignConfig.Strategy) and %q (Attack.Strategy)",
 					cfg.Strategy, attackCfg.Strategy)
 			}
 		}
@@ -125,7 +143,7 @@ func (m *Machine) Campaign(ctx context.Context, img *Image, cfg CampaignConfig) 
 	}
 	strat, acfg, err := m.resolveAttack(attackCfg)
 	if err != nil {
-		return nil, err
+		return campaign.Config{}, nil, err
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -172,18 +190,11 @@ func (m *Machine) Campaign(ctx context.Context, img *Image, cfg CampaignConfig) 
 		}, nil
 	}
 
-	agg, err := campaign.Run(ctx, campaign.Config{
+	return campaign.Config{
 		Label:        strat.Name(),
 		Replications: cfg.Replications,
 		Workers:      cfg.Workers,
 		Seed:         seed,
 		Progress:     cfg.Progress,
-	}, runner)
-	if err != nil {
-		return agg, err
-	}
-	if agg.Completed == 0 && agg.OracleErr != nil {
-		return agg, agg.OracleErr
-	}
-	return agg, nil
+	}, runner, nil
 }

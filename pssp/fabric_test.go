@@ -1,0 +1,178 @@
+package pssp_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/pssp"
+)
+
+// These tests pin the fabric's wire contract at the facade: every engine's
+// partial aggregate must survive a JSON encode/decode (the coordinator ↔
+// worker hop) and merge back — in any order, at any split — into a report
+// byte-identical to the single-process run. The splits 1, 4 and 16 mirror
+// the engines' own worker-count determinism tests.
+
+// splits partitions [0, n) into k contiguous half-open ranges.
+func splits(n, k int) [][2]int {
+	var out [][2]int
+	size := (n + k - 1) / k
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// roundTrip pushes each partial through the coordinator/worker JSON hop.
+func roundTrip[T any](t *testing.T, parts []*T) []*T {
+	t.Helper()
+	out := make([]*T, len(parts))
+	for i, p := range parts {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := new(T)
+		if err := json.Unmarshal(b, fresh); err != nil {
+			t.Fatal(err)
+		}
+		// Reversed collection order: the merge must key on shard indices,
+		// not arrival order.
+		out[len(parts)-1-i] = fresh
+	}
+	return out
+}
+
+func wantJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCampaignPartialRoundTripMergesByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemeSSP))
+	img, err := m.CompileApp("nginx-vuln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pssp.CampaignConfig{
+		Strategy:     "byte-by-byte",
+		Replications: 16,
+		Seed:         2018,
+		Attack:       pssp.AttackConfig{MaxTrials: 200},
+	}
+	ref, err := m.Campaign(ctx, img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantJSON(t, ref)
+	plan, err := m.CampaignPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		var parts []*pssp.CampaignPartial
+		for _, r := range splits(plan.Replications, workers) {
+			p, err := m.CampaignShards(ctx, img, cfg, r[0], r[1])
+			if err != nil {
+				t.Fatalf("workers=%d shards [%d,%d): %v", workers, r[0], r[1], err)
+			}
+			parts = append(parts, p)
+		}
+		got := wantJSON(t, pssp.MergeCampaignPartials(plan, roundTrip(t, parts)))
+		if got != want {
+			t.Errorf("workers=%d: merged campaign aggregate differs:\n got %s\nwant %s", workers, got, want)
+		}
+	}
+}
+
+func TestLoadPartialRoundTripMergesByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemePSSP))
+	img, err := m.CompileApp("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pssp.WorkloadConfig{
+		Arrivals:      pssp.ArrivalsOpenPoisson,
+		RatePerMcycle: 20,
+		Requests:      64,
+		Shards:        16,
+		Seed:          2018,
+	}
+	ref, err := m.LoadTest(ctx, img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantJSON(t, ref)
+	plan, err := m.LoadPlan(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := plan.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		var parts []*pssp.LoadPartial
+		for _, r := range splits(norm.Shards, workers) {
+			ps, err := m.LoadShards(ctx, img, cfg, r[0], r[1])
+			if err != nil {
+				t.Fatalf("workers=%d shards [%d,%d): %v", workers, r[0], r[1], err)
+			}
+			parts = append(parts, ps...)
+		}
+		merged, err := pssp.MergeLoadPartials(plan, roundTrip(t, parts))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := wantJSON(t, merged); got != want {
+			t.Errorf("workers=%d: merged load report differs:\n got %s\nwant %s", workers, got, want)
+		}
+	}
+}
+
+func TestFuzzPartialRoundTripMergesByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	m := pssp.NewMachine(pssp.WithSeed(2018), pssp.WithScheme(pssp.SchemeSSP))
+	img, err := m.CompileApp("nginx-vuln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pssp.FuzzConfig{Execs: 256, Shards: 16, Seed: 2018}
+	ref, err := m.Fuzz(ctx, img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantJSON(t, ref)
+	plan, err := m.FuzzPlan(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		var parts []*pssp.FuzzPartial
+		for _, r := range splits(plan.Shards, workers) {
+			ps, err := m.FuzzShards(ctx, img, cfg, r[0], r[1])
+			if err != nil {
+				t.Fatalf("workers=%d shards [%d,%d): %v", workers, r[0], r[1], err)
+			}
+			parts = append(parts, ps...)
+		}
+		merged, err := pssp.MergeFuzzPartials(plan, roundTrip(t, parts))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := wantJSON(t, merged); got != want {
+			t.Errorf("workers=%d: merged fuzz report differs:\n got %s\nwant %s", workers, got, want)
+		}
+	}
+}

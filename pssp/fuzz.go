@@ -120,11 +120,21 @@ func (e *fuzzExecutor) Execute(ctx context.Context, input []byte) (fuzz.Exec, *v
 // — is bit-identical at any worker count. On cancellation the partial report
 // of the work done so far is returned alongside ctx.Err().
 func (m *Machine) Fuzz(ctx context.Context, img *Image, cfg FuzzConfig) (*FuzzReport, error) {
+	fc, boot, err := m.fuzzPlan(img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fuzz.Run(ctx, fc, boot)
+}
+
+// fuzzPlan resolves cfg into the engine configuration and per-shard boot —
+// the shared front half of Fuzz, FuzzShards, and FuzzPlan.
+func (m *Machine) fuzzPlan(img *Image, cfg FuzzConfig) (fuzz.Config, fuzz.Boot, error) {
 	seeds := cfg.Seeds
 	if len(seeds) == 0 {
 		app, ok := App(img.Name())
 		if !ok || app.Request == nil {
-			return nil, fmt.Errorf("pssp: no built-in request to seed the fuzzer for image %q; set FuzzConfig.Seeds", img.Name())
+			return fuzz.Config{}, nil, fmt.Errorf("pssp: no built-in request to seed the fuzzer for image %q; set FuzzConfig.Seeds", img.Name())
 		}
 		seeds = [][]byte{app.Request}
 	}
@@ -144,7 +154,7 @@ func (m *Machine) Fuzz(ctx context.Context, img *Image, cfg FuzzConfig) (*FuzzRe
 		}
 		return &fuzzExecutor{srv: srv.srv, cov: srv.srv.EnableCoverage()}, nil
 	}
-	return fuzz.Run(ctx, fuzz.Config{
+	return fuzz.Config{
 		Label:         label,
 		Seeds:         seeds,
 		Dict:          cfg.Dict,
@@ -156,5 +166,5 @@ func (m *Machine) Fuzz(ctx context.Context, img *Image, cfg FuzzConfig) (*FuzzRe
 		Progress:      cfg.Progress,
 		ProgressEvery: cfg.ProgressEvery,
 		BaseVirgin:    cfg.BaseVirgin,
-	}, boot)
+	}, boot, nil
 }
