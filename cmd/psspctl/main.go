@@ -27,6 +27,16 @@
 //	psspctl -remote unix:/tmp/ctl.sock -aggregate -id 1 -json
 //	psspctl -remote unix:/tmp/ctl.sock -cancel -id 1
 //	psspctl -remote unix:/tmp/ctl.sock -stats -json
+//	psspctl -remote unix:/tmp/ctl.sock -watch
+//
+// -watch replaces -stats polling with a live dashboard: it redraws worker
+// health, job states, and the coordinator's metrics snapshot (lease
+// counters, latency quantiles) about once a second until interrupted.
+// -metrics (serve and one-shot modes) exposes the same registry over HTTP
+// — Prometheus text on /metrics, flight-recorder traces on /traces, pprof
+// under /debug/pprof/. Observability is pure read-side: reports stay
+// byte-identical with it on or off. -log-level picks stderr verbosity
+// (error, info, debug); -v is shorthand for -log-level debug.
 //
 // Workers attach either way around: -workers dials out to ordinary psspd
 // listeners, -listen accepts `psspd -worker -join` registrations; both may
@@ -52,6 +62,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/daemon/client"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/pssp"
 )
 
@@ -63,7 +74,9 @@ func main() {
 		minWorkers = flag.Int("min-workers", 0, "wait for at least this many workers before running (0 = the -workers list length, min 1)")
 		serve      = flag.Bool("serve", false, "run as a long-lived coordinator serving the control API on -listen")
 		tenant     = flag.String("tenant", "", "tenant name presented to the workers (default \"default\")")
-		verbose    = flag.Bool("v", false, "log worker joins/deaths and lease reassignments to stderr")
+		verbose    = flag.Bool("v", false, "log worker joins/deaths and lease reassignments to stderr (alias for -log-level debug)")
+		metricsOn  = flag.String("metrics", "", "serve /metrics, /traces and /debug/pprof over HTTP on this address (empty = off)")
+		logLevel   = flag.String("log-level", "info", "stderr verbosity: error, info or debug")
 
 		// Lease engine tuning.
 		leaseShards  = flag.Int("lease-shards", 0, "shards per lease (0 = auto: a quarter of a worker's share)")
@@ -77,6 +90,7 @@ func main() {
 		cancelJob = flag.Bool("cancel", false, "cancel the remote job named by -id")
 		aggregate = flag.Bool("aggregate", false, "fetch the merged report of the finished remote job named by -id")
 		stats     = flag.Bool("stats", false, "print coordinator stats (leases, worker health and throughput, frontier size)")
+		watch     = flag.Bool("watch", false, "live dashboard: redraw remote stats and metrics about once a second")
 		id        = flag.Uint64("id", 0, "job id for -status/-cancel/-aggregate")
 
 		// Job selection and the per-kind knobs, mirroring the original CLIs.
@@ -113,13 +127,23 @@ func main() {
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspctl", err) }
 
+	level, err := cliutil.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	if *verbose {
+		level = cliutil.LevelDebug
+	}
+	logger := cliutil.NewLogger("psspctl", level)
+	client.SetDebugf(logger.Logf(cliutil.LevelDebug))
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	if *remote != "" {
 		if err := runRemote(ctx, *remote, remoteArgs{
 			submit: *submit, status: *status, cancel: *cancelJob,
-			aggregate: *aggregate, stats: *stats, id: *id, jsonOut: *jsonOut,
+			aggregate: *aggregate, stats: *stats, watch: *watch, id: *id, jsonOut: *jsonOut,
 			params: func() (fabric.SubmitParams, error) {
 				return submitParams(*job, *corpus, *stall, jobFlags{
 					scheme: *scheme, seed: *seed, target: *target, strategy: *strategy,
@@ -136,17 +160,33 @@ func main() {
 		return
 	}
 
-	logf := func(string, ...any) {}
-	if *verbose || *serve {
-		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, "psspctl: "+format+"\n", args...) }
+	// Fabric lifecycle lines (worker joins/deaths, lease reassignment) are
+	// operational detail in serve mode but chatter in a quiet one-shot:
+	// info there, debug here — so plain one-shot stderr stays empty and
+	// -v restores the lines the fault-injection smoke greps for.
+	fabricLevel := cliutil.LevelDebug
+	if *serve {
+		fabricLevel = cliutil.LevelInfo
 	}
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(0, 0)
 	coord := fabric.New(fabric.Config{
 		Tenant:       *tenant,
 		LeaseShards:  *leaseShards,
 		LeaseTimeout: *leaseTimeout,
 		Retries:      *retries,
-		Logf:         logf,
+		Logf:         logger.Logf(fabricLevel),
+		Metrics:      reg,
+		Recorder:     rec,
 	})
+	if *metricsOn != "" {
+		maddr, stop, err := obs.ListenAndServe(*metricsOn, reg, rec)
+		if err != nil {
+			fail(fmt.Errorf("metrics: %w", err))
+		}
+		defer stop()
+		logger.Infof("metrics on http://%s/metrics", maddr)
+	}
 	defer coord.Close()
 	addrs := splitList(*workers)
 	for _, a := range addrs {
@@ -174,7 +214,7 @@ func main() {
 		if lis == nil {
 			fail(fmt.Errorf("-serve requires -listen: workers and control clients attach there"))
 		}
-		fmt.Fprintf(os.Stderr, "psspctl: coordinating on %s (%d dialed worker(s))\n", *listen, len(addrs))
+		logger.Infof("coordinating on %s (%d dialed worker(s))", *listen, len(addrs))
 		if err := coord.Serve(ctx, lis); err != nil {
 			fail(err)
 		}
@@ -213,11 +253,11 @@ func main() {
 	if err := runOneShot(ctx, coord, p, *jsonOut); err != nil {
 		fail(err)
 	}
-	if *verbose {
+	if logger.Enabled(cliutil.LevelDebug) {
 		st := coord.Stats()
-		fmt.Fprintf(os.Stderr, "psspctl: %d lease(s) issued, %d reassigned\n", st.LeasesIssued, st.LeasesReassigned)
+		logger.Debugf("%d lease(s) issued, %d reassigned", st.LeasesIssued, st.LeasesReassigned)
 		for _, w := range st.Workers {
-			fmt.Fprintf(os.Stderr, "psspctl: worker %s: alive=%v leases=%d shards=%d (%.1f shards/s)\n",
+			logger.Debugf("worker %s: alive=%v leases=%d shards=%d (%.1f shards/s)",
 				w.Name, w.Alive, w.Leases, w.ShardsDone, w.ShardsPerSec)
 		}
 	}
@@ -377,7 +417,7 @@ func runOneShot(ctx context.Context, coord *fabric.Coordinator, p fabric.SubmitP
 
 // remoteArgs bundles the remote-mode verbs.
 type remoteArgs struct {
-	submit, status, cancel, aggregate, stats bool
+	submit, status, cancel, aggregate, stats, watch bool
 
 	id      uint64
 	jsonOut bool
@@ -393,6 +433,8 @@ func runRemote(ctx context.Context, addr string, a remoteArgs) error {
 	defer c.Close()
 
 	switch {
+	case a.watch:
+		return runWatch(ctx, c, addr)
 	case a.submit:
 		p, err := a.params()
 		if err != nil {

@@ -16,6 +16,13 @@
 //	psspd -listen unix:/tmp/psspd.sock -quota 500000000 -tenant-jobs 2
 //	psspd -listen unix:/tmp/psspd.sock -store /var/cache/pssp
 //	psspd -worker -join unix:/tmp/psspctl.sock -name w0 -store /var/cache/pssp
+//	psspd -listen unix:/tmp/psspd.sock -metrics 127.0.0.1:9090
+//
+// -metrics serves the observability surface over HTTP: Prometheus text on
+// /metrics, per-job flight-recorder traces on /traces, and the standard
+// pprof profiles under /debug/pprof/. Metrics are pure read-side: every
+// report is byte-identical with or without them. -log-level picks the
+// stderr verbosity (error, info, debug).
 //
 // -worker runs the daemon as a fabric worker instead of a listener: it
 // dials the coordinator at -join (a psspctl -listen address), registers
@@ -44,6 +51,10 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/daemon"
+	"repro/internal/daemon/client"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/workpool"
 	"repro/pssp"
 )
 
@@ -62,9 +73,18 @@ func main() {
 		workerMode = flag.Bool("worker", false, "run as a fabric worker: dial -join and serve shard leases instead of listening")
 		join       = flag.String("join", "", "coordinator address to register with (-worker mode): unix:/path or host:port")
 		name       = flag.String("name", "", "worker name in coordinator stats (-worker mode; default pid-based)")
+		metrics    = flag.String("metrics", "", "serve /metrics, /traces and /debug/pprof over HTTP on this address (empty = off)")
+		logLevel   = flag.String("log-level", "info", "stderr verbosity: error, info or debug")
 	)
 	flag.Parse()
 	fail := func(err error) { cliutil.Fail("psspd", err) }
+
+	level, err := cliutil.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	logger := cliutil.NewLogger("psspd", level)
+	client.SetDebugf(logger.Logf(cliutil.LevelDebug))
 
 	eng, err := pssp.ParseEngine(*engine)
 	if err != nil {
@@ -74,7 +94,7 @@ func main() {
 		if *join == "" {
 			fail(fmt.Errorf("-worker requires -join: the coordinator address to register with"))
 		}
-		runWorker(*join, *name, *storeDir, *drain, daemon.Config{
+		runWorker(*join, *name, *storeDir, *metrics, *drain, logger, daemon.Config{
 			Seed:        *seed,
 			MaxJobs:     *maxJobs,
 			MaxQueue:    *maxQueue,
@@ -119,23 +139,35 @@ func main() {
 		Engine:      eng,
 		Store:       st,
 	})
+	// The kernel and workpool sites are package-wide installs; psspd owns
+	// the process, so they feed the daemon's registry.
+	kernel.SetMetrics(d.Metrics())
+	workpool.SetMetrics(d.Metrics())
+	if *metrics != "" {
+		addr, stop, err := obs.ListenAndServe(*metrics, d.Metrics(), d.Recorder())
+		if err != nil {
+			fail(fmt.Errorf("metrics: %w", err))
+		}
+		defer stop()
+		logger.Infof("metrics on http://%s/metrics", addr)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- d.Serve(lis) }()
-	fmt.Fprintf(os.Stderr, "psspd: serving on %s (seed %d, %d job slots, pool %d)\n",
+	logger.Infof("serving on %s (seed %d, %d job slots, pool %d)",
 		*listen, *seed, *maxJobs, *poolSize)
 
 	select {
 	case sig := <-sigs:
-		fmt.Fprintf(os.Stderr, "psspd: %s, draining...\n", sig)
+		logger.Infof("%s, draining...", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := d.Shutdown(ctx)
 		cancel()
 		if st != nil {
 			ss := st.Stats()
-			fmt.Fprintf(os.Stderr, "psspd: store %s: store_hits=%d store_misses=%d (mem %d, disk %d, corrupt %d)\n",
+			logger.Infof("store %s: store_hits=%d store_misses=%d (mem %d, disk %d, corrupt %d)",
 				*storeDir, ss.Hits, ss.Misses, ss.MemHits, ss.DiskHits, ss.Corrupt)
 			// The pool's machines are all closed once Shutdown returns, so no
 			// live address space aliases the store's mappings.
@@ -156,7 +188,7 @@ func main() {
 
 // runWorker is the -worker mode body: one daemon, no listener, a join loop
 // against the coordinator, and the same signal-drain exit as serve mode.
-func runWorker(join, name, storeDir string, drain time.Duration, cfg daemon.Config, fail func(error)) {
+func runWorker(join, name, storeDir, metrics string, drain time.Duration, logger *cliutil.Logger, cfg daemon.Config, fail func(error)) {
 	var st *pssp.Store
 	var err error
 	if storeDir != "" {
@@ -166,6 +198,16 @@ func runWorker(join, name, storeDir string, drain time.Duration, cfg daemon.Conf
 		cfg.Store = st
 	}
 	d := daemon.New(cfg)
+	kernel.SetMetrics(d.Metrics())
+	workpool.SetMetrics(d.Metrics())
+	if metrics != "" {
+		addr, stop, err := obs.ListenAndServe(metrics, d.Metrics(), d.Recorder())
+		if err != nil {
+			fail(fmt.Errorf("metrics: %w", err))
+		}
+		defer stop()
+		logger.Infof("metrics on http://%s/metrics", addr)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -173,19 +215,19 @@ func runWorker(join, name, storeDir string, drain time.Duration, cfg daemon.Conf
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- d.Worker(ctx, join, name) }()
-	fmt.Fprintf(os.Stderr, "psspd: worker joining %s (seed %d, %d job slots, pool %d)\n",
+	logger.Infof("worker joining %s (seed %d, %d job slots, pool %d)",
 		join, cfg.Seed, cfg.MaxJobs, cfg.PoolSize)
 
 	select {
 	case sig := <-sigs:
-		fmt.Fprintf(os.Stderr, "psspd: %s, draining...\n", sig)
+		logger.Infof("%s, draining...", sig)
 		cancel()
 		dctx, dcancel := context.WithTimeout(context.Background(), drain)
 		err := d.Shutdown(dctx)
 		dcancel()
 		if st != nil {
 			ss := st.Stats()
-			fmt.Fprintf(os.Stderr, "psspd: store %s: store_hits=%d store_misses=%d (mem %d, disk %d, corrupt %d)\n",
+			logger.Infof("store %s: store_hits=%d store_misses=%d (mem %d, disk %d, corrupt %d)",
 				storeDir, ss.Hits, ss.Misses, ss.MemHits, ss.DiskHits, ss.Corrupt)
 			st.Close()
 		}

@@ -240,6 +240,7 @@ func (c *Client) Call(ctx context.Context, method string, params any, result any
 	c.pending[id] = p
 	c.mu.Unlock()
 
+	debugLog("client: call %d %s", id, method)
 	if err := c.send(daemon.Request{ID: id, Method: method, Tenant: o.tenant, Params: raw}); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
@@ -258,8 +259,10 @@ func (c *Client) Call(ctx context.Context, method string, params any, result any
 				return err
 			}
 			if resp.Error != nil {
+				debugLog("client: call %d %s failed: %s %s", id, method, resp.Error.Code, resp.Error.Message)
 				return &RPCError{Code: resp.Error.Code, Message: resp.Error.Message}
 			}
+			debugLog("client: call %d %s ok", id, method)
 			if result == nil || len(resp.Result) == 0 {
 				return nil
 			}

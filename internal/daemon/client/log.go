@@ -1,0 +1,24 @@
+package client
+
+import "sync/atomic"
+
+// debugf is the package's optional debug logger: when installed it traces
+// every Call's dispatch and outcome. The indirection keeps the default
+// path at one atomic load, and a nil hook means no formatting happens.
+var debugf atomic.Pointer[func(format string, args ...any)]
+
+// SetDebugf installs fn as the package debug logger (nil uninstalls).
+// CLIs wire their cliutil.Logger's debug level here.
+func SetDebugf(fn func(format string, args ...any)) {
+	if fn == nil {
+		debugf.Store(nil)
+		return
+	}
+	debugf.Store(&fn)
+}
+
+func debugLog(format string, args ...any) {
+	if fn := debugf.Load(); fn != nil {
+		(*fn)(format, args...)
+	}
+}

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+// TestProgressEventThrottleBound pins the wire throttle: however fast the
+// engine ticks, a job may stream at most one progress event per 100ms
+// (daemon.eventInterval), and the events it does stream arrive in order.
+func TestProgressEventThrottleBound(t *testing.T) {
+	c, _ := startDaemon(t, daemon.Config{})
+	var events []daemon.ProgressEvent
+	start := time.Now()
+	err := c.Call(context.Background(), "attack", daemon.AttackParams{
+		Scheme: "p-ssp", Budget: 64, Repeats: 4096, Workers: 1, Seed: 8,
+	}, nil, WithEvents(func(ev daemon.ProgressEvent) { events = append(events, ev) }))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events streamed")
+	}
+	// The 100ms send-side throttle admits at most elapsed/100ms events
+	// (plus the unthrottled first one, plus one for interval straddle).
+	limit := int(elapsed/(100*time.Millisecond)) + 2
+	if len(events) > limit {
+		t.Fatalf("%d events in %v exceeds the throttle bound %d", len(events), elapsed, limit)
+	}
+	// In order: completed-replication counts never go backwards, because
+	// events are emitted and written under one serialized stream.
+	last := 0
+	for i, ev := range events {
+		if ev.Campaign == nil {
+			t.Fatalf("event %d has no campaign payload: %+v", i, ev)
+		}
+		if ev.Campaign.Completed < last {
+			t.Fatalf("event %d went backwards: completed %d after %d", i, ev.Campaign.Completed, last)
+		}
+		last = ev.Campaign.Completed
+	}
+}
+
+// TestCancelMidStreamNoGoroutineLeak cancels a job from inside its own
+// event callback — the nastiest re-entrant moment — and verifies the
+// flagged partial is delivered, no further events arrive after the final
+// response, and teardown returns the process to its goroutine baseline.
+func TestCancelMidStreamNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sock := filepath.Join(t.TempDir(), "psspd.sock")
+	lis, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	d := daemon.New(daemon.Config{})
+	go d.Serve(lis)
+	c, err := Dial("unix:" + sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events atomic.Int64
+	var rep daemon.AttackReport
+	err = c.Call(ctx, "attack", daemon.AttackParams{
+		Scheme: "p-ssp", Budget: 64, Repeats: 1 << 16, Workers: 1, Seed: 13,
+	}, &rep, WithEvents(func(daemon.ProgressEvent) {
+		events.Add(1)
+		cancel()
+	}))
+	if err != nil {
+		t.Fatalf("canceled call should deliver the partial report, got %v", err)
+	}
+	if !rep.Canceled {
+		t.Fatal("partial report not flagged canceled")
+	}
+	// The terminal response retires the call; the stream must be dead.
+	after := events.Load()
+	time.Sleep(200 * time.Millisecond)
+	if n := events.Load(); n != after {
+		t.Fatalf("%d event(s) arrived after the final response", n-after)
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := d.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The canceled campaign's workers unwind asynchronously; poll briefly
+	// before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after cancel+shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

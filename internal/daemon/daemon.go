@@ -11,8 +11,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/pssp"
 )
@@ -59,6 +61,16 @@ type Config struct {
 	// images persist across daemon restarts. The caller owns the store and
 	// closes it after Shutdown returns.
 	Store *pssp.Store
+	// Metrics, when non-nil, is the registry the daemon publishes its
+	// series on (job lifecycle, queue depth, pool and store traffic,
+	// per-tenant quota burn). When nil the daemon creates a private
+	// registry: its accounting is registry-backed either way, so Stats
+	// never takes the job-table lock. Metrics are pure read-side — results
+	// are byte-identical with or without a caller registry.
+	Metrics *obs.Registry
+	// Recorder, when non-nil, is the flight recorder receiving per-job
+	// span traces. When nil the daemon creates a private bounded one.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -77,13 +89,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// tenant is one caller's admission and accounting state.
+// tenant is one caller's admission and accounting state. Admission
+// decisions read and write the atomics under d.mu (so a decision is based
+// on a consistent view); Stats and the metrics collector read them lock-free.
 type tenant struct {
 	name    string
 	seed    uint64
-	running int
-	jobs    uint64
-	used    uint64 // victim cycles charged
+	running atomic.Int64
+	jobs    atomic.Uint64
+	used    atomic.Uint64 // victim cycles charged
 }
 
 // Daemon is the serving front end: it owns the warm pool, the tenant
@@ -96,15 +110,25 @@ type Daemon struct {
 	ctx    context.Context // canceled on Shutdown; parent of every job
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	wake     chan struct{} // closed+replaced whenever a slot frees
-	tenants  map[string]*tenant
-	running  int
-	waiting  int
-	nextJob  uint64
-	finished struct{ completed, failed, canceled uint64 }
-	start    time.Time
-	closed   bool
+	// reg/rec/met are always non-nil: the daemon's own accounting lives in
+	// registry-backed atomics, so Stats is lock-free with respect to the
+	// admission mutex below.
+	reg *obs.Registry
+	rec *obs.Recorder
+	met *daemonMetrics
+
+	// mu is the admission (job-table) lock: it serializes slot decisions
+	// and the wake channel. Stats deliberately never takes it.
+	mu      sync.Mutex
+	wake    chan struct{} // closed+replaced whenever a slot frees
+	nextJob uint64
+	start   time.Time
+	closed  bool
+
+	// tenantsMu guards only the tenant map; per-tenant tallies are atomics
+	// on the tenant itself.
+	tenantsMu sync.RWMutex
+	tenants   map[string]*tenant
 
 	lisMu     sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -115,17 +139,30 @@ type Daemon struct {
 // New builds a daemon; call Serve to start accepting.
 func New(cfg Config) *Daemon {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Daemon{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.NewRecorder(0, 0)
+	}
+	d := &Daemon{
 		cfg:       cfg.withDefaults(),
 		pool:      newPool(cfg.PoolSize, cfg.Engine, cfg.Store),
 		ctx:       ctx,
 		cancel:    cancel,
+		reg:       reg,
+		rec:       rec,
+		met:       newDaemonMetrics(reg),
 		wake:      make(chan struct{}),
 		tenants:   make(map[string]*tenant),
 		start:     time.Now(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	d.registerCollectors(reg)
+	return d
 }
 
 // Serve accepts connections on lis until Shutdown (which returns it nil)
@@ -206,19 +243,27 @@ func (d *Daemon) wakeAll() {
 	d.wake = make(chan struct{})
 }
 
-// tenantFor returns (creating on first use) the named tenant. Caller holds
-// d.mu.
+// tenantFor returns (creating on first use) the named tenant. It takes
+// only the tenant-map lock, never the admission mutex.
 func (d *Daemon) tenantFor(name string) *tenant {
 	if name == "" {
 		name = "default"
 	}
+	d.tenantsMu.RLock()
 	t, ok := d.tenants[name]
-	if !ok {
-		h := fnv.New64a()
-		h.Write([]byte(name))
-		t = &tenant{name: name, seed: rng.Mix(d.cfg.Seed, h.Sum64())}
-		d.tenants[name] = t
+	d.tenantsMu.RUnlock()
+	if ok {
+		return t
 	}
+	d.tenantsMu.Lock()
+	defer d.tenantsMu.Unlock()
+	if t, ok := d.tenants[name]; ok {
+		return t
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	t = &tenant{name: name, seed: rng.Mix(d.cfg.Seed, h.Sum64())}
+	d.tenants[name] = t
 	return t
 }
 
@@ -234,20 +279,21 @@ func (d *Daemon) admit(ctx context.Context, t *tenant) error {
 		if d.closed {
 			return ErrShutdown
 		}
-		if d.cfg.QuotaCycles > 0 && t.used >= d.cfg.QuotaCycles {
+		if used := t.used.Load(); d.cfg.QuotaCycles > 0 && used >= d.cfg.QuotaCycles {
 			return fmt.Errorf("%w: tenant %q spent %d of %d victim cycles",
-				ErrQuotaExceeded, t.name, t.used, d.cfg.QuotaCycles)
+				ErrQuotaExceeded, t.name, used, d.cfg.QuotaCycles)
 		}
-		if d.running < d.cfg.MaxJobs && t.running < d.cfg.TenantJobs {
-			d.running++
-			t.running++
-			t.jobs++
+		if int(d.met.running.Load()) < d.cfg.MaxJobs && int(t.running.Load()) < d.cfg.TenantJobs {
+			d.met.running.Add(1)
+			t.running.Add(1)
+			t.jobs.Add(1)
+			d.met.admitted.Inc()
 			return nil
 		}
-		if d.waiting >= d.cfg.MaxQueue {
-			return fmt.Errorf("%w: %d jobs queued", ErrBusy, d.waiting)
+		if int(d.met.queued.Load()) >= d.cfg.MaxQueue {
+			return fmt.Errorf("%w: %d jobs queued", ErrBusy, d.met.queued.Load())
 		}
-		d.waiting++
+		d.met.queued.Add(1)
 		ch := d.wake
 		d.mu.Unlock()
 		var err error
@@ -257,7 +303,7 @@ func (d *Daemon) admit(ctx context.Context, t *tenant) error {
 			err = ctx.Err()
 		}
 		d.mu.Lock()
-		d.waiting--
+		d.met.queued.Add(-1)
 		if err != nil {
 			return err
 		}
@@ -267,9 +313,9 @@ func (d *Daemon) admit(ctx context.Context, t *tenant) error {
 // release returns the job's slot and charges its victim-cycle cost.
 func (d *Daemon) release(t *tenant, cost uint64) {
 	d.mu.Lock()
-	d.running--
-	t.running--
-	t.used += cost
+	d.met.running.Add(-1)
+	t.running.Add(-1)
+	t.used.Add(cost)
 	d.wakeAll()
 	d.mu.Unlock()
 }
@@ -288,17 +334,20 @@ func (d *Daemon) jobSeed(t *tenant, explicit uint64) uint64 {
 	return rng.Mix(t.seed, id)
 }
 
-// Stats snapshots the daemon for the stats method (and tests).
+// Stats snapshots the daemon for the stats method (and tests). Every
+// field reads registry-backed atomics or the tenant map's own lock — the
+// admission mutex is never taken, so a stats poll cannot stall (or be
+// stalled by) job traffic.
 func (d *Daemon) Stats() Stats {
-	d.mu.Lock()
 	st := Stats{
 		UptimeSeconds: time.Since(d.start).Seconds(),
-		Running:       d.running,
-		Queued:        d.waiting,
-		Completed:     d.finished.completed,
-		Failed:        d.finished.failed,
-		Canceled:      d.finished.canceled,
+		Running:       int(d.met.running.Load()),
+		Queued:        int(d.met.queued.Load()),
+		Completed:     d.met.completed.Load(),
+		Failed:        d.met.failed.Load(),
+		Canceled:      d.met.canceled.Load(),
 	}
+	d.tenantsMu.RLock()
 	names := make([]string, 0, len(d.tenants))
 	for name := range d.tenants {
 		names = append(names, name)
@@ -307,27 +356,25 @@ func (d *Daemon) Stats() Stats {
 	for _, name := range names {
 		t := d.tenants[name]
 		st.Tenants = append(st.Tenants, TenantStats{
-			Name: t.name, Running: t.running, Jobs: t.jobs,
-			CyclesUsed: t.used, CyclesQuota: d.cfg.QuotaCycles,
+			Name: t.name, Running: int(t.running.Load()), Jobs: t.jobs.Load(),
+			CyclesUsed: t.used.Load(), CyclesQuota: d.cfg.QuotaCycles,
 		})
 	}
-	d.mu.Unlock()
+	d.tenantsMu.RUnlock()
 	st.Pool = d.pool.stats()
 	return st
 }
 
 // countFinish tallies a finished job for stats.
 func (d *Daemon) countFinish(err error) {
-	d.mu.Lock()
 	switch {
 	case err == nil:
-		d.finished.completed++
+		d.met.completed.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		d.finished.canceled++
+		d.met.canceled.Inc()
 	default:
-		d.finished.failed++
+		d.met.failed.Inc()
 	}
-	d.mu.Unlock()
 }
 
 // Do executes one job in-process — the embedded-daemon entry point (used
@@ -343,21 +390,31 @@ func (d *Daemon) Do(ctx context.Context, tenantName, method string, params any, 
 		}
 		raw = b
 	}
-	d.mu.Lock()
 	t := d.tenantFor(tenantName)
-	d.mu.Unlock()
 	run, err := d.jobFor(Request{Method: method, Params: raw}, t)
 	if err != nil {
 		return nil, err
 	}
+	ctx, tr := d.beginTrace(ctx, method)
 	if err := d.admit(ctx, t); err != nil {
+		tr.Event("rejected", 0, err.Error())
 		d.countFinish(err)
 		return nil, err
 	}
+	tr.Event("admitted", 0, "")
 	result, cost, err := run(ctx, callbackEvents(progress))
 	d.release(t, cost)
 	d.countFinish(err)
+	tr.Event("finish", cost, finishDetail(err))
 	return result, err
+}
+
+// finishDetail renders a job's terminal state for its trace span.
+func finishDetail(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
 }
 
 // connWriter serializes response/event lines onto one connection.
@@ -465,6 +522,9 @@ func (d *Daemon) serveStream(conn net.Conn, r io.Reader) {
 		case "stats":
 			w.result(req.ID, d.Stats())
 			continue
+		case "metrics":
+			w.result(req.ID, d.reg.Snapshot())
+			continue
 		case "cancel":
 			var p CancelParams
 			if err := unmarshalParams(req.Params, &p); err != nil {
@@ -521,23 +581,25 @@ func unmarshalParams(raw json.RawMessage, v any) error {
 // progress streaming, the terminal response, slot release with cost
 // accounting.
 func (d *Daemon) dispatch(ctx context.Context, w *connWriter, req Request) {
-	d.mu.Lock()
 	t := d.tenantFor(req.Tenant)
-	d.mu.Unlock()
 
 	run, err := d.jobFor(req, t)
 	if err != nil {
 		w.fail(req.ID, err)
 		return
 	}
+	ctx, tr := d.beginTrace(ctx, req.Method)
 	if err := d.admit(ctx, t); err != nil {
+		tr.Event("rejected", 0, err.Error())
 		d.countFinish(err)
 		w.fail(req.ID, err)
 		return
 	}
+	tr.Event("admitted", 0, "")
 	result, cost, err := run(ctx, newEventStream(w, req.ID))
 	d.release(t, cost)
 	d.countFinish(err)
+	tr.Event("finish", cost, finishDetail(err))
 	if err != nil {
 		w.fail(req.ID, err)
 		return

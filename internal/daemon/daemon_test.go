@@ -93,9 +93,7 @@ func TestAdmitQuotaTypedError(t *testing.T) {
 func TestAdmitQueueBackpressure(t *testing.T) {
 	d := New(Config{MaxJobs: 1, MaxQueue: 1})
 	defer d.Shutdown(context.Background())
-	d.mu.Lock()
 	ten := d.tenantFor("t")
-	d.mu.Unlock()
 	ctx := context.Background()
 
 	if err := d.admit(ctx, ten); err != nil {
@@ -106,9 +104,7 @@ func TestAdmitQueueBackpressure(t *testing.T) {
 	go func() { waited <- d.admit(ctx, ten) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		d.mu.Lock()
-		w := d.waiting
-		d.mu.Unlock()
+		w := d.met.queued.Load()
 		if w == 1 {
 			break
 		}

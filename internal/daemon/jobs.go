@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"repro/internal/obs"
 	"repro/pssp"
 )
 
@@ -101,7 +102,7 @@ func (d *Daemon) compileJob(p CompileParams) (jobRun, error) {
 		return nil, err
 	}
 	return func(ctx context.Context, _ *eventStream) (any, uint64, error) {
-		_, cached, err := d.pool.image(imageKey{app: p.App, scheme: s})
+		_, cached, err := d.pool.image(ctx, imageKey{app: p.App, scheme: s})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -143,6 +144,7 @@ func (d *Daemon) attackJob(p AttackParams, t *tenant) (jobRun, error) {
 	}
 	return func(ctx context.Context, ev *eventStream) (any, uint64, error) {
 		seed := d.jobSeed(t, p.Seed)
+		tr := obs.TraceFrom(ctx)
 		e, err := d.pool.checkout(ctx, poolKey{imageKey{app: p.Target, scheme: s}, seed})
 		if err != nil {
 			return nil, 0, err
@@ -155,6 +157,7 @@ func (d *Daemon) attackJob(p AttackParams, t *tenant) (jobRun, error) {
 			Seed:         seed,
 			Attack:       pssp.AttackConfig{MaxTrials: p.Budget},
 			Progress: func(cp pssp.CampaignProgress) {
+				tr.Event("campaign progress", cp.Cycles, "")
 				ev.progress(ProgressEvent{Kind: "attack", Campaign: &cp})
 			},
 		})
@@ -197,7 +200,9 @@ func (d *Daemon) loadJob(p LoadParams, t *tenant) (jobRun, error) {
 		if err != nil {
 			return nil, 0, err
 		}
+		tr := obs.TraceFrom(ctx)
 		cfg.Progress = func(lp pssp.LoadProgress) {
+			tr.Event("load progress", lp.P99Cycles, "")
 			ev.progress(ProgressEvent{Kind: "loadtest", Load: &lp})
 		}
 		if len(p.Sweep) > 0 {
@@ -250,6 +255,7 @@ func (d *Daemon) fuzzJob(p FuzzParams, t *tenant) (jobRun, error) {
 	}
 	return func(ctx context.Context, ev *eventStream) (any, uint64, error) {
 		seed := d.jobSeed(t, p.Seed)
+		tr := obs.TraceFrom(ctx)
 		e, err := d.pool.checkout(ctx, poolKey{imageKey{app: p.App, scheme: s}, seed})
 		if err != nil {
 			return nil, 0, err
@@ -264,6 +270,7 @@ func (d *Daemon) fuzzJob(p FuzzParams, t *tenant) (jobRun, error) {
 			Seed:     seed,
 			MaxInput: p.MaxInput,
 			Progress: func(fp pssp.FuzzProgress) {
+				tr.Event("fuzz round", 0, "")
 				ev.progress(ProgressEvent{Kind: "fuzz", Fuzz: &fp})
 			},
 		})

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/pssp"
 )
 
@@ -85,19 +87,40 @@ func (p *pool) machine(opts ...pssp.Option) *pssp.Machine {
 // compile runs outside the lock (it dominates cold-job latency); two
 // concurrent misses may both compile, but compilation is deterministic so
 // either result is the same image and the second simply wins the store.
-func (p *pool) image(key imageKey) (*pssp.Image, bool, error) {
+// ctx carries the job's flight-recorder trace; compile and store spans
+// land there.
+func (p *pool) image(ctx context.Context, key imageKey) (*pssp.Image, bool, error) {
+	tr := obs.TraceFrom(ctx)
 	p.mu.Lock()
 	if img, ok := p.images[key]; ok {
 		p.mu.Unlock()
+		tr.Event("image cached", 0, key.app)
 		return img, true, nil
 	}
 	p.mu.Unlock()
 
+	// With a store attached the compile pipeline is a store lookup first;
+	// the hit/miss delta around the compile attributes it. Concurrent
+	// compiles can skew the delta — the trace is diagnostic, the counters
+	// (store collector) are the ground truth.
+	var before pssp.StoreStats
+	if p.store != nil && tr != nil {
+		before = p.store.Stats()
+	}
 	m := p.machine(pssp.WithScheme(key.scheme))
 	img, err := m.Pipeline().CompileApp(key.app).Image()
 	if err != nil {
 		return nil, false, err
 	}
+	if p.store != nil && tr != nil {
+		after := p.store.Stats()
+		if after.Hits > before.Hits {
+			tr.Event("store hit", 0, key.app)
+		} else if after.Misses > before.Misses {
+			tr.Event("store miss", 0, key.app)
+		}
+	}
+	tr.Event("compile", 0, key.app)
 	p.mu.Lock()
 	if cached, ok := p.images[key]; ok {
 		img = cached
@@ -111,7 +134,7 @@ func (p *pool) image(key imageKey) (*pssp.Image, bool, error) {
 // build boots a fresh entry for key: a new machine seeded with key.seed
 // serving the (cached) image, parked at its accept point.
 func (p *pool) build(ctx context.Context, key poolKey) (*entry, error) {
-	img, _, err := p.image(key.imageKey)
+	img, _, err := p.image(ctx, key.imageKey)
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +143,7 @@ func (p *pool) build(ctx context.Context, key poolKey) (*entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("daemon: booting %s/%s seed %d: %w", key.app, key.scheme, key.seed, err)
 	}
+	obs.TraceFrom(ctx).Event("boot", 0, key.app)
 	return &entry{key: key, m: m, img: img, srv: srv}, nil
 }
 
@@ -128,6 +152,7 @@ func (p *pool) build(ctx context.Context, key poolKey) (*entry, error) {
 // parent no longer alive and waiting in accept — is respawned from the
 // image instead of handed out.
 func (p *pool) checkout(ctx context.Context, key poolKey) (*entry, error) {
+	tr := obs.TraceFrom(ctx)
 	p.mu.Lock()
 	e, ok := p.entries[key]
 	if ok {
@@ -136,17 +161,21 @@ func (p *pool) checkout(ctx context.Context, key poolKey) (*entry, error) {
 		if e.srv.Parked() {
 			p.hits++
 			p.mu.Unlock()
+			tr.Event("pool checkout", 0, "hit")
 			return e, nil
 		}
 		// Crashed or otherwise un-parked entry: retire it and fall through
 		// to a fresh build.
 		p.respawns++
 		p.mu.Unlock()
+		kernel.CountRespawn()
+		tr.Event("pool respawn", 0, key.app)
 		e.m.Close()
 		p.mu.Lock()
 	}
 	p.misses++
 	p.mu.Unlock()
+	tr.Event("pool checkout", 0, "miss")
 	return p.build(ctx, key)
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/daemon"
+	"repro/internal/obs"
 	"repro/pssp"
 )
 
@@ -200,6 +201,12 @@ func (c *Coordinator) controlRequest(ctx context.Context, req daemon.Request, re
 		st := c.Stats()
 		st.Jobs = c.jobStatuses(0)
 		return result(st)
+	case "metrics":
+		snap := c.cfg.Metrics.Snapshot()
+		if snap == nil {
+			snap = []obs.Series{}
+		}
+		return result(snap)
 	case "submit":
 		var p SubmitParams
 		if err := json.Unmarshal(req.Params, &p); err != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/daemon/client"
+	"repro/internal/obs"
 )
 
 // Config tunes a Coordinator. The zero value is usable.
@@ -52,6 +53,14 @@ type Config struct {
 	// Logf, when non-nil, receives coordinator life-cycle lines (worker
 	// joins/deaths, lease reassignments).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the coordinator's series: lease
+	// dispatch/re-issue counters, lease-latency histogram, watchdog
+	// resets, and per-worker shard throughput. Pure read-side — merged
+	// reports are byte-identical with or without it.
+	Metrics *obs.Registry
+	// Recorder, when non-nil, captures per-job lease traces (dispatch,
+	// completion, re-issue, watchdog fire).
+	Recorder *obs.Recorder
 }
 
 func (c Config) leaseTimeout() time.Duration {
@@ -80,6 +89,7 @@ func (c Config) backoff() time.Duration {
 // each worker executes one lease at a time.
 type Coordinator struct {
 	cfg Config
+	met *fabricMetrics
 
 	mu      sync.Mutex
 	workers []*worker
@@ -108,7 +118,9 @@ type worker struct {
 // New builds a Coordinator with no workers attached; Connect or Serve
 // attach them.
 func New(cfg Config) *Coordinator {
-	return &Coordinator{cfg: cfg, wake: make(chan struct{}, 1)}
+	c := &Coordinator{cfg: cfg, wake: make(chan struct{}, 1), met: newFabricMetrics(cfg.Metrics)}
+	c.registerCollectors(cfg.Metrics)
+	return c
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -232,6 +244,7 @@ func (c *Coordinator) markDead(w *worker) {
 	w.mu.Unlock()
 	if !already {
 		w.c.Close()
+		c.met.workersLost.Inc()
 		c.logf("fabric: worker %s lost", w.name)
 	}
 }
@@ -308,12 +321,14 @@ func (c *Coordinator) noteIssued() {
 	c.statsMu.Lock()
 	c.leasesIssued++
 	c.statsMu.Unlock()
+	c.met.leasesIssued.Inc()
 }
 
 func (c *Coordinator) noteReassigned() {
 	c.statsMu.Lock()
 	c.leasesReassigned++
 	c.statsMu.Unlock()
+	c.met.leasesReassigned.Inc()
 }
 
 func (c *Coordinator) noteFrontier(edges int) {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/daemon"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/store"
 	"repro/pssp"
@@ -61,6 +62,7 @@ func (c *Coordinator) Campaign(ctx context.Context, p daemon.AttackParams) (*dae
 
 	var mu sync.Mutex
 	var parts []*pssp.CampaignPartial
+	ctx = obs.ContextWithTrace(ctx, c.beginTrace("campaign"))
 	err = c.runLeases(ctx, plan.Replications, func(ctx context.Context, w *worker, lo, hi int) error {
 		var res daemon.CampaignShardResult
 		sp := daemon.CampaignShardParams{AttackParams: p, Lo: lo, Hi: hi}
@@ -115,6 +117,7 @@ func (c *Coordinator) runLoadPoint(ctx context.Context, p daemon.LoadParams, pla
 
 	var mu sync.Mutex
 	var parts []*pssp.LoadPartial
+	ctx = obs.ContextWithTrace(ctx, c.beginTrace("loadtest"))
 	err = c.runLeases(ctx, norm.Shards, func(ctx context.Context, w *worker, lo, hi int) error {
 		var res daemon.LoadShardResult
 		lp := sp
@@ -253,6 +256,7 @@ func (c *Coordinator) fuzzRound(ctx context.Context, p daemon.FuzzParams, seeds 
 
 	var mu sync.Mutex
 	var parts []*pssp.FuzzPartial
+	ctx = obs.ContextWithTrace(ctx, c.beginTrace("fuzz"))
 	err = c.runLeases(ctx, plan.Shards, func(ctx context.Context, w *worker, lo, hi int) error {
 		var res daemon.FuzzShardResult
 		fp := sp

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/daemon"
 	"repro/internal/daemon/client"
+	"repro/internal/obs"
 )
 
 // lease is one half-open shard range awaiting (re-)dispatch.
@@ -49,6 +50,7 @@ func (c *Coordinator) runLeases(ctx context.Context, shards int, call leaseCall)
 	}
 	lctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	tr := obs.TraceFrom(ctx)
 
 	pending := c.partition(shards)
 	done := make(chan doneMsg)
@@ -61,6 +63,8 @@ func (c *Coordinator) runLeases(ctx context.Context, shards int, call leaseCall)
 		inflight--
 		if msg.err == nil {
 			c.release(msg.w, msg.l.hi-msg.l.lo, msg.elapsed)
+			c.met.leaseLatency.Record(uint64(msg.elapsed))
+			tr.Event("lease done", 0, leaseRange(msg.l.lo, msg.l.hi))
 			return
 		}
 		switch classify(msg.err, lctx) {
@@ -95,6 +99,7 @@ func (c *Coordinator) runLeases(ctx context.Context, shards int, call leaseCall)
 				return
 			}
 			c.noteReassigned()
+			tr.Event("lease re-issue", 0, leaseRange(l.lo, l.hi))
 			c.logf("fabric: re-issuing lease [%d,%d) (attempt %d) after %s: %v",
 				l.lo, l.hi, l.retries+1, msg.w.name, msg.err)
 			// Exponential backoff before the re-issue; bounded by Retries,
@@ -121,6 +126,7 @@ func (c *Coordinator) runLeases(ctx context.Context, shards int, call leaseCall)
 			pending = pending[1:]
 			inflight++
 			c.noteIssued()
+			tr.Event("lease dispatch", 0, leaseRange(l.lo, l.hi))
 			go func(l lease, w *worker) {
 				start := time.Now()
 				err := call(lctx, w, l.lo, l.hi)
@@ -226,7 +232,12 @@ func classify(err error, lctx context.Context) leaseOutcome {
 // transport error and routes through the reassignment path.
 func (c *Coordinator) callLease(ctx context.Context, w *worker, method string, params, result any) error {
 	timeout := c.cfg.leaseTimeout()
-	watchdog := time.AfterFunc(timeout, func() { w.c.Close() })
+	tr := obs.TraceFrom(ctx)
+	watchdog := time.AfterFunc(timeout, func() {
+		c.met.watchdogResets.Inc()
+		tr.Event("watchdog fired", 0, w.name)
+		w.c.Close()
+	})
 	defer watchdog.Stop()
 	return w.c.Call(ctx, method, params, result,
 		client.WithTenant(c.cfg.Tenant),

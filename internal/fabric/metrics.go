@@ -1,0 +1,66 @@
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// fabricMetrics is the coordinator's registry slice. All handles are
+// nil-safe, so a coordinator built without Config.Metrics records nothing
+// at a nil check per site — the Stats wire shape stays authoritative
+// either way.
+type fabricMetrics struct {
+	leasesIssued     *obs.Counter
+	leasesReassigned *obs.Counter
+	watchdogResets   *obs.Counter
+	workersLost      *obs.Counter
+	leaseLatency     *obs.Hist // ns per completed lease
+	jobSeq           atomic.Uint64
+}
+
+func newFabricMetrics(reg *obs.Registry) *fabricMetrics {
+	return &fabricMetrics{
+		leasesIssued:     reg.Counter("fabric_leases_issued_total"),
+		leasesReassigned: reg.Counter("fabric_leases_reassigned_total"),
+		watchdogResets:   reg.Counter("fabric_watchdog_resets_total"),
+		workersLost:      reg.Counter("fabric_workers_lost_total"),
+		leaseLatency:     reg.Hist("fabric_lease_latency_ns"),
+	}
+}
+
+// registerCollectors emits the per-worker view (shards/sec, liveness) and
+// the frontier size at scrape time, straight from the same snapshot the
+// stats RPC serves.
+func (c *Coordinator) registerCollectors(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Collect(func(emit func(name string, value float64)) {
+		st := c.Stats()
+		alive := 0
+		for _, w := range st.Workers {
+			if w.Alive {
+				alive++
+			}
+			emit(obs.Label("fabric_worker_shards_done_total", "worker", w.Name), float64(w.ShardsDone))
+			emit(obs.Label("fabric_worker_shards_per_sec", "worker", w.Name), w.ShardsPerSec)
+		}
+		emit("fabric_workers_alive", float64(alive))
+		emit("fabric_frontier_edges", float64(st.FrontierEdges))
+	})
+}
+
+// beginTrace opens a flight-recorder trace for one fabric job (campaign,
+// loadtest, sweep point, fuzz). Returns a nil trace when no recorder is
+// configured.
+func (c *Coordinator) beginTrace(kind string) *obs.Trace {
+	if c.cfg.Recorder == nil {
+		return nil
+	}
+	return c.cfg.Recorder.Begin(c.met.jobSeq.Add(1), kind)
+}
+
+// leaseRange renders a lease's shard range for trace details.
+func leaseRange(lo, hi int) string { return fmt.Sprintf("[%d,%d)", lo, hi) }

@@ -174,6 +174,12 @@ func (s *ForkServer) HandleContext(ctx context.Context, req []byte) (Outcome, er
 	default:
 		return Outcome{}, fmt.Errorf("kernel: worker stuck in state %s", st)
 	}
+	if m := metrics.Load(); m != nil {
+		m.requests.Inc()
+		if out.Crashed {
+			m.crashes.Inc()
+		}
+	}
 	// The single-shot worker is dead and the outcome fully copied out:
 	// recycle its materialized buffers so the next fork reuses them instead
 	// of allocating. Segments still shared with the parent are untouched.

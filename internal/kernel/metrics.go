@@ -1,0 +1,43 @@
+package kernel
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// kernelMetrics is the fork-server's registry slice: one fixed handle per
+// series, resolved once at install time so the request path never touches
+// the registry.
+type kernelMetrics struct {
+	requests *obs.Counter
+	crashes  *obs.Counter
+	respawns *obs.Counter
+}
+
+var metrics atomic.Pointer[kernelMetrics]
+
+// SetMetrics installs (or, with a nil registry, removes) the package-wide
+// fork-server metrics. Same discipline as vm.CovMap: when disabled,
+// HandleContext pays exactly one atomic load and nil check; when enabled,
+// recording is three allocation-free atomic adds. Counting is pure
+// read-side — it never influences scheduling or results.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&kernelMetrics{
+		requests: reg.Counter("kernel_forkserver_requests_total"),
+		crashes:  reg.Counter("kernel_forkserver_crashes_total"),
+		respawns: reg.Counter("kernel_forkserver_respawns_total"),
+	})
+}
+
+// CountRespawn records one fork-server respawn (a parked parent found dead
+// and rebooted — the warm pool's health check calls this).
+func CountRespawn() {
+	if m := metrics.Load(); m != nil {
+		m.respawns.Inc()
+	}
+}

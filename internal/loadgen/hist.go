@@ -3,7 +3,8 @@ package loadgen
 import (
 	"encoding/json"
 	"fmt"
-	"math/bits"
+
+	"repro/internal/obs"
 )
 
 // Hist is a log-bucketed latency histogram in the HDR style: exact width-1
@@ -25,40 +26,18 @@ type Hist struct {
 	max    uint64
 }
 
-const (
-	// histExactMax is the first value that leaves the width-1 buckets:
-	// values below it are recorded exactly.
-	histExactMax = 64
-	// histSubBits gives 2^histSubBits linear sub-buckets per octave.
-	histSubBits = 5
-	histSub     = 1 << histSubBits
-	// histBuckets covers the full uint64 range: 64 exact buckets plus 32
-	// sub-buckets for each octave [2^6, 2^64).
-	histBuckets = histExactMax + (64-6)*histSub
-)
+// The bucket axis (exact buckets, octave splits, index math) is owned by
+// internal/obs so latency reports and the metrics registry agree on bucket
+// boundaries; this package keeps only the deterministic merge/serialize
+// layer on top of it.
+const histBuckets = obs.NumBuckets
 
 // bucketIdx maps a value to its bucket.
-func bucketIdx(v uint64) int {
-	if v < histExactMax {
-		return int(v)
-	}
-	k := bits.Len64(v) // v in [2^(k-1), 2^k), k >= 7
-	return histExactMax + (k-7)*histSub + int((v-1<<(k-1))>>(k-1-histSubBits))
-}
+func bucketIdx(v uint64) int { return obs.BucketIdx(v) }
 
 // bucketMax returns the bucket's inclusive upper bound — the value quantiles
 // report for every sample in the bucket.
-func bucketMax(i int) uint64 {
-	if i < histExactMax {
-		return uint64(i)
-	}
-	oct := (i - histExactMax) / histSub
-	off := (i - histExactMax) % histSub
-	k := oct + 7
-	lower := uint64(1) << (k - 1)
-	width := uint64(1) << (k - 1 - histSubBits)
-	return lower + uint64(off+1)*width - 1
-}
+func bucketMax(i int) uint64 { return obs.BucketMax(i) }
 
 // Record adds one sample.
 func (h *Hist) Record(v uint64) {

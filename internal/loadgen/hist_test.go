@@ -3,6 +3,8 @@ package loadgen
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestBucketRoundTripProperty(t *testing.T) {
@@ -17,8 +19,8 @@ func TestBucketRoundTripProperty(t *testing.T) {
 			t.Fatalf("value %d not above previous bucket bound %d (bucket %d)", v, bucketMax(i-1), i)
 		}
 		// Relative error of the reported bound is at most one sub-bucket.
-		if v >= histExactMax && float64(hi-v) > float64(v)/float64(histSub)+1 {
-			t.Fatalf("value %d: bound %d overstates by %d (> %d)", v, hi, hi-v, v/histSub+1)
+		if v >= uint64(obs.NumExact) && float64(hi-v) > float64(v)/float64(obs.SubPerOctave)+1 {
+			t.Fatalf("value %d: bound %d overstates by %d (> %d)", v, hi, hi-v, v/obs.SubPerOctave+1)
 		}
 	}
 	for v := uint64(0); v < 4096; v++ {
@@ -50,7 +52,7 @@ func TestHistQuantiles(t *testing.T) {
 		want uint64
 	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {0.999, 999}} {
 		got := h.Quantile(q.q)
-		if got < q.want || float64(got-q.want) > float64(q.want)/histSub+1 {
+		if got < q.want || float64(got-q.want) > float64(q.want)/obs.SubPerOctave+1 {
 			t.Errorf("p%g = %d, want within one sub-bucket above %d", q.q*100, got, q.want)
 		}
 	}

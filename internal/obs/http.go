@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler builds the exposition mux: Prometheus text on /metrics, the
+// standard pprof set under /debug/pprof/, and JSON flight-recorder dumps
+// on /traces (all jobs) and /traces?job=N (one job). reg and rec may be
+// nil; the endpoints then serve empty documents.
+func Handler(reg *Registry, rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(reg.Text()))
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if q := req.URL.Query().Get("job"); q != "" {
+			job, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad job id", http.StatusBadRequest)
+				return
+			}
+			d, ok := rec.Dump(job)
+			if !ok {
+				http.Error(w, "unknown job", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(d)
+			return
+		}
+		dumps := rec.Dumps()
+		if dumps == nil {
+			dumps = []TraceDump{}
+		}
+		_ = enc.Encode(dumps)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr and serves Handler(reg, rec) in a background
+// goroutine. It returns the bound address (useful with ":0") and a closer.
+func ListenAndServe(addr string, reg *Registry, rec *Recorder) (string, func() error, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, rec)}
+	go func() { _ = srv.Serve(lis) }()
+	return lis.Addr().String(), srv.Close, nil
+}

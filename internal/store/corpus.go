@@ -116,7 +116,7 @@ func (c *Corpus) SaveFrontier(frontier []byte) error {
 	if len(frontier) == 0 {
 		return nil
 	}
-	unlock, err := lockFile(c.lockPath())
+	unlock, _, err := lockFile(c.lockPath())
 	if err != nil {
 		return fmt.Errorf("store: corpus frontier: %w", err)
 	}

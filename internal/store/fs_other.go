@@ -30,18 +30,20 @@ func (m *mapping) close() error {
 // lockFile emulates an exclusive lock by spinning on O_EXCL creation of
 // path. Coarser than flock (a crashed holder leaves the file behind until
 // it goes stale), but preserves the at-most-one-builder property on
-// platforms without advisory locks.
-func lockFile(path string) (func(), error) {
+// platforms without advisory locks. waited reports whether another holder
+// made the acquisition block.
+func lockFile(path string) (unlock func(), waited bool, err error) {
 	const stale = 30 * time.Second
 	for {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
 			f.Close()
-			return func() { os.Remove(path) }, nil
+			return func() { os.Remove(path) }, waited, nil
 		}
 		if !os.IsExist(err) {
-			return nil, err
+			return nil, waited, err
 		}
+		waited = true
 		if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > stale {
 			os.Remove(path)
 			continue

@@ -57,18 +57,23 @@ func (m *mapping) close() error {
 // lockFile takes an exclusive advisory flock on path. Each call opens its
 // own descriptor, so it also excludes other goroutines in this process, not
 // just other processes. The returned func releases the lock; the lock file
-// itself is left in place for reuse.
-func lockFile(path string) (func(), error) {
+// itself is left in place for reuse. waited reports whether another holder
+// made the acquisition block (a non-blocking attempt failed first) — the
+// store surfaces this as its lock-wait metric.
+func lockFile(path string) (unlock func(), waited bool, err error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("flock: %w", err)
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		waited = true
+		if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+			f.Close()
+			return nil, waited, fmt.Errorf("flock: %w", err)
+		}
 	}
 	return func() {
 		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 		f.Close()
-	}, nil
+	}, waited, nil
 }

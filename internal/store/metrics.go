@@ -1,0 +1,23 @@
+package store
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the store's traffic counters on reg as
+// scrape-time collected series. The store's hot path is untouched — its
+// counters already exist under s.mu — so exposition costs one Stats()
+// snapshot per scrape and nothing per lookup.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.Collect(func(emit func(name string, value float64)) {
+		st := s.Stats()
+		emit("store_hits_total", float64(st.Hits))
+		emit("store_misses_total", float64(st.Misses))
+		emit("store_mem_hits_total", float64(st.MemHits))
+		emit("store_disk_hits_total", float64(st.DiskHits))
+		emit("store_corrupt_total", float64(st.Corrupt))
+		emit("store_evictions_total", float64(st.Evictions))
+		emit("store_lock_waits_total", float64(st.LockWaits))
+	})
+}

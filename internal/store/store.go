@@ -99,6 +99,9 @@ type Stats struct {
 	Corrupt uint64 `json:"corrupt"`
 	// Evictions counts LRU evictions from the in-process tier.
 	Evictions uint64 `json:"evictions"`
+	// LockWaits counts builder-lock acquisitions that blocked on another
+	// holder (goroutine or process) — contention on concurrent cold builds.
+	LockWaits uint64 `json:"lock_waits"`
 }
 
 // entry is one resident artifact in the in-process tier.
@@ -154,7 +157,7 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) blobPath(k Key) string { return filepath.Join(blobsDir(s.dir), k.String()) }
 
 // lockKey takes the per-key builder lock under dir.
-func lockKey(dir string, k Key) (func(), error) {
+func lockKey(dir string, k Key) (func(), bool, error) {
 	return lockFile(filepath.Join(dir, k.String()+".lock"))
 }
 
@@ -187,7 +190,12 @@ func (s *Store) GetOrBuild(k Key, name, scheme string, build func() (*binfmt.Bin
 	}
 
 	// Miss: serialize builders of this key across goroutines and processes.
-	unlock, err := lockKey(locksDir(s.dir), k)
+	unlock, waited, err := lockKey(locksDir(s.dir), k)
+	if waited {
+		s.mu.Lock()
+		s.stats.LockWaits++
+		s.mu.Unlock()
+	}
 	if err != nil {
 		return nil, false, fmt.Errorf("store: lock %s: %w", k, err)
 	}

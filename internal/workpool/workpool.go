@@ -84,7 +84,7 @@ func RunRange(ctx context.Context, lo, hi, workers int, run func(ctx context.Con
 				if ctx.Err() != nil {
 					return
 				}
-				err := run(ctx, unit)
+				err := runTimed(ctx, unit, run)
 				if err == nil {
 					if cfg.progress != nil {
 						mu.Lock()

@@ -19,7 +19,7 @@ label="${1:-current}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 go test -run '^$' \
-	-bench 'BenchmarkForkClone|BenchmarkStepLoop|BenchmarkForkServerRequest|BenchmarkCampaign|BenchmarkLoadgen|BenchmarkFuzz|BenchmarkDaemonRequest|BenchmarkStoreBoot|BenchmarkFabricCampaign' \
+	-bench 'BenchmarkForkClone|BenchmarkStepLoop|BenchmarkForkServerRequest|BenchmarkCampaign|BenchmarkLoadgen|BenchmarkFuzz|BenchmarkDaemonRequest|BenchmarkStoreBoot|BenchmarkFabricCampaign|BenchmarkObs' \
 	-benchmem -benchtime "${BENCHTIME:-400x}" . | tee /dev/stderr |
 	go run ./scripts/benchjson -label "$label" -in BENCH_engine.json >"$tmp"
 mv "$tmp" BENCH_engine.json
